@@ -1,0 +1,114 @@
+// Ablation A1: the log vector's latest-record-per-item replacement rule
+// (§4.2, Fig. 1) vs a naive append-only update log.
+//
+// The paper's constraint: "only a constant number of log records per data
+// item being copied can be examined or sent over the network", although the
+// number of log records "is normally equal to the number of updates and can
+// be very large". This table quantifies exactly that: between two syncs the
+// source applies U updates spread over D distinct items; the paper's log
+// ships max one record per dirty item while the append-only variant ships
+// (and stores) one per update.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/replica.h"
+
+namespace {
+
+using epidemic::PropagateOnce;
+using epidemic::RealClock;
+using epidemic::Replica;
+using epidemic::Rng;
+
+/// The ablated design: an append-only per-origin update log, as a classic
+/// log-shipping scheme would keep. Tail selection must scan records (and
+/// ships every one newer than the recipient's horizon).
+struct AppendOnlyLog {
+  struct Record {
+    uint32_t item;
+    uint64_t seq;
+  };
+  std::vector<Record> records;
+
+  void Add(uint32_t item, uint64_t seq) { records.push_back({item, seq}); }
+
+  // Returns records with seq > after (they are in seq order already).
+  size_t CollectTail(uint64_t after, std::vector<Record>* out) const {
+    // Binary search for the suffix start, like a real implementation would.
+    size_t lo = 0, hi = records.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (records[mid].seq > after) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    out->insert(out->end(), records.begin() + static_cast<long>(lo),
+                records.end());
+    return records.size() - lo;
+  }
+};
+
+void RunRow(uint64_t updates_between_syncs, uint64_t distinct_items) {
+  // --- paper's log, via the real protocol ---
+  Replica src(0, 2), dst(1, 2);
+  Rng rng(3);
+  for (uint64_t u = 0; u < updates_between_syncs; ++u) {
+    (void)src.Update("k" + std::to_string(rng.Uniform(distinct_items)),
+                     "v" + std::to_string(u));
+  }
+  src.ResetStats();
+  int64_t t0 = RealClock::Default()->NowMicros();
+  (void)PropagateOnce(src, dst);
+  int64_t paper_us = RealClock::Default()->NowMicros() - t0;
+  uint64_t paper_shipped = src.stats().log_records_selected;
+  size_t paper_stored = src.log_vector().TotalRecords();
+
+  // --- append-only ablation (same update stream) ---
+  AppendOnlyLog log;
+  Rng rng2(3);
+  for (uint64_t u = 0; u < updates_between_syncs; ++u) {
+    (void)rng2.Uniform(distinct_items);
+    log.Add(static_cast<uint32_t>(u % distinct_items), u + 1);
+  }
+  std::vector<AppendOnlyLog::Record> tail;
+  t0 = RealClock::Default()->NowMicros();
+  size_t naive_shipped = log.CollectTail(/*after=*/0, &tail);
+  int64_t naive_us = RealClock::Default()->NowMicros() - t0;
+
+  std::printf("%10llu %8llu | %13zu %13llu %9lld | %13zu %13zu %9lld\n",
+              static_cast<unsigned long long>(updates_between_syncs),
+              static_cast<unsigned long long>(distinct_items), paper_stored,
+              static_cast<unsigned long long>(paper_shipped),
+              static_cast<long long>(paper_us), log.records.size(),
+              naive_shipped, static_cast<long long>(naive_us));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "A1: latest-record log (paper §4.2) vs append-only update log\n"
+      "U updates over D distinct items between two syncs\n\n");
+  std::printf("%10s %8s | %13s %13s %9s | %13s %13s %9s\n", "U", "D",
+              "paper_stored", "paper_shipped", "paper_us", "naive_stored",
+              "naive_shipped", "naive_us");
+  for (uint64_t updates : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+    RunRow(updates, /*distinct=*/100);
+  }
+  std::printf("\n");
+  for (uint64_t distinct : {10ull, 100ull, 1000ull, 10000ull}) {
+    RunRow(/*updates=*/100000, distinct);
+  }
+  std::printf(
+      "\nshape check: the paper's log stores and ships at most D records\n"
+      "regardless of U; the append-only log stores and ships U records —\n"
+      "the gap is the update/item ratio (hot items make it arbitrarily\n"
+      "large).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Experiment E6 (DESIGN.md): convergence behaviour under transitive
+// scheduling (Theorem 5) and the total anti-entropy work it costs, across
+// cluster sizes and peering policies, for the paper's protocol and the §8
+// baselines.
+//
+// Workload: single-writer keys (conflict-free), 25 updates per node over a
+// 4096-item database. Reported per row: rounds to convergence, per-item
+// version state examined (the §6 overhead measure), records shipped, and
+// estimated wire bytes.
+
+#include <cstdio>
+#include <string>
+
+#include "sim/cluster.h"
+
+namespace {
+
+using epidemic::sim::Cluster;
+using epidemic::sim::ClusterConfig;
+using epidemic::sim::Peering;
+using epidemic::sim::ProtocolKind;
+
+void RunRow(ProtocolKind protocol, size_t num_nodes, Peering peering) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.num_nodes = num_nodes;
+  config.peering = peering;
+  config.seed = 99;
+  Cluster cluster(config);
+
+  // Conflict-free updates: node i owns keys "n<i>-k*".
+  for (epidemic::NodeId i = 0; i < num_nodes; ++i) {
+    for (int k = 0; k < 25; ++k) {
+      (void)cluster.UpdateAt(i,
+                             "n" + std::to_string(i) + "-k" +
+                                 std::to_string(k),
+                             std::string(64, 'x'));
+    }
+  }
+
+  auto rounds = cluster.RunUntilConverged(16 * num_nodes);
+  epidemic::SyncStats stats = cluster.TotalSyncStats();
+  std::printf("%-14s %6zu %-7s %8s %12llu %10llu %12llu %12llu\n",
+              std::string(ProtocolKindName(protocol)).c_str(), num_nodes,
+              peering == Peering::kRing ? "ring" : "random",
+              rounds.ok() ? std::to_string(*rounds).c_str() : "n/a",
+              static_cast<unsigned long long>(stats.items_examined),
+              static_cast<unsigned long long>(stats.items_copied),
+              static_cast<unsigned long long>(stats.records_shipped),
+              static_cast<unsigned long long>(stats.control_bytes +
+                                              stats.data_bytes));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E6: rounds-to-convergence and total anti-entropy work "
+      "(conflict-free workload, 25 updates/node)\n\n");
+  std::printf("%-14s %6s %-7s %8s %12s %10s %12s %12s\n", "protocol",
+              "nodes", "peering", "rounds", "items_exam", "copied",
+              "records", "est_bytes");
+
+  for (Peering peering : {Peering::kRing, Peering::kRandom}) {
+    for (size_t n : {2, 4, 8, 16, 32}) {
+      RunRow(ProtocolKind::kEpidemicDbvv, n, peering);
+    }
+    std::printf("\n");
+  }
+  for (size_t n : {2, 4, 8, 16}) RunRow(ProtocolKind::kLotus, n, Peering::kRing);
+  std::printf("\n");
+  for (size_t n : {2, 4, 8, 16}) {
+    RunRow(ProtocolKind::kPerItemVv, n, Peering::kRing);
+  }
+  std::printf("\n");
+  for (size_t n : {2, 4, 8, 16}) {
+    RunRow(ProtocolKind::kWuuBernstein, n, Peering::kRing);
+  }
+  std::printf("\n");
+  for (size_t n : {2, 4, 8, 16}) {
+    RunRow(ProtocolKind::kMerkle, n, Peering::kRing);
+  }
+  std::printf(
+      "\nshape check: all pull protocols converge in O(n) ring rounds (or\n"
+      "O(log n)-ish random rounds); epidemic-dbvv examines orders of\n"
+      "magnitude fewer per-item version entries than per-item-vv, which\n"
+      "rescans every item every exchange.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment E7 (DESIGN.md): vulnerability to originator failure (§8.2).
+//
+// The originator delivers its update to a fraction of the peers, then
+// crashes. Under Oracle-style push (no forwarding) the remaining replicas
+// stay obsolete indefinitely; under the paper's protocol the survivors
+// detect divergence via DBVV comparison and heal. We report how many live
+// replicas are still obsolete after each gossip round.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace {
+
+using epidemic::sim::Cluster;
+using epidemic::sim::ClusterConfig;
+using epidemic::sim::Peering;
+using epidemic::sim::ProtocolKind;
+
+// Returns the number of live-but-obsolete replicas after each round,
+// indexed 0..max_rounds (entry 0 = right after the crash).
+std::vector<size_t> RunScenario(ProtocolKind protocol, size_t num_nodes,
+                                size_t reached_before_crash,
+                                int max_rounds) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.num_nodes = num_nodes;
+  config.peering = Peering::kRandom;
+  config.seed = 4242;
+  Cluster cluster(config);
+
+  (void)cluster.UpdateAt(0, "critical", "v2");
+  for (size_t p = 1; p <= reached_before_crash; ++p) {
+    epidemic::NodeId peer = static_cast<epidemic::NodeId>(p);
+    if (protocol == ProtocolKind::kOraclePush) {
+      (void)cluster.SyncPair(/*actor=*/0, peer);  // push
+    } else {
+      (void)cluster.SyncPair(peer, /*peer=*/0);  // pull
+    }
+  }
+  cluster.Crash(0);
+
+  std::vector<size_t> stale;
+  stale.push_back(cluster.CountDivergentFrom(1));
+  for (int round = 1; round <= max_rounds; ++round) {
+    cluster.SyncRound();
+    stale.push_back(cluster.CountDivergentFrom(1));
+  }
+  return stale;
+}
+
+void PrintRow(const char* label, const std::vector<size_t>& stale) {
+  std::printf("%-14s", label);
+  for (size_t s : stale) std::printf(" %4zu", s);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRounds = 8;
+  std::printf(
+      "E7: obsolete live replicas after originator crash "
+      "(16 nodes; update delivered to K peers before the crash)\n\n");
+  std::printf("%-14s", "round:");
+  for (int r = 0; r <= kRounds; ++r) std::printf(" %4d", r);
+  std::printf("\n");
+
+  for (size_t reached : {1, 4, 8}) {
+    std::printf("\nK = %zu peers reached before crash\n", reached);
+    PrintRow("oracle-push",
+             RunScenario(ProtocolKind::kOraclePush, 16, reached, kRounds));
+    PrintRow("epidemic-dbvv",
+             RunScenario(ProtocolKind::kEpidemicDbvv, 16, reached, kRounds));
+  }
+
+  std::printf(
+      "\nshape check: oracle-push rows are constant (staleness persists\n"
+      "until the originator recovers); epidemic-dbvv rows fall to 0 within\n"
+      "a few gossip rounds, at the price of one DBVV comparison per\n"
+      "exchange (§8.2).\n");
+  return 0;
+}

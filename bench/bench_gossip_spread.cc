@@ -1,0 +1,73 @@
+// Experiment E10: epidemic spreading dynamics under random peering — the
+// classic anti-entropy curve (Demers et al. [4], which the paper builds
+// on). One node commits an update; each round every node pulls from a
+// random peer. The infected fraction should follow the logistic S-curve,
+// reaching everyone in O(log n) expected rounds — this is the premise that
+// makes DBVV-based anti-entropy *timely* as well as cheap.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace {
+
+using epidemic::sim::Cluster;
+using epidemic::sim::ClusterConfig;
+using epidemic::sim::Peering;
+using epidemic::sim::ProtocolKind;
+
+// Fraction of nodes (x1000) holding the update after each round, averaged
+// over `trials` seeds.
+std::vector<double> SpreadCurve(size_t num_nodes, int max_rounds,
+                                int trials) {
+  std::vector<double> infected(max_rounds + 1, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    ClusterConfig config;
+    config.protocol = ProtocolKind::kEpidemicDbvv;
+    config.num_nodes = num_nodes;
+    config.peering = Peering::kRandom;
+    config.seed = 1000 + static_cast<uint64_t>(t);
+    Cluster cluster(config);
+    (void)cluster.UpdateAt(0, "rumor", "v");
+
+    for (int round = 0; round <= max_rounds; ++round) {
+      size_t have = 0;
+      for (epidemic::NodeId i = 0; i < num_nodes; ++i) {
+        if (cluster.node(i).ClientRead("rumor").ok()) ++have;
+      }
+      infected[round] += static_cast<double>(have) /
+                         static_cast<double>(num_nodes);
+      if (round < max_rounds) cluster.SyncRound();
+    }
+  }
+  for (double& f : infected) f /= trials;
+  return infected;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRounds = 12;
+  constexpr int kTrials = 20;
+  std::printf(
+      "E10: fraction of replicas holding a single update vs gossip round\n"
+      "(random pull peering, averaged over %d seeds)\n\n", kTrials);
+  std::printf("%6s", "nodes");
+  for (int r = 0; r <= kRounds; ++r) std::printf(" r%-4d", r);
+  std::printf("\n");
+
+  for (size_t n : {8, 16, 32, 64, 128}) {
+    std::vector<double> curve = SpreadCurve(n, kRounds, kTrials);
+    std::printf("%6zu", n);
+    for (double f : curve) std::printf(" %.3f", f);
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check: logistic growth; rounds to full coverage grow\n"
+      "~logarithmically in n. Each of those exchanges costs one DBVV\n"
+      "comparison when the puller is already current — which is most of\n"
+      "them late in the epidemic.\n");
+  return 0;
+}

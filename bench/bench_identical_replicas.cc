@@ -1,0 +1,89 @@
+// Experiment E1 (DESIGN.md): cost of an anti-entropy exchange between
+// (nearly) identical database replicas, as the database size N grows.
+//
+// Scenario (the §8.1 weakness): nodes a and b both track a third node c.
+// One fresh update flows c -> b -> a each iteration, so a and b differ by
+// exactly ONE item — yet Lotus rescans b's whole database (b was "modified
+// since the last propagation to a", albeit indirectly) and per-item-VV
+// anti-entropy always compares every item. The paper's protocol does one
+// DBVV comparison plus O(1) work for the single dirty item.
+//
+// Paper claim (§6, §8.1): epidemic-dbvv flat in N; baselines linear in N.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/cluster.h"
+
+namespace {
+
+using epidemic::ProtocolNode;
+using epidemic::sim::MakeNode;
+using epidemic::sim::ProtocolKind;
+
+struct Triple {
+  std::unique_ptr<ProtocolNode> a, b, c;
+  int tick = 0;
+};
+
+Triple Setup(ProtocolKind kind, int64_t num_items) {
+  Triple t;
+  t.a = MakeNode(kind, 0, 3);
+  t.b = MakeNode(kind, 1, 3);
+  t.c = MakeNode(kind, 2, 3);
+  for (int64_t i = 0; i < num_items; ++i) {
+    std::string key = "k" + std::to_string(i);
+    (void)t.c->ClientUpdate(key, "v0");
+  }
+  (void)t.b->SyncWith(*t.c);
+  (void)t.a->SyncWith(*t.b);
+  return t;
+}
+
+void RunExchange(benchmark::State& state, ProtocolKind kind) {
+  const int64_t num_items = state.range(0);
+  Triple t = Setup(kind, num_items);
+  t.a->ResetSyncStats();
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    // One fresh update reaches b indirectly (through c).
+    (void)t.c->ClientUpdate("k0", "v" + std::to_string(++t.tick));
+    (void)t.b->SyncWith(*t.c);
+    state.ResumeTiming();
+
+    // The measured exchange: a pulls from b; replicas differ by one item.
+    benchmark::DoNotOptimize(t.a->SyncWith(*t.b));
+  }
+
+  state.counters["items_in_db"] = static_cast<double>(num_items);
+  state.counters["items_examined_per_exchange"] =
+      benchmark::Counter(static_cast<double>(t.a->sync_stats().items_examined),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["ctrl_bytes_per_exchange"] =
+      benchmark::Counter(static_cast<double>(t.a->sync_stats().control_bytes),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_Epidemic(benchmark::State& state) {
+  RunExchange(state, ProtocolKind::kEpidemicDbvv);
+}
+void BM_Lotus(benchmark::State& state) {
+  RunExchange(state, ProtocolKind::kLotus);
+}
+void BM_PerItemVv(benchmark::State& state) {
+  RunExchange(state, ProtocolKind::kPerItemVv);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Epidemic)->RangeMultiplier(8)->Range(1 << 10, 1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Lotus)->RangeMultiplier(8)->Range(1 << 10, 1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PerItemVv)->RangeMultiplier(8)->Range(1 << 10, 1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Experiment E11 (extension): the paper's DBVV+log protocol vs the design
+// its problem statement evolved into — Merkle-tree anti-entropy as used by
+// Dynamo-lineage stores — and vs Wuu & Bernstein's replicated-log gossip
+// (§8.3 ref [15]).
+//
+// Both DBVV and a Merkle root answer "are these replicas identical?" in
+// O(1). They differ once replicas diverge:
+//   * the paper's log vector enumerates exactly the m dirty items (O(m));
+//   * Merkle descent costs O(m·depth) digest round-trips and re-ships the
+//     complete contents of every bucket containing a dirty item;
+//   * Wuu-Bernstein ships one record per *update* (not per item) plus an
+//     n×n time table per message.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/cluster.h"
+
+namespace {
+
+using epidemic::ProtocolNode;
+using epidemic::sim::MakeNode;
+using epidemic::sim::ProtocolKind;
+
+struct Pair {
+  std::unique_ptr<ProtocolNode> src;
+  std::unique_ptr<ProtocolNode> dst;
+  int tick = 0;
+};
+
+Pair Setup(ProtocolKind kind, int64_t num_items) {
+  Pair p;
+  p.src = MakeNode(kind, 0, 2);
+  p.dst = MakeNode(kind, 1, 2);
+  for (int64_t i = 0; i < num_items; ++i) {
+    (void)p.src->ClientUpdate("k" + std::to_string(i), std::string(32, 'v'));
+  }
+  (void)p.dst->SyncWith(*p.src);
+  return p;
+}
+
+// One exchange with exactly `dirty` fresh items, on an N-item database.
+void RunDirtySweep(benchmark::State& state, ProtocolKind kind) {
+  const int64_t num_items = 1 << 15;
+  const int64_t dirty = state.range(0);
+  Pair p = Setup(kind, num_items);
+  p.dst->ResetSyncStats();
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    ++p.tick;
+    for (int64_t i = 0; i < dirty; ++i) {
+      // Spread dirty items across the key space (and hence buckets).
+      (void)p.src->ClientUpdate(
+          "k" + std::to_string((i * 977) % num_items),
+          "u" + std::to_string(p.tick));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(p.dst->SyncWith(*p.src));
+  }
+
+  state.counters["m_dirty"] = static_cast<double>(dirty);
+  state.counters["digests_or_vv_compares"] = benchmark::Counter(
+      static_cast<double>(p.dst->sync_stats().version_comparisons),
+      benchmark::Counter::kAvgIterations);
+  state.counters["items_examined"] = benchmark::Counter(
+      static_cast<double>(p.dst->sync_stats().items_examined),
+      benchmark::Counter::kAvgIterations);
+  state.counters["ctrl_bytes"] = benchmark::Counter(
+      static_cast<double>(p.dst->sync_stats().control_bytes),
+      benchmark::Counter::kAvgIterations);
+}
+
+void BM_EpidemicDirty(benchmark::State& state) {
+  RunDirtySweep(state, ProtocolKind::kEpidemicDbvv);
+}
+void BM_MerkleDirty(benchmark::State& state) {
+  RunDirtySweep(state, ProtocolKind::kMerkle);
+}
+void BM_WuuBernsteinDirty(benchmark::State& state) {
+  RunDirtySweep(state, ProtocolKind::kWuuBernstein);
+}
+
+// Identical replicas: both DBVV and Merkle root are O(1); Wuu-Bernstein
+// still ships its n×n table and scans retained records.
+void RunIdentical(benchmark::State& state, ProtocolKind kind) {
+  Pair p = Setup(kind, state.range(0));
+  // One more sync so both sides' metadata (time tables, roots) quiesce.
+  (void)p.dst->SyncWith(*p.src);
+  p.dst->ResetSyncStats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.dst->SyncWith(*p.src));
+  }
+  state.counters["N_items"] = static_cast<double>(state.range(0));
+}
+
+void BM_EpidemicIdentical(benchmark::State& state) {
+  RunIdentical(state, ProtocolKind::kEpidemicDbvv);
+}
+void BM_MerkleIdentical(benchmark::State& state) {
+  RunIdentical(state, ProtocolKind::kMerkle);
+}
+
+}  // namespace
+
+BENCHMARK(BM_EpidemicDirty)->RangeMultiplier(8)->Range(1, 1 << 9)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MerkleDirty)->RangeMultiplier(8)->Range(1, 1 << 9)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WuuBernsteinDirty)->RangeMultiplier(8)->Range(1, 1 << 9)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EpidemicIdentical)->RangeMultiplier(16)->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MerkleIdentical)->RangeMultiplier(16)->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Experiment E2 (DESIGN.md): update-propagation cost is O(m) in the number
+// of data items actually copied, independent of the database size N (§6).
+//
+// Part A fixes N = 65536 items and sweeps m (dirty items per exchange).
+// Part B fixes m = 64 and sweeps N: the paper's protocol must stay flat,
+// while a per-item pass grows with N.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/replica.h"
+
+namespace {
+
+using epidemic::PropagateOnce;
+using epidemic::Replica;
+
+// Builds two converged replicas holding `n` items.
+void Preload(Replica& src, Replica& dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    (void)src.Update("k" + std::to_string(i), "v0");
+  }
+  (void)PropagateOnce(src, dst);
+}
+
+// Measures one exchange that ships exactly `m` dirty items.
+void MeasureExchange(benchmark::State& state, int64_t n, int64_t m) {
+  Replica src(0, 2), dst(1, 2);
+  Preload(src, dst, n);
+  int tick = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    ++tick;
+    for (int64_t i = 0; i < m; ++i) {
+      (void)src.Update("k" + std::to_string(i), "v" + std::to_string(tick));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(PropagateOnce(src, dst));
+  }
+
+  state.counters["N_items"] = static_cast<double>(n);
+  state.counters["m_dirty"] = static_cast<double>(m);
+  state.counters["records_selected"] = benchmark::Counter(
+      static_cast<double>(src.stats().log_records_selected),
+      benchmark::Counter::kAvgIterations);
+  state.counters["items_shipped"] = benchmark::Counter(
+      static_cast<double>(src.stats().items_shipped),
+      benchmark::Counter::kAvgIterations);
+}
+
+void BM_SweepDirtyItems(benchmark::State& state) {
+  MeasureExchange(state, /*n=*/65536, /*m=*/state.range(0));
+}
+
+void BM_SweepDatabaseSize(benchmark::State& state) {
+  MeasureExchange(state, /*n=*/state.range(0), /*m=*/64);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SweepDirtyItems)
+    ->RangeMultiplier(4)
+    ->Range(1, 1 << 12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SweepDatabaseSize)
+    ->RangeMultiplier(8)
+    ->Range(1 << 10, 1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Experiment E12 (extension): update-propagation delay in *time*, not
+// rounds. The epidemic model's knob is the anti-entropy period (§1: "update
+// propagation can be done at a convenient time"); this experiment drives
+// replicas on a virtual clock — each node pulls from a random peer every P
+// ms (staggered phases) — and measures how long a committed update takes to
+// reach every replica.
+//
+// Reported per (nodes, period): mean / p95 / max full-coverage delay over
+// many marker updates, in units of the period. The shape to check: delay
+// scales linearly with the period and ~logarithmically with the node count
+// (the gossip rounds of E10, stretched onto the clock).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using epidemic::NodeId;
+using epidemic::Rng;
+using epidemic::sim::EventQueue;
+using epidemic::sim::MakeNode;
+using epidemic::sim::ProtocolKind;
+
+constexpr int64_t kMilli = 1000;  // virtual microseconds per ms
+
+struct Marker {
+  std::string item;
+  int64_t committed_at;
+  int64_t covered_at = -1;
+};
+
+void RunRow(size_t num_nodes, int64_t period_ms, int num_markers) {
+  EventQueue queue;
+  Rng rng(808);
+  std::vector<std::unique_ptr<epidemic::ProtocolNode>> nodes;
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    nodes.push_back(MakeNode(ProtocolKind::kEpidemicDbvv, i, num_nodes));
+  }
+  std::vector<Marker> markers;
+
+  auto covered = [&](const Marker& m) {
+    for (auto& node : nodes) {
+      if (!node->ClientRead(m.item).ok()) return false;
+    }
+    return true;
+  };
+
+  // Each node pulls from a random peer every period, phases staggered.
+  std::function<void(NodeId)> schedule_sync = [&](NodeId i) {
+    NodeId peer;
+    do {
+      peer = static_cast<NodeId>(rng.Uniform(num_nodes));
+    } while (peer == i);
+    (void)nodes[i]->SyncWith(*nodes[peer]);
+    // After state changed, check open markers for full coverage.
+    for (Marker& m : markers) {
+      if (m.covered_at < 0 && covered(m)) m.covered_at = queue.now();
+    }
+    queue.After(period_ms * kMilli, [&, i] { schedule_sync(i); });
+  };
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    queue.At(static_cast<int64_t>(rng.Uniform(
+                 static_cast<uint64_t>(period_ms * kMilli))),
+             [&, i] { schedule_sync(i); });
+  }
+
+  // A marker update lands at a random node every 3 periods (so markers
+  // rarely overlap and coverage checks stay cheap).
+  std::function<void(int)> schedule_marker = [&](int k) {
+    if (k >= num_markers) return;
+    NodeId origin = static_cast<NodeId>(rng.Uniform(num_nodes));
+    Marker m;
+    m.item = "marker" + std::to_string(k);
+    m.committed_at = queue.now();
+    (void)nodes[origin]->ClientUpdate(m.item, "v");
+    markers.push_back(std::move(m));
+    queue.After(3 * period_ms * kMilli, [&, k] { schedule_marker(k + 1); });
+  };
+  queue.After(period_ms * kMilli, [&] { schedule_marker(0); });
+
+  // Run long enough for every marker to be planted and spread.
+  queue.RunUntil((3 * num_markers + 40) * period_ms * kMilli);
+
+  std::vector<double> delays;  // in periods
+  for (const Marker& m : markers) {
+    if (m.covered_at < 0) continue;  // did not converge in time (none)
+    delays.push_back(static_cast<double>(m.covered_at - m.committed_at) /
+                     static_cast<double>(period_ms * kMilli));
+  }
+  std::sort(delays.begin(), delays.end());
+  double mean = 0;
+  for (double d : delays) mean += d;
+  if (!delays.empty()) mean /= static_cast<double>(delays.size());
+  double p95 = delays.empty() ? 0 : delays[delays.size() * 95 / 100];
+  double max = delays.empty() ? 0 : delays.back();
+
+  std::printf("%6zu %10lld %9zu %11.2f %11.2f %11.2f %14.1f\n", num_nodes,
+              static_cast<long long>(period_ms), delays.size(), mean, p95,
+              max, mean * static_cast<double>(period_ms));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E12: full-coverage delay of an update vs anti-entropy period\n"
+      "(random pull peering on a virtual clock, delays in periods)\n\n");
+  std::printf("%6s %10s %9s %11s %11s %11s %14s\n", "nodes", "period_ms",
+              "markers", "mean_pds", "p95_pds", "max_pds", "mean_ms");
+  for (size_t n : {4, 8, 16, 32}) {
+    RunRow(n, /*period_ms=*/100, /*num_markers=*/60);
+  }
+  std::printf("\n");
+  for (int64_t period : {10, 100, 1000}) {
+    RunRow(/*num_nodes=*/16, period, /*num_markers=*/60);
+  }
+  std::printf(
+      "\nshape check: delay in *periods* depends only on the node count\n"
+      "(~log n gossip rounds); delay in wall time scales linearly with the\n"
+      "anti-entropy period — the timeliness/overhead knob the protocol's\n"
+      "cheap exchanges let you turn down (§8.1 discussion).\n");
+  return 0;
+}

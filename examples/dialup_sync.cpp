@@ -1,0 +1,92 @@
+// Dial-up synchronization: the paper's motivating deployment (§1) — update
+// propagation "at a convenient time, i.e. during the next dial-up session",
+// with many updates bundled into a single transfer.
+//
+// A laptop (node 2) connects to the office pair (nodes 0, 1) only during
+// short dial-up windows, driven by the discrete-event simulator. Between
+// windows, everyone keeps writing. Each dial-up session is ONE anti-entropy
+// exchange, no matter how many updates accumulated.
+//
+//   ./build/examples/dialup_sync
+
+#include <cstdio>
+#include <string>
+
+#include "core/replica.h"
+#include "sim/event_queue.h"
+
+using epidemic::PropagateOnce;
+using epidemic::Replica;
+using epidemic::sim::EventQueue;
+
+namespace {
+
+constexpr int64_t kMinute = 60LL * 1000 * 1000;  // virtual microseconds
+int g_doc_rev = 0;
+
+void OfficeWork(EventQueue& q, Replica& office0, Replica& office1) {
+  // The office edits a handful of shared documents every few minutes, and
+  // the two office servers run anti-entropy often.
+  (void)office0.Update("doc/spec", "rev" + std::to_string(++g_doc_rev));
+  (void)office1.Update("doc/notes", "rev" + std::to_string(g_doc_rev));
+  (void)PropagateOnce(office0, office1);
+  (void)PropagateOnce(office1, office0);
+  q.After(5 * kMinute, [&q, &office0, &office1] {
+    OfficeWork(q, office0, office1);
+  });
+}
+
+void LaptopWork(EventQueue& q, Replica& laptop) {
+  // Offline edits on the laptop's own files.
+  (void)laptop.Update("laptop/draft", "offline-edit@" +
+                                          std::to_string(q.now() / kMinute));
+  q.After(7 * kMinute, [&q, &laptop] { LaptopWork(q, laptop); });
+}
+
+void DialUp(Replica& laptop, Replica& office) {
+  office.ResetStats();
+  laptop.ResetStats();
+  auto pulled = PropagateOnce(/*source=*/office, /*recipient=*/laptop);
+  auto pushed = PropagateOnce(/*source=*/laptop, /*recipient=*/office);
+  std::printf(
+      "  dial-up session: laptop pulled %2zu items (%llu records), "
+      "pushed %2zu items; office examined %llu log records total\n",
+      pulled.ok() ? *pulled : 0,
+      static_cast<unsigned long long>(office.stats().log_records_selected),
+      pushed.ok() ? *pushed : 0,
+      static_cast<unsigned long long>(office.stats().log_records_selected +
+                                      laptop.stats().log_records_selected));
+}
+
+}  // namespace
+
+int main() {
+  Replica office0(0, 3), office1(1, 3), laptop(2, 3);
+  EventQueue q;
+
+  OfficeWork(q, office0, office1);
+  LaptopWork(q, laptop);
+
+  // The laptop dials in once an hour for the working day.
+  std::printf("one simulated working day, dial-up every hour:\n");
+  for (int hour = 1; hour <= 8; ++hour) {
+    q.At(hour * 60 * kMinute,
+         [&laptop, &office0] { DialUp(laptop, office0); });
+  }
+  q.RunUntil(8 * 60 * kMinute + 1);
+
+  std::printf("\nend of day:\n");
+  std::printf("  laptop sees doc/spec  = '%s'\n",
+              laptop.Read("doc/spec")->c_str());
+  std::printf("  office sees the laptop draft = '%s'\n",
+              office0.Read("laptop/draft")->c_str());
+  std::printf("  laptop DBVV %s vs office %s\n",
+              laptop.dbvv().ToString().c_str(),
+              office0.dbvv().ToString().c_str());
+  std::printf(
+      "\nnote: every hour ~12 office updates collapse into a bundle of at\n"
+      "most 2 documents on the wire — the log keeps only the latest record\n"
+      "per item (Fig. 1), so transfer cost tracks *dirty items*, not\n"
+      "updates.\n");
+  return 0;
+}

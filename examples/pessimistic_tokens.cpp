@@ -1,0 +1,62 @@
+// Pessimistic replica control (§2): a unique token per data item, acquired
+// before updating, makes concurrent conflicting updates impossible — the
+// epidemic propagation machinery is unchanged, only the write discipline
+// differs. Compare with ./conflict_resolution (the optimistic path).
+//
+//   ./build/examples/pessimistic_tokens
+
+#include <cstdio>
+
+#include "core/replica.h"
+#include "net/inproc_transport.h"
+#include "tokens/token_service.h"
+
+using epidemic::NodeId;
+using epidemic::PropagateOnce;
+using epidemic::RecordingConflictListener;
+using epidemic::Replica;
+using epidemic::tokens::TokenService;
+using epidemic::tokens::TokenServiceHandler;
+
+int main() {
+  constexpr size_t kNodes = 2;
+  RecordingConflictListener conflicts;
+  Replica alice(0, kNodes, &conflicts), bob(1, kNodes, &conflicts);
+
+  // Token services served over a transport (here in-process; TCP works the
+  // same way via TcpServer + TokenServiceHandler).
+  epidemic::net::InProcHub hub(kNodes);
+  epidemic::net::InProcTransport transport(&hub);
+  TokenService tokens_alice(0, kNodes), tokens_bob(1, kNodes);
+  TokenServiceHandler handler_alice(&tokens_alice), handler_bob(&tokens_bob);
+  hub.Register(0, &handler_alice);
+  hub.Register(1, &handler_bob);
+
+  // Alice acquires the ledger's token and edits.
+  (void)tokens_alice.Acquire(transport, "ledger");
+  (void)alice.Update("ledger", "balance = 100");
+  std::printf("alice holds the token and wrote: '%s'\n",
+              alice.Read("ledger")->c_str());
+
+  // Bob tries to write concurrently — the token says no, so the write that
+  // WOULD have conflicted never happens.
+  epidemic::Status bob_try = tokens_bob.Acquire(transport, "ledger");
+  std::printf("bob's acquire: %s\n", bob_try.ToString().c_str());
+
+  // Token hand-off: alice propagates her updates, then releases. (The
+  // propagate-before-release is what keeps the next holder's write causally
+  // *after* alice's — see docs/PROTOCOL.md.)
+  (void)PropagateOnce(alice, bob);
+  (void)tokens_alice.Release(transport, "ledger");
+  (void)tokens_bob.Acquire(transport, "ledger");
+  (void)bob.Update("ledger", "balance = 100 - 30 = 70");
+  std::printf("token handed to bob; he wrote: '%s'\n",
+              bob.Read("ledger")->c_str());
+
+  (void)PropagateOnce(bob, alice);
+  std::printf("\nalice now reads: '%s'\n", alice.Read("ledger")->c_str());
+  std::printf("conflicts detected across the whole run: %zu (pessimistic "
+              "mode: always 0)\n",
+              conflicts.count());
+  return 0;
+}

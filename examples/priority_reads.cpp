@@ -1,0 +1,84 @@
+// Priority reads via out-of-bound copying (§5.2): a node needs the latest
+// version of ONE hot item right now, without waiting for (or paying for)
+// a full scheduled anti-entropy pass — and keeps serving its own writes on
+// the auxiliary copy until the regular copy catches up (Fig. 4).
+//
+//   ./build/examples/priority_reads
+
+#include <cstdio>
+
+#include "core/replica.h"
+
+using epidemic::OobRequest;
+using epidemic::OobResponse;
+using epidemic::PropagateOnce;
+using epidemic::Replica;
+
+namespace {
+void OobFetch(Replica& source, Replica& dest, const char* item) {
+  OobRequest req = dest.BuildOobRequest(item);
+  OobResponse resp = source.HandleOobRequest(req);
+  epidemic::Status s = dest.AcceptOobResponse(resp);
+  std::printf("  out-of-bound fetch of '%s' from node %u: %s\n", item,
+              source.id(), s.ToString().c_str());
+}
+
+const char* HasAux(const Replica& r, const char* item) {
+  const epidemic::Item* it = r.FindItem(item);
+  return (it != nullptr && it->HasAux()) ? "yes" : "no";
+}
+}  // namespace
+
+int main() {
+  Replica editor(0, 2);   // the node where a user is editing
+  Replica archive(1, 2);  // a far-away node holding the newest copy
+
+  // The archive holds the latest revision of a shared document, plus a
+  // large amount of unrelated data we do NOT want to pull right now.
+  (void)archive.Update("doc/contract", "rev-42 (archive)");
+  for (int i = 0; i < 1000; ++i) {
+    (void)archive.Update("bulk/item" + std::to_string(i), "cold data");
+  }
+
+  std::printf("user at the editor node asks for doc/contract NOW:\n");
+  OobFetch(archive, editor, "doc/contract");
+  std::printf("  editor reads: '%s' (auxiliary copy: %s)\n",
+              editor.Read("doc/contract")->c_str(),
+              HasAux(editor, "doc/contract"));
+  std::printf("  regular DBVV still %s — no regular state was touched\n\n",
+              editor.dbvv().ToString().c_str());
+
+  // The user keeps editing; updates go to the auxiliary copy and are
+  // remembered in the auxiliary (redo) log.
+  (void)editor.Update("doc/contract", "rev-43 (local edit)");
+  (void)editor.Update("doc/contract", "rev-44 (local edit)");
+  std::printf("after two local edits on the out-of-bound copy:\n");
+  std::printf("  user-visible value: '%s'\n",
+              editor.Read("doc/contract")->c_str());
+  std::printf("  auxiliary log holds %zu redo records\n\n",
+              editor.aux_log().size());
+
+  // Eventually the scheduled anti-entropy runs. It copies the regular data
+  // (including doc/contract — OOB never reduces propagation work, §5.1),
+  // then intra-node propagation replays the two local edits and discards
+  // the auxiliary copy.
+  auto copied = PropagateOnce(/*source=*/archive, /*recipient=*/editor);
+  std::printf("scheduled anti-entropy pass copied %zu items\n",
+              copied.ok() ? *copied : 0);
+  std::printf("  intra-node replays applied: %llu\n",
+              static_cast<unsigned long long>(
+                  editor.stats().intra_node_ops_applied));
+  std::printf("  auxiliary copy remaining:   %s\n",
+              HasAux(editor, "doc/contract"));
+  std::printf("  final value:                '%s'\n",
+              editor.Read("doc/contract")->c_str());
+  std::printf("  invariants: %s\n",
+              editor.CheckInvariants().ToString().c_str());
+
+  // The replayed edits are now regular local updates: the archive can pull
+  // them back through normal propagation.
+  (void)PropagateOnce(/*source=*/editor, /*recipient=*/archive);
+  std::printf("\narchive after pulling back: '%s'\n",
+              archive.Read("doc/contract")->c_str());
+  return 0;
+}

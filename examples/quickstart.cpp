@@ -1,0 +1,68 @@
+// Quickstart: three database replicas, a few updates, one anti-entropy
+// pass, and the constant-time "already identical" check.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/replica.h"
+
+using epidemic::PropagateOnce;
+using epidemic::RecordingConflictListener;
+using epidemic::Replica;
+
+int main() {
+  // A database replicated across three fixed servers (node ids 0..2).
+  RecordingConflictListener conflicts;
+  Replica n0(0, 3, &conflicts);
+  Replica n1(1, 3, &conflicts);
+  Replica n2(2, 3, &conflicts);
+
+  // Clients write at whichever replica is nearby (epidemic model: a user
+  // operation touches exactly one server).
+  (void)n0.Update("motd", "hello from node 0");
+  (void)n0.Update("config/timeout", "30s");
+  (void)n1.Update("motd:translated", "bonjour");
+
+  std::printf("before anti-entropy:\n");
+  std::printf("  n2 knows 'motd'?               %s\n",
+              n2.Read("motd").ok() ? "yes" : "no");
+  std::printf("  n0 DBVV = %s, n1 = %s, n2 = %s\n",
+              n0.dbvv().ToString().c_str(), n1.dbvv().ToString().c_str(),
+              n2.dbvv().ToString().c_str());
+
+  // The anti-entropy activity: each node pulls from its ring successor.
+  // Two passes give transitive propagation for three nodes (Theorem 5's
+  // premise).
+  for (int pass = 0; pass < 2; ++pass) {
+    (void)PropagateOnce(/*source=*/n1, /*recipient=*/n0);
+    (void)PropagateOnce(/*source=*/n2, /*recipient=*/n1);
+    (void)PropagateOnce(/*source=*/n0, /*recipient=*/n2);
+  }
+
+  std::printf("\nafter two ring passes:\n");
+  std::printf("  n2 reads motd              -> '%s'\n",
+              n2.Read("motd")->c_str());
+  std::printf("  n0 reads motd:translated   -> '%s'\n",
+              n0.Read("motd:translated")->c_str());
+  std::printf("  DBVVs: n0 = %s, n1 = %s, n2 = %s\n",
+              n0.dbvv().ToString().c_str(), n1.dbvv().ToString().c_str(),
+              n2.dbvv().ToString().c_str());
+
+  // The headline property: once replicas are identical, detecting "nothing
+  // to do" is ONE version-vector comparison, independent of database size.
+  n1.ResetStats();
+  (void)PropagateOnce(/*source=*/n1, /*recipient=*/n0);
+  std::printf("\nidentical-replica exchange cost at the source:\n");
+  std::printf("  DBVV comparisons: %llu, log records examined: %llu, "
+              "items shipped: %llu\n",
+              static_cast<unsigned long long>(n1.stats().dbvv_comparisons),
+              static_cast<unsigned long long>(
+                  n1.stats().log_records_selected),
+              static_cast<unsigned long long>(n1.stats().items_shipped));
+
+  std::printf("\nconflicts detected: %zu (expected 0)\n", conflicts.count());
+  return 0;
+}

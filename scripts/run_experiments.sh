@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in DESIGN.md §4 / EXPERIMENTS.md.
+# Usage: scripts/run_experiments.sh [output-file]
+set -u
+
+cd "$(dirname "$0")/.."
+out="${1:-bench_output.txt}"
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build >/dev/null
+
+{
+  for b in build/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee "$out"
+
+echo "wrote $out"

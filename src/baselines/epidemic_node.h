@@ -1,0 +1,65 @@
+#ifndef EPIDEMIC_BASELINES_EPIDEMIC_NODE_H_
+#define EPIDEMIC_BASELINES_EPIDEMIC_NODE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "baselines/protocol_node.h"
+#include "core/conflict.h"
+#include "core/replica.h"
+
+namespace epidemic {
+
+/// ProtocolNode adapter over the paper's protocol (core::Replica), so the
+/// simulator and comparison benchmarks can drive it uniformly against the
+/// §8 baselines.
+///
+/// Wire-byte accounting uses the same size model as the binary codec in
+/// src/net: varint length-prefixed names/values, 8 bytes per version-vector
+/// component, 8 bytes per sequence number.
+class EpidemicNode : public ProtocolNode {
+ public:
+  EpidemicNode(NodeId id, size_t num_nodes);
+
+  NodeId id() const override { return replica_.id(); }
+  std::string_view protocol_name() const override { return "epidemic-dbvv"; }
+
+  Status ClientUpdate(std::string_view item, std::string_view value) override {
+    return replica_.Update(item, value);
+  }
+
+  Result<std::string> ClientRead(std::string_view item) override {
+    return replica_.Read(item);
+  }
+
+  /// Pulls updates from `peer` via one full DBVV-based anti-entropy round.
+  Status SyncWith(ProtocolNode& peer) override;
+
+  /// Out-of-bound fetch of `item` from `peer` (§5.2).
+  Status OobFetch(ProtocolNode& peer, std::string_view item) override;
+
+  const SyncStats& sync_stats() const override { return sync_stats_; }
+  void ResetSyncStats() override { sync_stats_ = SyncStats{}; }
+
+  uint64_t conflicts_detected() const override {
+    return replica_.stats().conflicts_detected;
+  }
+
+  std::vector<std::pair<std::string, std::string>> Snapshot() const override;
+
+  /// Direct access to the wrapped replica for protocol-specific inspection.
+  Replica& replica() { return replica_; }
+  const Replica& replica() const { return replica_; }
+  const RecordingConflictListener& conflicts() const { return listener_; }
+
+ private:
+  RecordingConflictListener listener_;
+  Replica replica_;
+  SyncStats sync_stats_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_BASELINES_EPIDEMIC_NODE_H_

@@ -1,0 +1,90 @@
+#include "baselines/lotus_node.h"
+
+namespace epidemic {
+
+LotusNode::LotusNode(NodeId id, size_t num_nodes)
+    : id_(id), last_prop_to_(num_nodes, 0) {}
+
+Status LotusNode::ClientUpdate(std::string_view item, std::string_view value) {
+  if (item.empty()) return Status::InvalidArgument("empty item name");
+  LotusItem& it = items_[std::string(item)];
+  it.value = value;
+  ++it.seqno;
+  it.modified_at = Tick();
+  db_modified_at_ = it.modified_at;
+  return Status::OK();
+}
+
+Result<std::string> LotusNode::ClientRead(std::string_view item) {
+  auto it = items_.find(std::string(item));
+  if (it == items_.end()) {
+    return Status::NotFound("no item named '" + std::string(item) + "'");
+  }
+  return it->second.value;
+}
+
+std::vector<LotusNode::ListEntry> LotusNode::BuildModifiedList(
+    uint64_t since, uint64_t* scanned) const {
+  std::vector<ListEntry> list;
+  *scanned = 0;
+  // The linear scan the paper charges Lotus for: every item's modification
+  // time is compared against the last-propagation time.
+  for (const auto& [name, item] : items_) {
+    ++*scanned;
+    if (item.modified_at > since) {
+      list.push_back(ListEntry{name, item.seqno});
+    }
+  }
+  return list;
+}
+
+Status LotusNode::SyncWith(ProtocolNode& peer) {
+  auto& source = static_cast<LotusNode&>(peer);
+  ++sync_stats_.exchanges;
+  sync_stats_.control_bytes += 8;  // the request carries the requester id
+
+  // Step 1 at the source: constant-time negative only when *nothing* in the
+  // source database changed since the last propagation to us (§8.1).
+  uint64_t since = source.last_prop_to_[id_];
+  if (source.db_modified_at_ <= since) {
+    ++sync_stats_.noop_exchanges;
+    sync_stats_.control_bytes += 1;
+    return Status::OK();
+  }
+
+  uint64_t scanned = 0;
+  std::vector<ListEntry> list = source.BuildModifiedList(since, &scanned);
+  sync_stats_.items_examined += scanned;
+  source.last_prop_to_[id_] = source.logical_time_;
+
+  // Step 2 at the recipient: copy every listed item whose sequence number
+  // at the source is greater. Note the silent overwrite on concurrent
+  // updates: seqno comparison cannot distinguish "newer" from "diverged".
+  bool copied_any = false;
+  for (const ListEntry& entry : list) {
+    ++sync_stats_.version_comparisons;
+    sync_stats_.control_bytes += 1 + entry.name.size() + 8;
+    LotusItem& mine = items_[entry.name];
+    if (entry.seqno > mine.seqno) {
+      const LotusItem& theirs = source.items_.at(entry.name);
+      mine.value = theirs.value;
+      mine.seqno = entry.seqno;
+      mine.modified_at = Tick();
+      db_modified_at_ = mine.modified_at;
+      ++sync_stats_.items_copied;
+      sync_stats_.data_bytes += 1 + theirs.value.size();
+      copied_any = true;
+    }
+  }
+  if (!copied_any && list.empty()) ++sync_stats_.noop_exchanges;
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>> LotusNode::Snapshot() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(items_.size());
+  for (const auto& [name, item] : items_) out.emplace_back(name, item.value);
+  return out;  // std::map iterates in sorted order already
+}
+
+}  // namespace epidemic

@@ -1,0 +1,85 @@
+#ifndef EPIDEMIC_BASELINES_LOTUS_NODE_H_
+#define EPIDEMIC_BASELINES_LOTUS_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/protocol_node.h"
+
+namespace epidemic {
+
+/// Lotus Notes–style replication as described in §8.1.
+///
+/// Every data-item copy carries a *sequence number* — the count of updates
+/// the copy reflects. Each node also stamps items with a local logical
+/// modification time and remembers, per peer, when it last propagated to
+/// that peer. Anti-entropy from source j to recipient i:
+///
+///   1. j scans for items modified since its last propagation to i and
+///      sends their (name, sequence number) list — linear in the database
+///      size unless *nothing at all* changed (j keeps a database-level
+///      last-modified time for that constant-time negative);
+///   2. i copies every listed item whose sequence number on j is greater
+///      than its own.
+///
+/// Two deliberate weaknesses reproduced from the paper's analysis:
+///   * identical replicas still pay a linear scan whenever the source was
+///     modified since the last direct propagation (e.g. via a third node);
+///   * concurrent updates are silently "resolved" in favour of the copy
+///     with the larger sequence number — a correctness violation of §2.1
+///     (the copy with more updates wins even when the histories diverged).
+class LotusNode : public ProtocolNode {
+ public:
+  LotusNode(NodeId id, size_t num_nodes);
+
+  NodeId id() const override { return id_; }
+  std::string_view protocol_name() const override { return "lotus-seqno"; }
+
+  Status ClientUpdate(std::string_view item, std::string_view value) override;
+  Result<std::string> ClientRead(std::string_view item) override;
+
+  /// Pulls updates from `peer` (the source) into this node.
+  Status SyncWith(ProtocolNode& peer) override;
+
+  const SyncStats& sync_stats() const override { return sync_stats_; }
+  void ResetSyncStats() override { sync_stats_ = SyncStats{}; }
+
+  /// Lotus never detects conflicts; it silently overwrites (§8.1).
+  uint64_t conflicts_detected() const override { return 0; }
+
+  std::vector<std::pair<std::string, std::string>> Snapshot() const override;
+
+ private:
+  struct LotusItem {
+    std::string value;
+    uint64_t seqno = 0;         // updates reflected in this copy
+    uint64_t modified_at = 0;   // local logical time of last change
+  };
+
+  /// Entry of the modified-items list j sends to i in step 1.
+  struct ListEntry {
+    std::string name;
+    uint64_t seqno;
+  };
+
+  /// Source side of step 1: list of items modified since `since`.
+  /// Fills `*scanned` with the number of items examined.
+  std::vector<ListEntry> BuildModifiedList(uint64_t since,
+                                           uint64_t* scanned) const;
+
+  uint64_t Tick() { return ++logical_time_; }
+
+  NodeId id_;
+  uint64_t logical_time_ = 0;
+  uint64_t db_modified_at_ = 0;  // database-level last-modified time
+  std::map<std::string, LotusItem> items_;
+  std::vector<uint64_t> last_prop_to_;  // logical time of last prop to peer
+  SyncStats sync_stats_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_BASELINES_LOTUS_NODE_H_

@@ -1,0 +1,156 @@
+#include "baselines/merkle_node.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace epidemic {
+
+namespace {
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+MerkleNode::MerkleNode(NodeId id, size_t num_nodes, int depth)
+    : id_(id),
+      depth_(depth),
+      num_buckets_(size_t{1} << depth),
+      buckets_(num_buckets_),
+      tree_(2 * num_buckets_, 0) {
+  (void)num_nodes;
+  EPI_CHECK(depth >= 1 && depth <= 24) << "unreasonable Merkle depth";
+}
+
+uint64_t MerkleNode::EntryDigest(std::string_view name,
+                                 const Entry& e) const {
+  uint64_t h = Mix(std::hash<std::string_view>{}(name));
+  h ^= Mix(std::hash<std::string_view>{}(e.value) + 0x9e3779b97f4a7c15ULL);
+  h ^= Mix(e.ts * 1315423911ULL + e.writer);
+  return h;
+}
+
+size_t MerkleNode::BucketOf(std::string_view name) const {
+  return Mix(std::hash<std::string_view>{}(name)) & (num_buckets_ - 1);
+}
+
+void MerkleNode::ApplyDigestDelta(size_t bucket, uint64_t delta) {
+  // XOR composition makes digests order-independent and incrementally
+  // updatable: one root-to-leaf path per write.
+  for (size_t node = num_buckets_ + bucket; node >= 1; node /= 2) {
+    tree_[node] ^= delta;
+    if (node == 1) break;
+  }
+}
+
+void MerkleNode::Put(std::string_view name, Entry entry) {
+  size_t bucket = BucketOf(name);
+  auto it = items_.find(std::string(name));
+  uint64_t delta = 0;
+  if (it != items_.end()) {
+    delta ^= EntryDigest(name, it->second);  // remove the old digest
+    it->second = std::move(entry);
+  } else {
+    it = items_.emplace(std::string(name), std::move(entry)).first;
+    buckets_[bucket].push_back(it->first);
+  }
+  delta ^= EntryDigest(name, it->second);
+  ApplyDigestDelta(bucket, delta);
+}
+
+Status MerkleNode::ClientUpdate(std::string_view item,
+                                std::string_view value) {
+  if (item.empty()) return Status::InvalidArgument("empty item name");
+  Entry entry;
+  entry.value = std::string(value);
+  entry.ts = ++clock_;
+  entry.writer = id_;
+  Put(item, std::move(entry));
+  return Status::OK();
+}
+
+Result<std::string> MerkleNode::ClientRead(std::string_view item) {
+  auto it = items_.find(std::string(item));
+  if (it == items_.end()) {
+    return Status::NotFound("no item named '" + std::string(item) + "'");
+  }
+  return it->second.value;
+}
+
+Status MerkleNode::SyncWith(ProtocolNode& peer) {
+  auto& source = static_cast<MerkleNode&>(peer);
+  EPI_CHECK(source.depth_ == depth_) << "mismatched Merkle depths";
+  ++sync_stats_.exchanges;
+
+  // Tree descent: compare digests top-down, collecting differing leaves.
+  // Every comparison is one 8-byte digest on the wire each way.
+  std::vector<size_t> differing_buckets;
+  std::vector<size_t> frontier = {1};
+  while (!frontier.empty()) {
+    std::vector<size_t> next;
+    for (size_t node : frontier) {
+      ++sync_stats_.version_comparisons;
+      sync_stats_.control_bytes += 16;  // my digest + theirs
+      if (tree_[node] == source.tree_[node]) continue;
+      if (node >= num_buckets_) {
+        differing_buckets.push_back(node - num_buckets_);
+      } else {
+        next.push_back(2 * node);
+        next.push_back(2 * node + 1);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (differing_buckets.empty()) {
+    ++sync_stats_.noop_exchanges;
+    return Status::OK();
+  }
+
+  // For each differing bucket the source ships its complete contents (the
+  // overfetch real Merkle repair pays); the recipient adopts entries whose
+  // (ts, writer) wins and keeps its own newer ones.
+  for (size_t bucket : differing_buckets) {
+    for (const std::string& name : source.buckets_[bucket]) {
+      const Entry& theirs = source.items_.at(name);
+      ++sync_stats_.items_examined;
+      sync_stats_.control_bytes += 1 + name.size() + 10;
+      sync_stats_.data_bytes += 1 + theirs.value.size();
+
+      auto mine = items_.find(name);
+      bool adopt = false;
+      if (mine == items_.end()) {
+        adopt = true;
+      } else {
+        const Entry& m = mine->second;
+        // (ts, writer) is globally unique per write (each writer's clock is
+        // strictly increasing), so ties mean identical entries.
+        adopt = theirs.ts > m.ts ||
+                (theirs.ts == m.ts && theirs.writer > m.writer);
+      }
+      if (adopt) {
+        clock_ = std::max(clock_, theirs.ts);  // Lamport merge
+        Put(name, theirs);
+        ++sync_stats_.items_copied;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>> MerkleNode::Snapshot()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(items_.size());
+  for (const auto& [name, entry] : items_) {
+    out.emplace_back(name, entry.value);
+  }
+  return out;
+}
+
+}  // namespace epidemic

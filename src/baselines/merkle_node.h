@@ -1,0 +1,89 @@
+#ifndef EPIDEMIC_BASELINES_MERKLE_NODE_H_
+#define EPIDEMIC_BASELINES_MERKLE_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/protocol_node.h"
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Merkle-tree anti-entropy, the design the paper's idea evolved into in
+/// Dynamo-lineage systems (Cassandra, Riak): not from the paper itself, but
+/// included as the modern comparator.
+///
+/// Items hash into 2^depth leaf buckets; each bucket keeps an incremental
+/// (XOR-combined) digest of its contents and internal nodes combine child
+/// digests, so a local write updates one root-to-leaf path in O(depth).
+/// One synchronization exchange compares the roots — O(1) when the
+/// replicas are identical, like the DBVV — and otherwise descends into
+/// differing subtrees, finally exchanging the item lists of differing
+/// buckets. Divergent items are reconciled last-writer-wins by a logical
+/// (timestamp, node-id) pair; genuinely concurrent writes are *silently*
+/// resolved, not detected — the correctness trade-off Dynamo makes and the
+/// paper's version vectors avoid.
+///
+/// Costs vs the paper's protocol (experiment E11):
+///   * identical replicas: both O(1) (root digest vs DBVV);
+///   * m dirty items: Merkle pays O(m · depth) digest comparisons plus the
+///     *full contents* of every touched bucket (overfetch), and ships no
+///     information about which copy is newer beyond timestamps;
+///   * memory: the tree is O(2^depth) digests vs the log vector's ≤ n·N
+///     records.
+class MerkleNode : public ProtocolNode {
+ public:
+  /// `depth` leaf-levels give 2^depth buckets. 10 (1024 buckets) suits
+  /// benchmarks up to ~1M items.
+  MerkleNode(NodeId id, size_t num_nodes, int depth = 10);
+
+  NodeId id() const override { return id_; }
+  std::string_view protocol_name() const override { return "merkle-lww"; }
+
+  Status ClientUpdate(std::string_view item, std::string_view value) override;
+  Result<std::string> ClientRead(std::string_view item) override;
+
+  /// Pulls differing buckets from `peer` via Merkle descent.
+  Status SyncWith(ProtocolNode& peer) override;
+
+  const SyncStats& sync_stats() const override { return sync_stats_; }
+  void ResetSyncStats() override { sync_stats_ = SyncStats{}; }
+
+  /// LWW reconciliation detects nothing (see class comment).
+  uint64_t conflicts_detected() const override { return 0; }
+
+  std::vector<std::pair<std::string, std::string>> Snapshot() const override;
+
+  /// Root digest — equal roots mean (with overwhelming probability)
+  /// identical replicas.
+  uint64_t RootDigest() const { return tree_[1]; }
+
+ private:
+  struct Entry {
+    std::string value;
+    uint64_t ts = 0;     // logical last-write time
+    NodeId writer = 0;   // tiebreak
+  };
+
+  uint64_t EntryDigest(std::string_view name, const Entry& e) const;
+  size_t BucketOf(std::string_view name) const;
+  void ApplyDigestDelta(size_t bucket, uint64_t delta);
+  void Put(std::string_view name, Entry entry);
+
+  NodeId id_;
+  int depth_;
+  size_t num_buckets_;
+  uint64_t clock_ = 0;  // Lamport-style: bumped on write and on receive
+  std::map<std::string, Entry> items_;
+  std::vector<std::vector<std::string>> buckets_;  // names per bucket
+  // Heap-layout tree: tree_[1] is the root; leaves at [num_buckets_, 2N).
+  std::vector<uint64_t> tree_;
+  SyncStats sync_stats_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_BASELINES_MERKLE_NODE_H_

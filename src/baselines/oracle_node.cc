@@ -1,0 +1,55 @@
+#include "baselines/oracle_node.h"
+
+namespace epidemic {
+
+OracleNode::OracleNode(NodeId id, size_t num_nodes)
+    : id_(id), sent_upto_(num_nodes, 0) {}
+
+Status OracleNode::ClientUpdate(std::string_view item,
+                                std::string_view value) {
+  if (item.empty()) return Status::InvalidArgument("empty item name");
+  UpdateRecord rec{std::string(item), std::string(value)};
+  Apply(rec);
+  log_.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Result<std::string> OracleNode::ClientRead(std::string_view item) {
+  auto it = items_.find(std::string(item));
+  if (it == items_.end()) {
+    return Status::NotFound("no item named '" + std::string(item) + "'");
+  }
+  return it->second;
+}
+
+Status OracleNode::SyncWith(ProtocolNode& peer) {
+  auto& dest = static_cast<OracleNode&>(peer);
+  ++sync_stats_.exchanges;
+  size_t& upto = sent_upto_[dest.id_];
+  if (upto == log_.size()) {
+    ++sync_stats_.noop_exchanges;
+    return Status::OK();
+  }
+  // Ship the unsent suffix; the recipient applies records in origin order
+  // and never forwards them.
+  for (size_t i = upto; i < log_.size(); ++i) {
+    const UpdateRecord& rec = log_[i];
+    dest.Apply(rec);
+    ++sync_stats_.records_shipped;
+    ++sync_stats_.items_copied;
+    sync_stats_.control_bytes += 1 + rec.item.size();
+    sync_stats_.data_bytes += 1 + rec.value.size();
+  }
+  upto = log_.size();
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>> OracleNode::Snapshot()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(items_.size());
+  for (const auto& [name, value] : items_) out.emplace_back(name, value);
+  return out;
+}
+
+}  // namespace epidemic

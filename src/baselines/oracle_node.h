@@ -1,0 +1,67 @@
+#ifndef EPIDEMIC_BASELINES_ORACLE_NODE_H_
+#define EPIDEMIC_BASELINES_ORACLE_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/protocol_node.h"
+
+namespace epidemic {
+
+/// Oracle Symmetric Replication–style push as described in §8.2.
+///
+/// Not an epidemic protocol: each server keeps a log of the updates it
+/// originated and periodically ships the unsent suffix to every other
+/// server directly. Recipients apply the records but never forward them.
+///
+/// In the absence of failures this is efficient — no per-item state
+/// comparison at all. The reproduced weakness: if the originator fails
+/// after delivering to only some peers, the rest stay obsolete until the
+/// originator recovers, since nobody forwards (experiment E7).
+class OracleNode : public ProtocolNode {
+ public:
+  OracleNode(NodeId id, size_t num_nodes);
+
+  NodeId id() const override { return id_; }
+  std::string_view protocol_name() const override { return "oracle-push"; }
+
+  Status ClientUpdate(std::string_view item, std::string_view value) override;
+  Result<std::string> ClientRead(std::string_view item) override;
+
+  /// Pushes this node's unsent update records to `peer`.
+  Status SyncWith(ProtocolNode& peer) override;
+
+  const SyncStats& sync_stats() const override { return sync_stats_; }
+  void ResetSyncStats() override { sync_stats_ = SyncStats{}; }
+
+  /// The scheme has no conflict detection; records overwrite on arrival.
+  uint64_t conflicts_detected() const override { return 0; }
+
+  std::vector<std::pair<std::string, std::string>> Snapshot() const override;
+
+  /// Number of originated records not yet delivered to `peer`.
+  size_t PendingFor(NodeId peer) const {
+    return log_.size() - sent_upto_[peer];
+  }
+
+ private:
+  struct UpdateRecord {
+    std::string item;
+    std::string value;
+  };
+
+  void Apply(const UpdateRecord& rec) { items_[rec.item] = rec.value; }
+
+  NodeId id_;
+  std::map<std::string, std::string> items_;
+  std::vector<UpdateRecord> log_;       // updates originated here
+  std::vector<size_t> sent_upto_;       // per-peer delivered prefix of log_
+  SyncStats sync_stats_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_BASELINES_ORACLE_NODE_H_

@@ -1,0 +1,59 @@
+#ifndef EPIDEMIC_BASELINES_PER_ITEM_VV_NODE_H_
+#define EPIDEMIC_BASELINES_PER_ITEM_VV_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/protocol_node.h"
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Classic per-item version-vector anti-entropy, representing the protocols
+/// of §8.3 (Ficus reconciliation, Wuu & Bernstein, Two-phase Gossip, ...).
+///
+/// Each item replica carries an IVV. One reconciliation pass compares the
+/// IVV of *every* item at the source against the recipient's copy and
+/// adopts dominating copies, flagging concurrent ones as conflicts. The
+/// protocol is correct (meets the §2.1 criteria given transitive
+/// scheduling) but its overhead is linear in the total number of data items
+/// per exchange — the scalability problem the paper sets out to fix.
+class PerItemVvNode : public ProtocolNode {
+ public:
+  PerItemVvNode(NodeId id, size_t num_nodes);
+
+  NodeId id() const override { return id_; }
+  std::string_view protocol_name() const override { return "per-item-vv"; }
+
+  Status ClientUpdate(std::string_view item, std::string_view value) override;
+  Result<std::string> ClientRead(std::string_view item) override;
+
+  /// Pulls from `peer`: full pass over the peer's items.
+  Status SyncWith(ProtocolNode& peer) override;
+
+  const SyncStats& sync_stats() const override { return sync_stats_; }
+  void ResetSyncStats() override { sync_stats_ = SyncStats{}; }
+
+  uint64_t conflicts_detected() const override { return conflicts_; }
+
+  std::vector<std::pair<std::string, std::string>> Snapshot() const override;
+
+ private:
+  struct VvItem {
+    std::string value;
+    VersionVector ivv;
+  };
+
+  NodeId id_;
+  size_t num_nodes_;
+  std::map<std::string, VvItem> items_;
+  uint64_t conflicts_ = 0;
+  SyncStats sync_stats_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_BASELINES_PER_ITEM_VV_NODE_H_

@@ -1,0 +1,82 @@
+#ifndef EPIDEMIC_BASELINES_PROTOCOL_NODE_H_
+#define EPIDEMIC_BASELINES_PROTOCOL_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Cost and traffic accounting for one node's replica-synchronization
+/// activity. `items_examined` is the paper's central overhead measure: how
+/// many per-item pieces of version state a sync touched. For the paper's
+/// protocol it is O(m) in the items actually shipped; for Lotus-style and
+/// per-item-VV protocols it grows with the database size (§6, §8).
+struct SyncStats {
+  uint64_t exchanges = 0;        // sync attempts
+  uint64_t noop_exchanges = 0;   // detected "nothing to do"
+  uint64_t items_examined = 0;   // per-item metadata inspections
+  uint64_t version_comparisons = 0;
+  uint64_t items_copied = 0;
+  uint64_t records_shipped = 0;  // log/update records moved
+  uint64_t control_bytes = 0;    // estimated metadata bytes on the wire
+  uint64_t data_bytes = 0;       // estimated payload bytes on the wire
+};
+
+/// Uniform protocol driver used by the simulator and the comparison
+/// benchmarks. Each replication protocol (the paper's, and the §8
+/// baselines) implements this interface.
+///
+/// `SyncWith(peer)` performs one scheduled synchronization step involving
+/// `peer`: pull-based protocols (the paper's, Lotus, per-item VV) pull
+/// updates *from* the peer into this node; the push-based Oracle baseline
+/// pushes this node's pending updates *to* the peer. The simulator only
+/// needs "node A syncs with node B now".
+class ProtocolNode {
+ public:
+  virtual ~ProtocolNode() = default;
+
+  virtual NodeId id() const = 0;
+
+  /// Short protocol name for reports, e.g. "epidemic-dbvv".
+  virtual std::string_view protocol_name() const = 0;
+
+  /// Applies a client update at this replica.
+  virtual Status ClientUpdate(std::string_view item,
+                              std::string_view value) = 0;
+
+  /// Client read at this replica.
+  virtual Result<std::string> ClientRead(std::string_view item) = 0;
+
+  /// One synchronization step with `peer`, which is guaranteed by the
+  /// caller to be the same concrete protocol type.
+  virtual Status SyncWith(ProtocolNode& peer) = 0;
+
+  /// Out-of-bound single-item fetch; only the paper's protocol supports it.
+  virtual Status OobFetch(ProtocolNode& peer, std::string_view item) {
+    (void)peer;
+    (void)item;
+    return Status::NotSupported("protocol has no out-of-bound copying");
+  }
+
+  virtual const SyncStats& sync_stats() const = 0;
+  virtual void ResetSyncStats() = 0;
+
+  /// Conflicts this node has detected and reported so far.
+  virtual uint64_t conflicts_detected() const = 0;
+
+  /// Committed (regular) contents, sorted by item name — used by the
+  /// harness to check replica convergence.
+  virtual std::vector<std::pair<std::string, std::string>> Snapshot()
+      const = 0;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_BASELINES_PROTOCOL_NODE_H_

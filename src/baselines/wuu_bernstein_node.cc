@@ -1,0 +1,135 @@
+#include "baselines/wuu_bernstein_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace epidemic {
+
+WuuBernsteinNode::WuuBernsteinNode(NodeId id, size_t num_nodes)
+    : id_(id),
+      num_nodes_(num_nodes),
+      applied_(num_nodes, 0),
+      time_table_(num_nodes, std::vector<UpdateCount>(num_nodes, 0)) {}
+
+Status WuuBernsteinNode::ClientUpdate(std::string_view item,
+                                      std::string_view value) {
+  if (item.empty()) return Status::InvalidArgument("empty item name");
+  Record rec;
+  rec.origin = id_;
+  rec.seq = ++time_table_[id_][id_];
+  rec.item = std::string(item);
+  rec.value = std::string(value);
+  Apply(rec);
+  log_.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Result<std::string> WuuBernsteinNode::ClientRead(std::string_view item) {
+  auto it = dictionary_.find(std::string(item));
+  if (it == dictionary_.end()) {
+    return Status::NotFound("no item named '" + std::string(item) + "'");
+  }
+  return it->second;
+}
+
+void WuuBernsteinNode::Apply(const Record& rec) {
+  // Records from one origin arrive in seq order; ignore replays.
+  if (rec.seq <= applied_[rec.origin]) return;
+  EPI_CHECK(rec.seq == applied_[rec.origin] + 1)
+      << "gossip delivered origin " << rec.origin << " out of order";
+  applied_[rec.origin] = rec.seq;
+  dictionary_[rec.item] = rec.value;
+}
+
+Status WuuBernsteinNode::SyncWith(ProtocolNode& peer) {
+  auto& source = static_cast<WuuBernsteinNode&>(peer);
+  ++sync_stats_.exchanges;
+
+  // The gossip message: every record the source holds that (per its time
+  // table) the recipient may not have seen, plus the source's full table.
+  // Work at the source is linear in the records scanned (footnote 4: the
+  // per-record "hasrecv" test), and the message always carries n^2 clock
+  // entries.
+  std::vector<Record> news;
+  for (const Record& rec : source.log_) {
+    ++sync_stats_.records_shipped;  // scanned; shipped if unknown to us
+    if (!source.KnownBy(id_, rec.origin, rec.seq)) {
+      news.push_back(rec);
+      sync_stats_.control_bytes += 1 + rec.item.size() + 10;
+      sync_stats_.data_bytes += 1 + rec.value.size();
+    }
+  }
+  sync_stats_.control_bytes += 8ull * num_nodes_ * num_nodes_;  // the table
+
+  // Receiver side: apply in (origin, seq) order.
+  std::sort(news.begin(), news.end(),
+            [](const Record& a, const Record& b) {
+              if (a.origin != b.origin) return a.origin < b.origin;
+              return a.seq < b.seq;
+            });
+  bool copied_any = false;
+  for (const Record& rec : news) {
+    if (rec.seq > applied_[rec.origin]) {
+      Apply(rec);
+      log_.push_back(rec);
+      ++sync_stats_.items_copied;
+      copied_any = true;
+    }
+  }
+  if (!copied_any) ++sync_stats_.noop_exchanges;
+
+  // Merge the tables: row-wise max with the sender's table, and our own
+  // row additionally absorbs the sender's own row (we now know everything
+  // the sender knew).
+  for (NodeId k = 0; k < num_nodes_; ++k) {
+    for (NodeId l = 0; l < num_nodes_; ++l) {
+      time_table_[k][l] =
+          std::max(time_table_[k][l], source.time_table_[k][l]);
+    }
+  }
+  for (NodeId l = 0; l < num_nodes_; ++l) {
+    time_table_[id_][l] =
+        std::max(time_table_[id_][l], source.time_table_[source.id_][l]);
+  }
+  // The sender learns nothing in a pull, but it may now record that WE
+  // know what it sent us (the paper's 2-phase variant piggybacks this; we
+  // update the sender's view directly since the exchange is synchronous).
+  for (NodeId l = 0; l < num_nodes_; ++l) {
+    source.time_table_[id_][l] =
+        std::max(source.time_table_[id_][l], time_table_[id_][l]);
+  }
+
+  GarbageCollect();
+  source.GarbageCollect();
+  return Status::OK();
+}
+
+void WuuBernsteinNode::GarbageCollect() {
+  // A record everyone is known to have seen will never be needed again.
+  auto known_by_all = [this](const Record& rec) {
+    for (NodeId k = 0; k < num_nodes_; ++k) {
+      if (time_table_[k][rec.origin] < rec.seq) return false;
+    }
+    return true;
+  };
+  while (!log_.empty() && known_by_all(log_.front())) log_.pop_front();
+  // The deque is not globally ordered by knownness, so sweep the rest too.
+  for (auto it = log_.begin(); it != log_.end();) {
+    if (known_by_all(*it)) {
+      it = log_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> WuuBernsteinNode::Snapshot()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(dictionary_.size());
+  for (const auto& [name, value] : dictionary_) out.emplace_back(name, value);
+  return out;
+}
+
+}  // namespace epidemic

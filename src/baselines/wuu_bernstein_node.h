@@ -1,0 +1,89 @@
+#ifndef EPIDEMIC_BASELINES_WUU_BERNSTEIN_NODE_H_
+#define EPIDEMIC_BASELINES_WUU_BERNSTEIN_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/protocol_node.h"
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Wuu & Bernstein's replicated-log protocol (§8.3, reference [15]), the
+/// classic gossip solution to the "replicated log and dictionary" problem.
+///
+/// Each node keeps
+///   * an update log of records (origin, seq, item, value);
+///   * a two-dimensional time table TT[k][l] — what this node knows about
+///     how much of node l's update stream node k has seen.
+/// A gossip message from j to i carries the log records j believes i has
+/// not seen (judged from TT[i][·]) plus j's whole time table; the receiver
+/// applies new records in order and merges the table. Records known by
+/// every node are garbage-collected.
+///
+/// Costs reproduced from the paper's analysis (§8.3 + footnote 4): each
+/// exchange does work linear in the records considered *and* ships an
+/// n×n table; and because records are per-update (not per-item-latest),
+/// repeated updates to one item all travel. Conflict handling: the log
+/// merge applies updates from different origins in (origin, seq) arrival
+/// order — concurrent writes are not detected, matching the dictionary
+/// use-case the protocol was designed for.
+class WuuBernsteinNode : public ProtocolNode {
+ public:
+  WuuBernsteinNode(NodeId id, size_t num_nodes);
+
+  NodeId id() const override { return id_; }
+  std::string_view protocol_name() const override { return "wuu-bernstein"; }
+
+  Status ClientUpdate(std::string_view item, std::string_view value) override;
+  Result<std::string> ClientRead(std::string_view item) override;
+
+  /// Pulls a gossip message from `peer` into this node.
+  Status SyncWith(ProtocolNode& peer) override;
+
+  const SyncStats& sync_stats() const override { return sync_stats_; }
+  void ResetSyncStats() override { sync_stats_ = SyncStats{}; }
+
+  uint64_t conflicts_detected() const override { return 0; }
+
+  std::vector<std::pair<std::string, std::string>> Snapshot() const override;
+
+  /// Records currently retained (post-GC) — for the memory comparison with
+  /// the paper's bounded log vector.
+  size_t log_size() const { return log_.size(); }
+
+  /// hasrecv(TT, k, rec): does node k, per our table, know this record?
+  bool KnownBy(NodeId k, NodeId origin, UpdateCount seq) const {
+    return time_table_[k][origin] >= seq;
+  }
+
+ private:
+  struct Record {
+    NodeId origin;
+    UpdateCount seq;
+    std::string item;
+    std::string value;
+  };
+
+  void Apply(const Record& rec);
+  void GarbageCollect();
+
+  NodeId id_;
+  size_t num_nodes_;
+  std::map<std::string, std::string> dictionary_;
+  // Latest applied seq per origin guards in-order application.
+  std::vector<UpdateCount> applied_;
+  std::deque<Record> log_;
+  // time_table_[k][l]: how many of l's updates node k has seen, to this
+  // node's knowledge. Row id_ is this node's own version vector.
+  std::vector<std::vector<UpdateCount>> time_table_;
+  SyncStats sync_stats_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_BASELINES_WUU_BERNSTEIN_NODE_H_

@@ -1,0 +1,136 @@
+#ifndef EPIDEMIC_COMMON_BYTES_H_
+#define EPIDEMIC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace epidemic {
+
+/// Append-only binary encoder used by the wire codec.
+///
+/// Integers are little-endian fixed width or LEB128 varints; strings are
+/// varint length-prefixed. The matching decoder is ByteReader.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutFixed32(uint32_t v) {
+    char tmp[4];
+    std::memcpy(tmp, &v, 4);
+    buf_.append(tmp, 4);
+  }
+
+  void PutFixed64(uint64_t v) {
+    char tmp[8];
+    std::memcpy(tmp, &v, 8);
+    buf_.append(tmp, 8);
+  }
+
+  void PutVarint64(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v));
+  }
+
+  void PutString(std::string_view s) {
+    PutVarint64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  void PutBytes(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked binary decoder over a borrowed byte span.
+///
+/// All getters return Corruption on truncated or malformed input; the caller
+/// is expected to treat any failure as a poisoned message.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() {
+    if (pos_ + 1 > data_.size()) return Truncated("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> GetFixed32() {
+    if (pos_ + 4 > data_.size()) return Truncated("fixed32");
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> GetFixed64() {
+    if (pos_ + 8 > data_.size()) return Truncated("fixed64");
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint64_t> GetVarint64() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (shift <= 63) {
+      if (pos_ >= data_.size()) return Truncated("varint64");
+      uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+    return Status::Corruption("varint64 too long");
+  }
+
+  Result<std::string> GetString() {
+    auto len = GetVarint64();
+    if (!len.ok()) return len.status();
+    if (pos_ + *len > data_.size()) return Truncated("string body");
+    std::string s(data_.substr(pos_, *len));
+    pos_ += *len;
+    return s;
+  }
+
+  /// Advances past `n` bytes without reading them. Returns false (without
+  /// moving) when fewer than `n` bytes remain.
+  bool Skip(size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::Corruption(std::string("truncated input reading ") + what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_COMMON_BYTES_H_

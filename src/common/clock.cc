@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace epidemic {
+
+TimeMicros RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RealClock* RealClock::Default() {
+  static RealClock* instance = new RealClock();
+  return instance;
+}
+
+}  // namespace epidemic

@@ -1,0 +1,43 @@
+#ifndef EPIDEMIC_COMMON_CLOCK_H_
+#define EPIDEMIC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace epidemic {
+
+/// Microseconds since an arbitrary epoch.
+using TimeMicros = int64_t;
+
+/// Time source abstraction so the same code runs under the discrete-event
+/// simulator (ManualClock) and in real deployments (RealClock).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMicros NowMicros() const = 0;
+};
+
+/// Wall-clock time from the OS monotonic clock.
+class RealClock : public Clock {
+ public:
+  TimeMicros NowMicros() const override;
+
+  /// Shared process-wide instance.
+  static RealClock* Default();
+};
+
+/// Manually advanced clock for deterministic simulation and tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(TimeMicros start = 0) : now_(start) {}
+
+  TimeMicros NowMicros() const override { return now_; }
+  void Advance(TimeMicros delta) { now_ += delta; }
+  void Set(TimeMicros t) { now_ = t; }
+
+ private:
+  TimeMicros now_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_COMMON_CLOCK_H_

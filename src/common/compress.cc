@@ -1,0 +1,123 @@
+#include "common/compress.h"
+
+#include <cstring>
+#include <vector>
+
+namespace epidemic {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = kMinMatch + 0x7e;  // control 0x80..0xfe
+constexpr size_t kWindow = 1u << 16;
+constexpr size_t kHashBits = 15;
+
+uint32_t Hash4(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void FlushLiterals(std::string& out, std::string_view input, size_t start,
+                   size_t end) {
+  while (start < end) {
+    size_t run = std::min(end - start, size_t{128});
+    out.push_back(static_cast<char>(run - 1));
+    out.append(input.data() + start, run);
+    start += run;
+  }
+}
+
+}  // namespace
+
+std::string Compress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  std::vector<size_t> table(size_t{1} << kHashBits, SIZE_MAX);
+
+  size_t literal_start = 0;
+  size_t pos = 0;
+  while (pos + kMinMatch <= input.size()) {
+    uint32_t h = Hash4(input.data() + pos);
+    size_t candidate = table[h];
+    table[h] = pos;
+
+    size_t match_len = 0;
+    if (candidate != SIZE_MAX && pos - candidate <= kWindow &&
+        candidate < pos) {
+      size_t limit = std::min(input.size() - pos, kMaxMatch);
+      while (match_len < limit &&
+             input[candidate + match_len] == input[pos + match_len]) {
+        ++match_len;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      FlushLiterals(out, input, literal_start, pos);
+      out.push_back(
+          static_cast<char>(0x80 | (match_len - kMinMatch)));
+      PutVarint(out, pos - candidate);  // distance, >= 1
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  FlushLiterals(out, input, literal_start, input.size());
+  return out;
+}
+
+Result<std::string> Decompress(std::string_view compressed,
+                               size_t max_output) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < compressed.size()) {
+    uint8_t control = static_cast<uint8_t>(compressed[pos++]);
+    if ((control & 0x80) == 0) {
+      size_t run = static_cast<size_t>(control) + 1;
+      if (pos + run > compressed.size()) {
+        return Status::Corruption("truncated literal run");
+      }
+      if (out.size() + run > max_output) {
+        return Status::Corruption("decompressed output too large");
+      }
+      out.append(compressed.data() + pos, run);
+      pos += run;
+    } else {
+      size_t len = static_cast<size_t>(control & 0x7f) + kMinMatch;
+      // Varint distance.
+      uint64_t dist = 0;
+      int shift = 0;
+      for (;;) {
+        if (pos >= compressed.size() || shift > 28) {
+          return Status::Corruption("truncated match distance");
+        }
+        uint8_t byte = static_cast<uint8_t>(compressed[pos++]);
+        dist |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) break;
+        shift += 7;
+      }
+      if (dist == 0 || dist > out.size()) {
+        return Status::Corruption("match distance out of range");
+      }
+      if (out.size() + len > max_output) {
+        return Status::Corruption("decompressed output too large");
+      }
+      // Byte-by-byte copy: overlapping matches (dist < len) are legal and
+      // replicate the repeated region, as in every LZ77 family codec.
+      size_t src = out.size() - static_cast<size_t>(dist);
+      for (size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace epidemic

@@ -1,0 +1,31 @@
+#ifndef EPIDEMIC_COMMON_COMPRESS_H_
+#define EPIDEMIC_COMMON_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace epidemic {
+
+/// Small self-contained LZ77-style byte compressor for bandwidth-starved
+/// links (the dial-up deployments of §1). No external dependencies; format:
+///
+///   token := literal-run | match
+///   literal-run := control byte 0x00..0x7f (= run length - 1), then bytes
+///   match       := control byte 0x80 | (len - kMinMatch), capped at 0x7f,
+///                  then varint distance (1-based, ≤ 64 KiB window)
+///
+/// Greedy hash-table matcher; typical replication payloads (names, values
+/// with shared prefixes, version vectors) compress 2-5x. Incompressible
+/// input grows by ≤ 1 byte per 128.
+std::string Compress(std::string_view input);
+
+/// Inverse of Compress. `max_output` bounds memory for untrusted input.
+/// Corruption on malformed streams.
+Result<std::string> Decompress(std::string_view compressed,
+                               size_t max_output = size_t{1} << 30);
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_COMMON_COMPRESS_H_

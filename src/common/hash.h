@@ -1,0 +1,20 @@
+#ifndef EPIDEMIC_COMMON_HASH_H_
+#define EPIDEMIC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace epidemic {
+
+/// CRC-32C (Castagnoli polynomial), the checksum RocksDB/LevelDB use for
+/// on-disk integrity. Software table implementation; `seed` chains calls.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_COMMON_HASH_H_

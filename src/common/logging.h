@@ -1,0 +1,65 @@
+#ifndef EPIDEMIC_COMMON_LOGGING_H_
+#define EPIDEMIC_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace epidemic {
+
+/// Severity of a log line. kFatal aborts the process after logging.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum severity; lines below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace epidemic
+
+#define EPI_LOG(level)                                          \
+  ::epidemic::internal::LogMessage(::epidemic::LogLevel::level, \
+                                   __FILE__, __LINE__)
+
+/// Invariant check that stays on in release builds; logs and aborts on
+/// failure. Used for protocol invariants whose violation means a bug, not a
+/// recoverable error.
+#define EPI_CHECK(cond)                                              \
+  if (!(cond))                                                       \
+  ::epidemic::internal::LogMessage(::epidemic::LogLevel::kFatal,     \
+                                   __FILE__, __LINE__)               \
+      << "Check failed: " #cond " "
+
+#define EPI_DCHECK(cond) assert(cond)
+
+#endif  // EPIDEMIC_COMMON_LOGGING_H_

@@ -1,0 +1,62 @@
+#ifndef EPIDEMIC_COMMON_RANDOM_H_
+#define EPIDEMIC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace epidemic {
+
+/// Small, fast, deterministic PRNG (xoshiro256**), seeded via SplitMix64.
+///
+/// Used everywhere randomness is needed so that simulations and tests are
+/// reproducible from a single seed. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over {0, ..., n-1}: item k has probability proportional to
+/// 1/(k+1)^s. Precomputes the CDF once (O(n)); each Sample is O(log n).
+///
+/// Used by workload generators to model the paper's assumption that few items
+/// are "hot" (frequently updated) relative to the database size.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1. `s` = 0 degenerates to uniform.
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_COMMON_RANDOM_H_

@@ -1,0 +1,73 @@
+#ifndef EPIDEMIC_COMMON_RESULT_H_
+#define EPIDEMIC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace epidemic {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Accessors assert on misuse in
+/// debug builds; callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` from Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace epidemic
+
+/// Evaluates a Result-returning expression; on error returns the Status,
+/// otherwise assigns the unwrapped value to `lhs`.
+#define EPI_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto _epi_result_##__LINE__ = (expr);                 \
+  if (!_epi_result_##__LINE__.ok())                     \
+    return _epi_result_##__LINE__.status();             \
+  lhs = std::move(_epi_result_##__LINE__).value()
+
+#endif  // EPIDEMIC_COMMON_RESULT_H_

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace epidemic {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code()));
+  if (!message().empty()) {
+    result += ": ";
+    result += message();
+  }
+  return result;
+}
+
+}  // namespace epidemic

@@ -1,0 +1,153 @@
+#ifndef EPIDEMIC_COMMON_STATUS_H_
+#define EPIDEMIC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace epidemic {
+
+/// Error category for a failed operation.
+///
+/// The library never throws exceptions across API boundaries; fallible
+/// operations return a `Status` (or a `Result<T>`, see result.h). `kOk` is
+/// represented with a null state pointer so that the success path costs one
+/// pointer comparison and no allocation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kConflict = 4,        // inconsistent replicas detected
+  kOutOfRange = 5,
+  kCorruption = 6,      // malformed wire data / broken invariant on decode
+  kIOError = 7,         // transport / socket failure
+  kUnavailable = 8,     // peer down or link closed; retryable
+  kFailedPrecondition = 9,
+  kTimedOut = 10,
+  kCancelled = 11,
+  kNotSupported = 12,
+  kInternal = 13,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type status word carrying an error code and message.
+///
+/// Typical use:
+///
+///   Status s = db.Put(key, value);
+///   if (!s.ok()) return s;
+///
+/// or with the convenience macro:
+///
+///   EPI_RETURN_NOT_OK(db.Put(key, value));
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // null means OK
+};
+
+}  // namespace epidemic
+
+/// Propagates a non-OK Status to the caller.
+#define EPI_RETURN_NOT_OK(expr)                    \
+  do {                                             \
+    ::epidemic::Status _epi_status = (expr);       \
+    if (!_epi_status.ok()) return _epi_status;     \
+  } while (false)
+
+#endif  // EPIDEMIC_COMMON_STATUS_H_

@@ -1,0 +1,55 @@
+#ifndef EPIDEMIC_CORE_CONFLICT_H_
+#define EPIDEMIC_CORE_CONFLICT_H_
+
+#include <string>
+#include <vector>
+
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Where a conflict was noticed.
+enum class ConflictSource {
+  kPropagation,  // AcceptPropagation saw concurrent IVVs (Fig. 3)
+  kOutOfBound,   // OOB reply conflicted with the local copy (§5.2)
+  kIntraNode,    // regular IVV conflicted with an auxiliary record (Fig. 4)
+};
+
+/// Description of a detected pair of inconsistent replicas. The paper leaves
+/// resolution to the application (often manual, §2), so the library only
+/// reports.
+struct ConflictEvent {
+  std::string item_name;
+  NodeId local_node = 0;
+  VersionVector local_vv;
+  VersionVector remote_vv;
+  ConflictSource source = ConflictSource::kPropagation;
+};
+
+/// Application hook invoked whenever the protocol declares replicas of an
+/// item inconsistent. Implementations must not re-enter the replica.
+class ConflictListener {
+ public:
+  virtual ~ConflictListener() = default;
+  virtual void OnConflict(const ConflictEvent& event) = 0;
+};
+
+/// Default listener: remembers every event for later inspection (tests,
+/// examples, the simulator's metrics).
+class RecordingConflictListener : public ConflictListener {
+ public:
+  void OnConflict(const ConflictEvent& event) override {
+    events_.push_back(event);
+  }
+
+  const std::vector<ConflictEvent>& events() const { return events_; }
+  size_t count() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<ConflictEvent> events_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_CORE_CONFLICT_H_

@@ -1,0 +1,214 @@
+#include "core/journal.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/snapshot.h"
+#include "core/wire.h"
+
+namespace epidemic {
+
+namespace {
+
+enum class RecordTag : uint8_t {
+  kUpdate = 1,
+  kDelete = 2,
+  kPropagation = 3,
+  kOob = 4,
+};
+
+std::string JournalPath(const std::string& dir) {
+  return dir + "/journal.log";
+}
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.bin";
+}
+
+/// Applies one journal record through the replica's normal code paths.
+Status ReplayRecord(Replica& replica, std::string_view payload) {
+  ByteReader r(payload);
+  auto tag = r.GetU8();
+  if (!tag.ok()) return tag.status();
+  switch (static_cast<RecordTag>(*tag)) {
+    case RecordTag::kUpdate: {
+      auto name = r.GetString();
+      if (!name.ok()) return name.status();
+      auto value = r.GetString();
+      if (!value.ok()) return value.status();
+      return replica.Update(*name, *value);
+    }
+    case RecordTag::kDelete: {
+      auto name = r.GetString();
+      if (!name.ok()) return name.status();
+      return replica.Delete(*name);
+    }
+    case RecordTag::kPropagation: {
+      auto resp = wire::DecodePropagationResponseBody(r);
+      if (!resp.ok()) return resp.status();
+      return replica.AcceptPropagation(*resp);
+    }
+    case RecordTag::kOob: {
+      auto resp = wire::DecodeOobResponseBody(r);
+      if (!resp.ok()) return resp.status();
+      return replica.AcceptOobResponse(*resp);
+    }
+  }
+  return Status::Corruption("unknown journal record tag");
+}
+
+}  // namespace
+
+JournaledReplica::JournaledReplica(std::string dir,
+                                   std::unique_ptr<Replica> replica)
+    : dir_(std::move(dir)), replica_(std::move(replica)) {}
+
+JournaledReplica::~JournaledReplica() {
+  if (journal_ != nullptr) std::fclose(journal_);
+}
+
+Result<std::unique_ptr<JournaledReplica>> JournaledReplica::Open(
+    const std::string& dir, NodeId id, size_t num_nodes,
+    ConflictListener* listener) {
+  struct stat st;
+  if (stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("'" + dir + "' is not a directory");
+  }
+
+  // 1. Base state: the latest snapshot, or a fresh replica.
+  std::unique_ptr<Replica> replica;
+  auto loaded = LoadSnapshot(SnapshotPath(dir), listener);
+  if (loaded.ok()) {
+    replica = std::move(*loaded);
+    if (replica->id() != id || replica->num_nodes() != num_nodes) {
+      return Status::InvalidArgument(
+          "snapshot in '" + dir + "' belongs to node " +
+          std::to_string(replica->id()) + "/" +
+          std::to_string(replica->num_nodes()));
+    }
+  } else if (loaded.status().IsNotFound()) {
+    replica = std::make_unique<Replica>(id, num_nodes, listener);
+  } else {
+    return loaded.status();
+  }
+
+  // 2. Replay the journal suffix. A torn final record (crash mid-append)
+  // terminates the replay cleanly; everything before it was applied with
+  // write-ahead discipline.
+  uint64_t replayed = 0;
+  std::FILE* f = std::fopen(JournalPath(dir).c_str(), "rb");
+  if (f != nullptr) {
+    std::string data;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+    std::fclose(f);
+
+    ByteReader frames(data);
+    while (!frames.AtEnd()) {
+      auto len = frames.GetVarint64();
+      if (!len.ok() || frames.remaining() < *len + 4) break;  // torn tail
+      std::string_view payload(data.data() + frames.position(),
+                               static_cast<size_t>(*len));
+      frames.Skip(static_cast<size_t>(*len));
+      auto stored_crc = frames.GetFixed32();
+      if (!stored_crc.ok() || Crc32c(payload) != *stored_crc) {
+        // A failed checksum means the record (and anything after it) is
+        // not trustworthy: stop the replay at the last good prefix.
+        break;
+      }
+      Status s = ReplayRecord(*replica, payload);
+      if (!s.ok() && !s.IsConflict() && !s.IsNotFound()) {
+        // Conflict/NotFound are legitimate outcomes of replayed inputs;
+        // anything else means a corrupt journal.
+        return Status::Corruption("journal replay failed: " + s.ToString());
+      }
+      ++replayed;
+    }
+  }
+
+  auto jr = std::unique_ptr<JournaledReplica>(
+      new JournaledReplica(dir, std::move(replica)));
+  jr->records_ = replayed;
+  EPI_RETURN_NOT_OK(jr->OpenJournalForAppend());
+  return jr;
+}
+
+Status JournaledReplica::OpenJournalForAppend() {
+  journal_ = std::fopen(JournalPath(dir_).c_str(), "ab");
+  if (journal_ == nullptr) {
+    return Status::IOError("cannot open journal in '" + dir_ + "'");
+  }
+  return Status::OK();
+}
+
+Status JournaledReplica::AppendRecord(std::string payload) {
+  ByteWriter framed;
+  framed.PutVarint64(payload.size());
+  framed.PutBytes(payload.data(), payload.size());
+  framed.PutFixed32(Crc32c(payload));
+  const std::string& frame = framed.data();
+  if (std::fwrite(frame.data(), 1, frame.size(), journal_) != frame.size() ||
+      std::fflush(journal_) != 0) {
+    return Status::IOError("journal append failed");
+  }
+  ++records_;
+  return Status::OK();
+}
+
+Status JournaledReplica::Update(std::string_view name,
+                                std::string_view value) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(RecordTag::kUpdate));
+  w.PutString(name);
+  w.PutString(value);
+  EPI_RETURN_NOT_OK(AppendRecord(w.Release()));
+  return replica_->Update(name, value);
+}
+
+Status JournaledReplica::Delete(std::string_view name) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(RecordTag::kDelete));
+  w.PutString(name);
+  EPI_RETURN_NOT_OK(AppendRecord(w.Release()));
+  return replica_->Delete(name);
+}
+
+Status JournaledReplica::AcceptPropagation(const PropagationResponse& resp) {
+  if (resp.you_are_current) {
+    // No state change; nothing worth journaling.
+    return replica_->AcceptPropagation(resp);
+  }
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(RecordTag::kPropagation));
+  wire::EncodePropagationResponseBody(w, resp);
+  EPI_RETURN_NOT_OK(AppendRecord(w.Release()));
+  return replica_->AcceptPropagation(resp);
+}
+
+Status JournaledReplica::AcceptOobResponse(const OobResponse& resp) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(RecordTag::kOob));
+  wire::EncodeOobResponseBody(w, resp);
+  EPI_RETURN_NOT_OK(AppendRecord(w.Release()));
+  return replica_->AcceptOobResponse(resp);
+}
+
+Status JournaledReplica::Checkpoint() {
+  EPI_RETURN_NOT_OK(SaveSnapshot(*replica_, SnapshotPath(dir_)));
+  // Truncate the journal: records up to here are covered by the snapshot.
+  std::fclose(journal_);
+  journal_ = nullptr;
+  std::FILE* f = std::fopen(JournalPath(dir_).c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot truncate journal in '" + dir_ + "'");
+  }
+  std::fclose(f);
+  records_ = 0;
+  return OpenJournalForAppend();
+}
+
+}  // namespace epidemic

@@ -1,0 +1,65 @@
+#ifndef EPIDEMIC_CORE_MESSAGES_H_
+#define EPIDEMIC_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Step (1) of update propagation (§5.1): recipient i sends its DBVV to the
+/// prospective source j.
+struct PropagationRequest {
+  NodeId requester = 0;
+  VersionVector dbvv;
+};
+
+/// A log-vector record as shipped on the wire. Items are identified by name
+/// because ItemIds are node-local. Constant size per record (§6) up to the
+/// item name.
+struct WireLogRecord {
+  std::string item_name;
+  UpdateCount seq = 0;
+};
+
+/// A member of the item set S (Fig. 2): the source's regular copy of a data
+/// item together with its IVV. Tombstones (deleted items) replicate like
+/// values so deletes win everywhere.
+struct WireItem {
+  std::string name;
+  std::string value;
+  bool deleted = false;
+  VersionVector ivv;
+};
+
+/// Source j's reply (Fig. 2): either "you-are-current", or the tail vector D
+/// (one tail of missed records per origin node, oldest first) plus the set S
+/// of referenced items.
+struct PropagationResponse {
+  bool you_are_current = false;
+  std::vector<std::vector<WireLogRecord>> tails;  // D_k indexed by origin k
+  std::vector<WireItem> items;                    // S
+};
+
+/// Out-of-bound copy request (§5.2) for a single named item.
+struct OobRequest {
+  NodeId requester = 0;
+  std::string item_name;
+};
+
+/// Out-of-bound reply: the source's auxiliary copy if one exists, otherwise
+/// its regular copy, with the corresponding IVV. `found` is false when the
+/// source has never heard of the item.
+struct OobResponse {
+  bool found = false;
+  std::string item_name;
+  std::string value;
+  bool deleted = false;
+  VersionVector ivv;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_CORE_MESSAGES_H_

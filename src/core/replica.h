@@ -1,0 +1,252 @@
+#ifndef EPIDEMIC_CORE_REPLICA_H_
+#define EPIDEMIC_CORE_REPLICA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/conflict.h"
+#include "core/messages.h"
+#include "log/aux_log.h"
+#include "log/log_vector.h"
+#include "storage/item_store.h"
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Per-replica protocol counters, primarily for the benchmark harness.
+/// "Work" counters (records examined, IVV comparisons) directly measure the
+/// complexity claims of §6.
+struct ReplicaStats {
+  // Anti-entropy.
+  uint64_t propagation_requests_served = 0;
+  uint64_t you_are_current_replies = 0;
+  uint64_t dbvv_comparisons = 0;
+  uint64_t log_records_selected = 0;  // records placed into tails D_k
+  uint64_t items_shipped = 0;         // |S| across all replies served
+  uint64_t item_ivv_comparisons = 0;  // per-item comparisons at recipient
+  uint64_t items_adopted = 0;
+  uint64_t redundant_items_received = 0;  // received copy equal to local
+  uint64_t records_appended = 0;          // AddLogRecord calls at recipient
+
+  // Conflicts.
+  uint64_t conflicts_detected = 0;
+  uint64_t conflicts_resolved = 0;  // via ResolveConflict
+
+  // User operations.
+  uint64_t updates_regular = 0;
+  uint64_t updates_aux = 0;
+  uint64_t reads = 0;
+
+  // Out-of-bound machinery.
+  uint64_t oob_requests_served = 0;
+  uint64_t oob_copies_adopted = 0;
+  uint64_t oob_copies_ignored = 0;  // received copy was not newer
+  uint64_t aux_copies_created = 0;
+  uint64_t aux_copies_discarded = 0;
+  uint64_t intra_node_ops_applied = 0;
+};
+
+/// A node's replica of the database, implementing the paper's protocol (§5).
+///
+/// The replica owns the four regular data structures —
+///   * the item store (values + IVVs + control state),
+///   * the database version vector V_i (§4.1),
+///   * the log vector L_i (§4.2),
+/// plus the auxiliary structures (auxiliary copies/IVVs inside items and the
+/// auxiliary log AUX_i, §4.3–4.4).
+///
+/// Anti-entropy between replicas i (recipient) and j (source) is a
+/// request/response exchange:
+///
+///   PropagationRequest req = i.BuildPropagationRequest();
+///   PropagationResponse resp = j.HandlePropagationRequest(req);
+///   i.AcceptPropagation(resp);              // adopts + intra-node replay
+///
+/// or, in-process, `PropagateOnce(j, i)`.
+///
+/// Thread-compatibility: a Replica is confined to one thread (the server
+/// module serializes access); all methods are non-blocking and never throw.
+class Replica {
+ public:
+  /// `id` is this node's index in the fixed replica set of `num_nodes`
+  /// servers (§2: the server set is fixed). `listener` may be null; if given
+  /// it must outlive the replica.
+  Replica(NodeId id, size_t num_nodes, ConflictListener* listener = nullptr);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // ---------------------------------------------------------------------
+  // User operations (§5.3).
+
+  /// Applies a user update, writing `value` as the item's new contents.
+  /// Uses the auxiliary copy when one exists, the regular copy otherwise.
+  Status Update(std::string_view name, std::string_view value);
+
+  /// Deletes the item by writing a tombstone — an ordinary update whose
+  /// state is "deleted", so it propagates (and conflicts) exactly like a
+  /// value write. The control state persists; a later Update revives the
+  /// item.
+  Status Delete(std::string_view name);
+
+  /// User-facing read: auxiliary copy when present (it is never older than
+  /// the regular copy), regular otherwise. NotFound for unknown or
+  /// tombstoned items.
+  Result<std::string> Read(std::string_view name);
+
+  /// Resolves a detected conflict on `name` by writing `value` as a new
+  /// update that *supersedes both branches*: the item's IVV becomes the
+  /// component-wise maximum of the local IVV and `remote_vv` (the vector
+  /// reported in the ConflictEvent), plus this node's own increment. Once
+  /// propagated, the resolution dominates every conflicting copy, so the
+  /// conflict disappears system-wide.
+  ///
+  /// The paper leaves *choosing* the winning value to the application (§2);
+  /// this is the mechanism that makes the choice stick. Fails with
+  /// InvalidArgument unless `remote_vv` genuinely conflicts with the local
+  /// regular copy, and with FailedPrecondition while the item is
+  /// out-of-bound (resolve after the auxiliary copy retires).
+  Status ResolveConflict(std::string_view name,
+                         const VersionVector& remote_vv,
+                         std::string_view value);
+
+  /// Lists live (non-tombstoned) items whose name starts with `prefix`,
+  /// sorted by name, with their user-visible values. `limit` 0 = no limit.
+  /// O(N log N) — a convenience for clients and tools, not a protocol op.
+  std::vector<std::pair<std::string, std::string>> Scan(
+      std::string_view prefix, size_t limit = 0) const;
+
+  // ---------------------------------------------------------------------
+  // Update propagation (§5.1).
+
+  /// Step (1): the DBVV handshake message this node sends when it wants to
+  /// pull updates from a source.
+  PropagationRequest BuildPropagationRequest() const;
+
+  /// SendPropagation (Fig. 2), executed at the source. Detects in O(1)
+  /// (one DBVV comparison) that the requester is current; otherwise builds
+  /// the tail vector D and item set S in time O(m) where m = items shipped,
+  /// using the IsSelected flags (§6).
+  PropagationResponse HandlePropagationRequest(const PropagationRequest& req);
+
+  /// AcceptPropagation (Fig. 3) followed by IntraNodePropagation (Fig. 4)
+  /// over the items copied, executed at the recipient.
+  Status AcceptPropagation(const PropagationResponse& resp);
+
+  // ---------------------------------------------------------------------
+  // Out-of-bound copying (§5.2).
+
+  OobRequest BuildOobRequest(std::string_view name) const;
+
+  /// Source side: replies with the auxiliary copy if it exists (never older
+  /// than the regular one), else the regular copy.
+  OobResponse HandleOobRequest(const OobRequest& req);
+
+  /// Recipient side: adopts the received copy as (new) auxiliary data if it
+  /// strictly dominates the local user-visible copy; ignores it otherwise;
+  /// reports a conflict when the IVVs are concurrent. Never touches the
+  /// DBVV, the log vector, or existing auxiliary-log records.
+  Status AcceptOobResponse(const OobResponse& resp);
+
+  // ---------------------------------------------------------------------
+  // Introspection.
+
+  NodeId id() const { return id_; }
+  size_t num_nodes() const { return num_nodes_; }
+  const VersionVector& dbvv() const { return dbvv_; }
+  const ItemStore& items() const { return store_; }
+  const LogVector& log_vector() const { return logs_; }
+  const AuxLog& aux_log() const { return aux_log_; }
+  const ReplicaStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ReplicaStats{}; }
+
+  /// Regular copy of an item (ignores auxiliary data); nullptr if absent.
+  const Item* FindItem(std::string_view name) const {
+    return store_.Find(name);
+  }
+
+  /// Human-readable one-stop summary: id, DBVV, item/log/aux counts, and
+  /// the protocol counters. For operators and the stats RPC.
+  std::string DebugString() const;
+
+  // ---------------------------------------------------------------------
+  // Stability tracking (extension).
+  //
+  // Every propagation request a peer sends us carries its DBVV, so this
+  // node passively learns how far each peer has come. The component-wise
+  // minimum over all peers' last-known DBVVs (and our own) is the
+  // *stability frontier*: updates below it are known to be replicated
+  // everywhere — safe to archive, compact, or physically purge offline.
+  // Knowledge spreads only through direct requests, so the frontier is
+  // conservative (it lags under schedules where some pair never talks).
+
+  /// Last DBVV peer `j` presented to us (zero vector if never heard from).
+  const VersionVector& LastKnownDbvvOf(NodeId j) const {
+    return peer_dbvv_[j];
+  }
+
+  /// Component-wise minimum of every node's known DBVV.
+  VersionVector StabilityFrontier() const;
+
+  /// True when every update reflected in the item's regular copy is below
+  /// the stability frontier.
+  bool IsStable(const Item& item) const;
+
+  /// Counts stable items and stable tombstones (purgable garbage).
+  struct StabilityInfo {
+    size_t stable_items = 0;
+    size_t stable_tombstones = 0;
+  };
+  StabilityInfo CountStable() const;
+
+  /// Checks the DBVV invariant `V_i[k] == Σ_x ivv_i(x)[k]` (§4.1) and the
+  /// log invariants (≤ 1 record per item per component, origin-ordered,
+  /// P(x) back-pointers consistent). Returns OK or Internal with a
+  /// description. Intended for tests; O(n·N).
+  Status CheckInvariants() const;
+
+ private:
+  /// Shared implementation of Update/Delete (§5.3).
+  Status ApplyUserWrite(std::string_view name, std::string_view value,
+                        bool deleted);
+
+  /// Read-only structural validation of a propagation response, run before
+  /// any state is touched so malformed input is rejected atomically.
+  Status ValidatePropagationResponse(const PropagationResponse& resp) const;
+
+  /// Runs the Fig. 4 loop for one item that was copied by AcceptPropagation.
+  void IntraNodePropagation(Item& item);
+
+  void ReportConflict(const Item& item, const VersionVector& remote,
+                      ConflictSource source);
+
+  friend class SnapshotCodec;  // snapshot.cc: serializes/restores privates
+
+  NodeId id_;
+  size_t num_nodes_;
+  ConflictListener* listener_;
+
+  ItemStore store_;
+  VersionVector dbvv_;
+  LogVector logs_;
+  AuxLog aux_log_;
+
+  /// peer_dbvv_[j]: the DBVV node j presented in its most recent
+  /// propagation request to us (stability tracking).
+  std::vector<VersionVector> peer_dbvv_;
+
+  ReplicaStats stats_;
+};
+
+/// Runs one full anti-entropy exchange pulling updates from `source` into
+/// `recipient` (both in-process). Returns the number of items copied, or an
+/// error status.
+Result<size_t> PropagateOnce(Replica& source, Replica& recipient);
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_CORE_REPLICA_H_

@@ -1,0 +1,142 @@
+#include "core/wire.h"
+
+#include <utility>
+
+#include "vv/vv_codec.h"
+
+namespace epidemic::wire {
+
+void EncodePropagationRequestBody(ByteWriter& w,
+                                  const PropagationRequest& m) {
+  w.PutVarint64(m.requester);
+  EncodeVersionVector(&w, m.dbvv);
+}
+
+void EncodePropagationResponseBody(ByteWriter& w,
+                                   const PropagationResponse& m) {
+  w.PutU8(m.you_are_current ? 1 : 0);
+  if (m.you_are_current) return;
+  w.PutVarint64(m.tails.size());
+  for (const auto& tail : m.tails) {
+    w.PutVarint64(tail.size());
+    for (const WireLogRecord& rec : tail) {
+      w.PutString(rec.item_name);
+      w.PutVarint64(rec.seq);
+    }
+  }
+  w.PutVarint64(m.items.size());
+  for (const WireItem& item : m.items) {
+    w.PutString(item.name);
+    w.PutString(item.value);
+    w.PutU8(item.deleted ? 1 : 0);
+    EncodeVersionVector(&w, item.ivv);
+  }
+}
+
+void EncodeOobRequestBody(ByteWriter& w, const OobRequest& m) {
+  w.PutVarint64(m.requester);
+  w.PutString(m.item_name);
+}
+
+void EncodeOobResponseBody(ByteWriter& w, const OobResponse& m) {
+  w.PutU8(m.found ? 1 : 0);
+  w.PutString(m.item_name);
+  if (!m.found) return;
+  w.PutString(m.value);
+  w.PutU8(m.deleted ? 1 : 0);
+  EncodeVersionVector(&w, m.ivv);
+}
+
+Result<PropagationRequest> DecodePropagationRequestBody(ByteReader& r) {
+  PropagationRequest m;
+  auto requester = r.GetVarint64();
+  if (!requester.ok()) return requester.status();
+  m.requester = static_cast<NodeId>(*requester);
+  auto vv = DecodeVersionVector(&r);
+  if (!vv.ok()) return vv.status();
+  m.dbvv = std::move(*vv);
+  return m;
+}
+
+Result<PropagationResponse> DecodePropagationResponseBody(ByteReader& r) {
+  PropagationResponse m;
+  auto current = r.GetU8();
+  if (!current.ok()) return current.status();
+  m.you_are_current = (*current != 0);
+  if (m.you_are_current) return m;
+
+  auto num_tails = r.GetVarint64();
+  if (!num_tails.ok()) return num_tails.status();
+  if (*num_tails > (1u << 20)) return Status::Corruption("absurd tail count");
+  m.tails.resize(static_cast<size_t>(*num_tails));
+  for (auto& tail : m.tails) {
+    auto count = r.GetVarint64();
+    if (!count.ok()) return count.status();
+    tail.reserve(static_cast<size_t>(*count));
+    for (uint64_t i = 0; i < *count; ++i) {
+      WireLogRecord rec;
+      auto name = r.GetString();
+      if (!name.ok()) return name.status();
+      rec.item_name = std::move(*name);
+      auto seq = r.GetVarint64();
+      if (!seq.ok()) return seq.status();
+      rec.seq = *seq;
+      tail.push_back(std::move(rec));
+    }
+  }
+
+  auto num_items = r.GetVarint64();
+  if (!num_items.ok()) return num_items.status();
+  m.items.reserve(static_cast<size_t>(*num_items));
+  for (uint64_t i = 0; i < *num_items; ++i) {
+    WireItem item;
+    auto name = r.GetString();
+    if (!name.ok()) return name.status();
+    item.name = std::move(*name);
+    auto value = r.GetString();
+    if (!value.ok()) return value.status();
+    item.value = std::move(*value);
+    auto deleted = r.GetU8();
+    if (!deleted.ok()) return deleted.status();
+    item.deleted = (*deleted != 0);
+    auto vv = DecodeVersionVector(&r);
+    if (!vv.ok()) return vv.status();
+    item.ivv = std::move(*vv);
+    m.items.push_back(std::move(item));
+  }
+  return m;
+}
+
+Result<OobRequest> DecodeOobRequestBody(ByteReader& r) {
+  OobRequest m;
+  auto requester = r.GetVarint64();
+  if (!requester.ok()) return requester.status();
+  m.requester = static_cast<NodeId>(*requester);
+  auto name = r.GetString();
+  if (!name.ok()) return name.status();
+  m.item_name = std::move(*name);
+  return m;
+}
+
+Result<OobResponse> DecodeOobResponseBody(ByteReader& r) {
+  OobResponse m;
+  auto found = r.GetU8();
+  if (!found.ok()) return found.status();
+  m.found = (*found != 0);
+  auto name = r.GetString();
+  if (!name.ok()) return name.status();
+  m.item_name = std::move(*name);
+  if (!m.found) return m;
+  auto value = r.GetString();
+  if (!value.ok()) return value.status();
+  m.value = std::move(*value);
+  auto deleted = r.GetU8();
+  if (!deleted.ok()) return deleted.status();
+  m.deleted = (*deleted != 0);
+  auto vv = DecodeVersionVector(&r);
+  if (!vv.ok()) return vv.status();
+  m.ivv = std::move(*vv);
+  return m;
+}
+
+}  // namespace epidemic::wire

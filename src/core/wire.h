@@ -1,0 +1,28 @@
+#ifndef EPIDEMIC_CORE_WIRE_H_
+#define EPIDEMIC_CORE_WIRE_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/messages.h"
+
+namespace epidemic::wire {
+
+/// Binary body encodings of the protocol messages (no leading type tag —
+/// envelopes belong to the callers: the net codec adds a tag byte, the
+/// journal adds a record tag). Shared by the wire codec and the journal so
+/// there is exactly one serialization of each message.
+
+void EncodePropagationRequestBody(ByteWriter& w, const PropagationRequest& m);
+void EncodePropagationResponseBody(ByteWriter& w,
+                                   const PropagationResponse& m);
+void EncodeOobRequestBody(ByteWriter& w, const OobRequest& m);
+void EncodeOobResponseBody(ByteWriter& w, const OobResponse& m);
+
+Result<PropagationRequest> DecodePropagationRequestBody(ByteReader& r);
+Result<PropagationResponse> DecodePropagationResponseBody(ByteReader& r);
+Result<OobRequest> DecodeOobRequestBody(ByteReader& r);
+Result<OobResponse> DecodeOobResponseBody(ByteReader& r);
+
+}  // namespace epidemic::wire
+
+#endif  // EPIDEMIC_CORE_WIRE_H_

@@ -1,0 +1,102 @@
+#include "log/aux_log.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace epidemic {
+
+AuxLog::~AuxLog() {
+  AuxRecord* r = head_;
+  while (r != nullptr) {
+    AuxRecord* next = r->next;
+    delete r;
+    r = next;
+  }
+}
+
+AuxRecord* AuxLog::Append(ItemId item, const VersionVector& vv_before,
+                          UpdateOp op) {
+  AuxRecord* rec = new AuxRecord;
+  rec->m = next_m_++;
+  rec->item = item;
+  rec->vv = vv_before;
+  rec->op = std::move(op);
+
+  // Global list tail.
+  rec->prev = tail_;
+  if (tail_ != nullptr) {
+    tail_->next = rec;
+  } else {
+    head_ = rec;
+  }
+  tail_ = rec;
+
+  // Per-item chain tail.
+  ItemChain& chain = chains_[item];
+  rec->item_prev = chain.tail;
+  if (chain.tail != nullptr) {
+    chain.tail->item_next = rec;
+  } else {
+    chain.head = rec;
+  }
+  chain.tail = rec;
+
+  ++size_;
+  return rec;
+}
+
+AuxRecord* AuxLog::Earliest(ItemId item) const {
+  auto it = chains_.find(item);
+  return it == chains_.end() ? nullptr : it->second.head;
+}
+
+void AuxLog::Remove(AuxRecord* record) {
+  // Global list.
+  if (record->prev != nullptr) {
+    record->prev->next = record->next;
+  } else {
+    head_ = record->next;
+  }
+  if (record->next != nullptr) {
+    record->next->prev = record->prev;
+  } else {
+    tail_ = record->prev;
+  }
+
+  // Per-item chain.
+  auto it = chains_.find(record->item);
+  EPI_CHECK(it != chains_.end()) << "aux record with no item chain";
+  ItemChain& chain = it->second;
+  if (record->item_prev != nullptr) {
+    record->item_prev->item_next = record->item_next;
+  } else {
+    chain.head = record->item_next;
+  }
+  if (record->item_next != nullptr) {
+    record->item_next->item_prev = record->item_prev;
+  } else {
+    chain.tail = record->item_prev;
+  }
+  if (chain.head == nullptr) chains_.erase(it);
+
+  delete record;
+  --size_;
+}
+
+void AuxLog::RemoveAllForItem(ItemId item) {
+  AuxRecord* r = Earliest(item);
+  while (r != nullptr) {
+    AuxRecord* next = r->item_next;
+    Remove(r);
+    r = next;
+  }
+}
+
+size_t AuxLog::CountForItem(ItemId item) const {
+  size_t count = 0;
+  for (AuxRecord* r = Earliest(item); r != nullptr; r = r->item_next) ++count;
+  return count;
+}
+
+}  // namespace epidemic

@@ -1,0 +1,88 @@
+#ifndef EPIDEMIC_LOG_AUX_LOG_H_
+#define EPIDEMIC_LOG_AUX_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "log/log_vector.h"
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Redo information for one user update. The paper presents whole-data-item
+/// copying (§2), so an operation is modelled as the complete new state the
+/// update produced (value or tombstone); AcceptPropagation and intra-node
+/// replay both install state wholesale.
+struct UpdateOp {
+  std::string new_value;
+  bool deleted = false;  // true when the operation was a Delete
+};
+
+/// One record of the auxiliary log AUX_i (§4.4): `(m, x, v, op)` where `v`
+/// is the IVV the *auxiliary* copy of x had when the update was applied
+/// (excluding this update) and `op` carries enough to re-do the update.
+/// Unlike log-vector records these can be large, but they are never sent
+/// between nodes.
+struct AuxRecord {
+  uint64_t m = 0;  // position in the node's auxiliary update sequence
+  ItemId item = 0;
+  VersionVector vv;  // aux IVV before this update
+  UpdateOp op;
+
+  AuxRecord* prev = nullptr;  // global (whole-log) order
+  AuxRecord* next = nullptr;
+  AuxRecord* item_prev = nullptr;  // per-item order
+  AuxRecord* item_next = nullptr;
+};
+
+/// The auxiliary log (§4.4): append-only sequence of updates applied to
+/// out-of-bound (auxiliary) data items, supporting
+///   * Earliest(x) — oldest record for item x — in O(1), and
+///   * removal of any record (possibly mid-log) in O(1),
+/// via a global doubly-linked list threaded with per-item sublists.
+class AuxLog {
+ public:
+  AuxLog() = default;
+  ~AuxLog();
+
+  AuxLog(const AuxLog&) = delete;
+  AuxLog& operator=(const AuxLog&) = delete;
+
+  /// Appends a record for `item`. `vv_before` is the auxiliary IVV at apply
+  /// time, excluding the update being logged.
+  AuxRecord* Append(ItemId item, const VersionVector& vv_before, UpdateOp op);
+
+  /// Earliest(x): the oldest record referring to `item`, or nullptr. O(1).
+  AuxRecord* Earliest(ItemId item) const;
+
+  /// Unlinks and frees `record`. O(1).
+  void Remove(AuxRecord* record);
+
+  /// Drops every record referring to `item` (used when an auxiliary copy is
+  /// abandoned). Linear in the number of records for that item.
+  void RemoveAllForItem(ItemId item);
+
+  AuxRecord* head() const { return head_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of records currently held for `item`.
+  size_t CountForItem(ItemId item) const;
+
+ private:
+  struct ItemChain {
+    AuxRecord* head = nullptr;
+    AuxRecord* tail = nullptr;
+  };
+
+  AuxRecord* head_ = nullptr;
+  AuxRecord* tail_ = nullptr;
+  size_t size_ = 0;
+  uint64_t next_m_ = 1;
+  std::unordered_map<ItemId, ItemChain> chains_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_LOG_AUX_LOG_H_

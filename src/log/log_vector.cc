@@ -1,0 +1,106 @@
+#include "log/log_vector.h"
+
+#include "common/logging.h"
+
+namespace epidemic {
+
+OriginLog::OriginLog() = default;
+
+OriginLog::~OriginLog() { FreeAll(); }
+
+OriginLog::OriginLog(OriginLog&& other) noexcept
+    : head_(other.head_), tail_(other.tail_), size_(other.size_) {
+  other.head_ = other.tail_ = nullptr;
+  other.size_ = 0;
+}
+
+OriginLog& OriginLog::operator=(OriginLog&& other) noexcept {
+  if (this != &other) {
+    FreeAll();
+    head_ = other.head_;
+    tail_ = other.tail_;
+    size_ = other.size_;
+    other.head_ = other.tail_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void OriginLog::FreeAll() {
+  LogRecord* r = head_;
+  while (r != nullptr) {
+    LogRecord* next = r->next;
+    delete r;
+    r = next;
+  }
+  head_ = tail_ = nullptr;
+  size_ = 0;
+}
+
+void OriginLog::AddLogRecord(ItemId item, UpdateCount seq, LogRecord** slot) {
+  // Link the new record at the tail first (paper's AddLogRecord order).
+  LogRecord* rec = new LogRecord{item, seq, tail_, nullptr};
+  if (tail_ != nullptr) {
+    tail_->next = rec;
+  } else {
+    head_ = rec;
+  }
+  tail_ = rec;
+  ++size_;
+
+  // Unlink the superseded record for the same item, found in O(1) via the
+  // P_j(x) pointer.
+  if (*slot != nullptr) {
+    EPI_DCHECK((*slot)->item == item);
+    Unlink(*slot);
+    delete *slot;
+  }
+  *slot = rec;
+}
+
+void OriginLog::Remove(LogRecord* record, LogRecord** slot) {
+  EPI_CHECK(*slot == record) << "Remove: P(x) pointer does not match record";
+  Unlink(record);
+  delete record;
+  *slot = nullptr;
+}
+
+void OriginLog::Unlink(LogRecord* record) {
+  if (record->prev != nullptr) {
+    record->prev->next = record->next;
+  } else {
+    head_ = record->next;
+  }
+  if (record->next != nullptr) {
+    record->next->prev = record->prev;
+  } else {
+    tail_ = record->prev;
+  }
+  record->prev = record->next = nullptr;
+  --size_;
+}
+
+size_t OriginLog::CollectTail(UpdateCount after,
+                              std::vector<LogRecord>* out) const {
+  // Records are in origin order, i.e. strictly increasing seq, so the
+  // matching records form a suffix. Walk back from the tail to find its
+  // start, then emit oldest-first.
+  LogRecord* first = nullptr;
+  for (LogRecord* r = tail_; r != nullptr && r->seq > after; r = r->prev) {
+    first = r;
+  }
+  size_t count = 0;
+  for (LogRecord* r = first; r != nullptr; r = r->next) {
+    out->push_back(LogRecord{r->item, r->seq, nullptr, nullptr});
+    ++count;
+  }
+  return count;
+}
+
+size_t LogVector::TotalRecords() const {
+  size_t total = 0;
+  for (const OriginLog& log : logs_) total += log.size();
+  return total;
+}
+
+}  // namespace epidemic

@@ -1,0 +1,101 @@
+#ifndef EPIDEMIC_LOG_LOG_VECTOR_H_
+#define EPIDEMIC_LOG_LOG_VECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Dense per-node index of a data item inside one replica's item store.
+/// Ids are local to a node; the wire format always carries item *names*.
+using ItemId = uint32_t;
+
+/// One record of the log vector (paper §4.2): "data item x was updated by
+/// the origin node; the update's sequence number there was `seq`".
+///
+/// Records register only the *fact* of an update, never redo information, so
+/// they are constant-size — the property §6 relies on when bounding message
+/// overhead to a constant per shipped item.
+struct LogRecord {
+  ItemId item = 0;
+  UpdateCount seq = 0;  // value of V_jj at the origin j, including this update
+  LogRecord* prev = nullptr;
+  LogRecord* next = nullptr;
+};
+
+/// One component L_ij of the log vector: updates originated at one node `j`,
+/// in j's execution order, with **at most one record per data item** — when a
+/// newer record for x arrives, the older one is unlinked in O(1) through the
+/// caller-supplied back-pointer P_j(x) (Fig. 1).
+///
+/// The list is intrusive and pool-allocated; head is the oldest record.
+class OriginLog {
+ public:
+  OriginLog();
+  ~OriginLog();
+
+  OriginLog(const OriginLog&) = delete;
+  OriginLog& operator=(const OriginLog&) = delete;
+  OriginLog(OriginLog&&) noexcept;
+  OriginLog& operator=(OriginLog&&) noexcept;
+
+  /// AddLogRecord (§4.2): appends (item, seq) at the tail and unlinks the
+  /// previous record for the same item, passed via `*slot` — the P_j(x)
+  /// pointer owned by the item's control state. On return `*slot` points at
+  /// the new record. O(1).
+  void AddLogRecord(ItemId item, UpdateCount seq, LogRecord** slot);
+
+  /// Removes a record (used when conflict handling drops records referring
+  /// to a conflicting item from a received tail — §5.1 step 2 — and by
+  /// tests). `*slot` must equal `record`; it is reset to null. O(1).
+  void Remove(LogRecord* record, LogRecord** slot);
+
+  /// Oldest / newest records, or nullptr when empty.
+  LogRecord* head() const { return head_; }
+  LogRecord* tail() const { return tail_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Collects the suffix of records with `seq > after`, oldest first, by
+  /// walking back from the tail — time linear in the number of records
+  /// *selected*, never in the log length (§6: "computing tails D_k is done
+  /// in time linear in the number of records selected").
+  ///
+  /// Returns the number appended to `*out`.
+  size_t CollectTail(UpdateCount after, std::vector<LogRecord>* out) const;
+
+ private:
+  void Unlink(LogRecord* record);
+  void FreeAll();
+
+  LogRecord* head_ = nullptr;
+  LogRecord* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// The full log vector L_i of node i (§4.2): one OriginLog per node in the
+/// replica set. Total records are bounded by n·N since each component holds
+/// at most one record per item.
+class LogVector {
+ public:
+  explicit LogVector(size_t num_nodes) : logs_(num_nodes) {}
+
+  OriginLog& ForOrigin(NodeId j) { return logs_[j]; }
+  const OriginLog& ForOrigin(NodeId j) const { return logs_[j]; }
+
+  size_t num_nodes() const { return logs_.size(); }
+
+  /// Total record count across all components (≤ n·N).
+  size_t TotalRecords() const;
+
+ private:
+  std::vector<OriginLog> logs_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_LOG_LOG_VECTOR_H_

@@ -1,0 +1,77 @@
+#include "multidb/multi_db_node.h"
+
+namespace epidemic::multidb {
+
+Replica& MultiDbNode::OpenDatabase(std::string_view db) {
+  auto it = databases_.find(db);
+  if (it == databases_.end()) {
+    it = databases_
+             .emplace(std::string(db),
+                      std::make_unique<Replica>(id_, num_nodes_, listener_))
+             .first;
+  }
+  return *it->second;
+}
+
+Replica* MultiDbNode::FindDatabase(std::string_view db) {
+  auto it = databases_.find(db);
+  return it == databases_.end() ? nullptr : it->second.get();
+}
+
+const Replica* MultiDbNode::FindDatabase(std::string_view db) const {
+  auto it = databases_.find(db);
+  return it == databases_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MultiDbNode::ListDatabases() const {
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, replica] : databases_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> MultiDbNode::Read(std::string_view db,
+                                      std::string_view item) {
+  Replica* replica = FindDatabase(db);
+  if (replica == nullptr) {
+    return Status::NotFound("no database named '" + std::string(db) + "'");
+  }
+  return replica->Read(item);
+}
+
+std::vector<MultiDbNode::DbSummary> MultiDbNode::BuildSummary() const {
+  std::vector<DbSummary> summary;
+  summary.reserve(databases_.size());
+  for (const auto& [name, replica] : databases_) {
+    summary.push_back(DbSummary{name, replica->dbvv()});
+  }
+  return summary;
+}
+
+Result<size_t> MultiDbNode::PullAllFrom(MultiDbNode& source) {
+  size_t transferred = 0;
+  // Walk the source's summary: one DBVV comparison per database decides
+  // whether that database's protocol instance runs at all.
+  for (const DbSummary& entry : source.BuildSummary()) {
+    Replica& mine = OpenDatabase(entry.db);
+    if (VersionVector::DominatesOrEqual(mine.dbvv(), entry.dbvv)) {
+      continue;  // already current for this database
+    }
+    auto copied = PropagateOnce(*source.FindDatabase(entry.db), mine);
+    if (!copied.ok()) return copied.status();
+    if (*copied > 0) ++transferred;
+  }
+  return transferred;
+}
+
+Result<size_t> MultiDbNode::PullFrom(MultiDbNode& source,
+                                     std::string_view db) {
+  Replica* theirs = source.FindDatabase(db);
+  if (theirs == nullptr) {
+    return Status::NotFound("source hosts no database named '" +
+                            std::string(db) + "'");
+  }
+  return PropagateOnce(*theirs, OpenDatabase(db));
+}
+
+}  // namespace epidemic::multidb

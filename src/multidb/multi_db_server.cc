@@ -1,0 +1,198 @@
+#include "multidb/multi_db_server.h"
+
+#include <variant>
+
+#include "common/bytes.h"
+#include "net/codec.h"
+#include "vv/vv_codec.h"
+
+namespace epidemic::multidb {
+
+namespace {
+constexpr uint8_t kKindRouted = 1;
+constexpr uint8_t kKindSummary = 2;
+
+std::string EncodeErrorReply(const Status& s) {
+  net::ClientReply reply;
+  reply.code = static_cast<uint8_t>(s.code());
+  reply.payload = s.message();
+  return net::Encode(net::Message(std::move(reply)));
+}
+}  // namespace
+
+std::string WrapRouted(std::string_view db, std::string_view inner) {
+  ByteWriter w;
+  w.PutU8(kKindRouted);
+  w.PutString(db);
+  w.PutBytes(inner.data(), inner.size());
+  return w.Release();
+}
+
+Result<std::pair<std::string, std::string_view>> UnwrapRouted(
+    std::string_view frame) {
+  ByteReader r(frame);
+  auto kind = r.GetU8();
+  if (!kind.ok()) return kind.status();
+  if (*kind != kKindRouted) return Status::Corruption("not a routed frame");
+  auto db = r.GetString();
+  if (!db.ok()) return db.status();
+  if (db->empty()) return Status::Corruption("empty database name");
+  std::string_view inner = frame.substr(frame.size() - r.remaining());
+  return std::make_pair(std::move(*db), inner);
+}
+
+std::string SummaryRequestFrame() {
+  return std::string(1, static_cast<char>(kKindSummary));
+}
+
+std::string EncodeSummary(const std::vector<MultiDbNode::DbSummary>& s) {
+  ByteWriter w;
+  w.PutVarint64(s.size());
+  for (const auto& entry : s) {
+    w.PutString(entry.db);
+    EncodeVersionVector(&w, entry.dbvv);
+  }
+  return w.Release();
+}
+
+Result<std::vector<MultiDbNode::DbSummary>> DecodeSummary(
+    std::string_view frame) {
+  ByteReader r(frame);
+  auto count = r.GetVarint64();
+  if (!count.ok()) return count.status();
+  if (*count > (1u << 20)) return Status::Corruption("absurd database count");
+  std::vector<MultiDbNode::DbSummary> out;
+  out.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; ++i) {
+    MultiDbNode::DbSummary entry;
+    auto db = r.GetString();
+    if (!db.ok()) return db.status();
+    entry.db = std::move(*db);
+    auto vv = DecodeVersionVector(&r);
+    if (!vv.ok()) return vv.status();
+    entry.dbvv = std::move(*vv);
+    out.push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after summary");
+  return out;
+}
+
+std::string MultiDbServer::HandleRequest(std::string_view request) {
+  if (request.empty()) {
+    return EncodeErrorReply(Status::Corruption("empty frame"));
+  }
+  const uint8_t kind = static_cast<uint8_t>(request[0]);
+  if (kind == kKindSummary) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return EncodeSummary(node_.BuildSummary());
+  }
+  auto routed = UnwrapRouted(request);
+  if (!routed.ok()) return EncodeErrorReply(routed.status());
+  std::lock_guard<std::mutex> lock(mu_);
+  return HandleRoutedLocked(routed->first, routed->second);
+}
+
+std::string MultiDbServer::HandleRoutedLocked(std::string_view db,
+                                              std::string_view inner) {
+  auto decoded = net::Decode(inner);
+  if (!decoded.ok()) return EncodeErrorReply(decoded.status());
+  Replica& replica = node_.OpenDatabase(db);
+
+  if (auto* prop = std::get_if<PropagationRequest>(&*decoded)) {
+    return net::Encode(
+        net::Message(replica.HandlePropagationRequest(*prop)));
+  }
+  if (auto* oob = std::get_if<OobRequest>(&*decoded)) {
+    return net::Encode(net::Message(replica.HandleOobRequest(*oob)));
+  }
+  if (auto* update = std::get_if<net::ClientUpdateRequest>(&*decoded)) {
+    Status s = replica.Update(update->item_name, update->value);
+    net::ClientReply reply;
+    reply.code = static_cast<uint8_t>(s.code());
+    reply.payload = s.message();
+    return net::Encode(net::Message(std::move(reply)));
+  }
+  if (auto* del = std::get_if<net::ClientDeleteRequest>(&*decoded)) {
+    Status s = replica.Delete(del->item_name);
+    net::ClientReply reply;
+    reply.code = static_cast<uint8_t>(s.code());
+    reply.payload = s.message();
+    return net::Encode(net::Message(std::move(reply)));
+  }
+  if (auto* read = std::get_if<net::ClientReadRequest>(&*decoded)) {
+    auto value = replica.Read(read->item_name);
+    net::ClientReply reply;
+    reply.code = static_cast<uint8_t>(value.status().code());
+    reply.payload = value.ok() ? *value : value.status().message();
+    return net::Encode(net::Message(std::move(reply)));
+  }
+  return EncodeErrorReply(
+      Status::InvalidArgument("message type not servable per-database"));
+}
+
+Status MultiDbServer::Update(std::string_view db, std::string_view item,
+                             std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_.Update(db, item, value);
+}
+
+Status MultiDbServer::Delete(std::string_view db, std::string_view item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_.Delete(db, item);
+}
+
+Result<std::string> MultiDbServer::Read(std::string_view db,
+                                        std::string_view item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_.Read(db, item);
+}
+
+std::vector<MultiDbNode::DbSummary> MultiDbServer::BuildSummary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_.BuildSummary();
+}
+
+Status MultiDbServer::PullFrom(NodeId peer, std::string_view db) {
+  PropagationRequest req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req = node_.OpenDatabase(db).BuildPropagationRequest();
+  }
+  auto wire = transport_->Call(
+      peer, WrapRouted(db, net::Encode(net::Message(std::move(req)))));
+  if (!wire.ok()) return wire.status();
+  auto decoded = net::Decode(*wire);
+  if (!decoded.ok()) return decoded.status();
+  auto* resp = std::get_if<PropagationResponse>(&*decoded);
+  if (resp == nullptr) {
+    return Status::Corruption("peer sent a non-propagation reply");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_.OpenDatabase(db).AcceptPropagation(*resp);
+}
+
+Result<size_t> MultiDbServer::PullAllFrom(NodeId peer) {
+  auto wire = transport_->Call(peer, SummaryRequestFrame());
+  if (!wire.ok()) return wire.status();
+  auto summary = DecodeSummary(*wire);
+  if (!summary.ok()) return summary.status();
+
+  // Decide which databases lag with one DBVV comparison each, without
+  // holding the lock across the pulls.
+  std::vector<std::string> lagging;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : *summary) {
+      const VersionVector& mine = node_.OpenDatabase(entry.db).dbvv();
+      if (!VersionVector::DominatesOrEqual(mine, entry.dbvv)) {
+        lagging.push_back(entry.db);
+      }
+    }
+  }
+  for (const std::string& db : lagging) {
+    EPI_RETURN_NOT_OK(PullFrom(peer, db));
+  }
+  return lagging.size();
+}
+
+}  // namespace epidemic::multidb

@@ -1,0 +1,80 @@
+#ifndef EPIDEMIC_MULTIDB_MULTI_DB_SERVER_H_
+#define EPIDEMIC_MULTIDB_MULTI_DB_SERVER_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "multidb/multi_db_node.h"
+#include "net/transport.h"
+
+namespace epidemic::multidb {
+
+/// Wire envelope for multi-database RPC. Two frame kinds:
+///   kind 1 (routed):  [u8=1][varint len][db name][inner codec frame]
+///   kind 2 (summary): [u8=2]                       — request
+/// A routed request's reply is the inner frame's reply, un-enveloped; a
+/// summary request's reply is [varint count]{[string db][vv]}.
+std::string WrapRouted(std::string_view db, std::string_view inner);
+
+/// Splits a routed frame into (db, inner). Corruption on malformed input.
+Result<std::pair<std::string, std::string_view>> UnwrapRouted(
+    std::string_view frame);
+
+/// The one-byte summary request frame.
+std::string SummaryRequestFrame();
+
+std::string EncodeSummary(const std::vector<MultiDbNode::DbSummary>& s);
+Result<std::vector<MultiDbNode::DbSummary>> DecodeSummary(
+    std::string_view frame);
+
+/// Network-facing multi-database replica server (§2: separate protocol
+/// instance per database). Serves routed protocol/client RPCs and the
+/// database summary; pulls lagging databases from peers over any
+/// net::Transport at a cost of one DBVV comparison per database.
+///
+/// Locking mirrors ReplicaServer: one mutex guards the whole node, never
+/// held across a transport call.
+class MultiDbServer : public net::RequestHandler {
+ public:
+  MultiDbServer(NodeId id, size_t num_nodes, net::Transport* transport)
+      : id_(id), transport_(transport), node_(id, num_nodes) {}
+
+  // -------------------------------------------------------------------
+  // RPC server side.
+  std::string HandleRequest(std::string_view request) override;
+
+  // -------------------------------------------------------------------
+  // Local (thread-safe) API.
+
+  Status Update(std::string_view db, std::string_view item,
+                std::string_view value);
+  Status Delete(std::string_view db, std::string_view item);
+  Result<std::string> Read(std::string_view db, std::string_view item);
+
+  std::vector<MultiDbNode::DbSummary> BuildSummary() const;
+
+  /// One anti-entropy exchange for one database, over the transport.
+  Status PullFrom(NodeId peer, std::string_view db);
+
+  /// Fetches the peer's summary, then pulls every database this node lags
+  /// on. Returns the number of databases that transferred items.
+  Result<size_t> PullAllFrom(NodeId peer);
+
+  NodeId id() const { return id_; }
+
+ private:
+  std::string HandleRoutedLocked(std::string_view db,
+                                 std::string_view inner);
+
+  NodeId id_;
+  net::Transport* transport_;
+  mutable std::mutex mu_;
+  MultiDbNode node_;
+};
+
+}  // namespace epidemic::multidb
+
+#endif  // EPIDEMIC_MULTIDB_MULTI_DB_SERVER_H_

@@ -1,0 +1,114 @@
+#ifndef EPIDEMIC_NET_CODEC_H_
+#define EPIDEMIC_NET_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/messages.h"
+#include "vv/vv_codec.h"
+
+namespace epidemic::net {
+
+/// Client-facing RPCs used by the server module, sharing the protocol
+/// codec so everything on the wire has one format.
+struct ClientUpdateRequest {
+  std::string item_name;
+  std::string value;
+};
+
+struct ClientReadRequest {
+  std::string item_name;
+};
+
+/// Deletes an item (writes a tombstone) at the addressed server.
+struct ClientDeleteRequest {
+  std::string item_name;
+};
+
+/// Asks the server for its DebugString (DBVV, counters, sizes).
+struct ClientStatsRequest {};
+
+/// Admin: asks the server to run one anti-entropy pull from `peer` now,
+/// outside its background schedule.
+struct ClientSyncRequest {
+  NodeId peer = 0;
+};
+
+/// Admin: asks a durable server to checkpoint (snapshot + truncate
+/// journal) now.
+struct ClientCheckpointRequest {};
+
+/// Lists live items by name prefix. The reply payload is a scan listing:
+/// varint count followed by (name, value) string pairs — see
+/// EncodeScanListing/DecodeScanListing.
+struct ClientScanRequest {
+  std::string prefix;
+  uint64_t limit = 0;  // 0 = unlimited
+};
+
+std::string EncodeScanListing(
+    const std::vector<std::pair<std::string, std::string>>& items);
+Result<std::vector<std::pair<std::string, std::string>>> DecodeScanListing(
+    std::string_view payload);
+
+/// Request that the server perform an out-of-bound fetch of an item from a
+/// given peer before answering (priority read, §5.2 motivation).
+struct ClientOobFetchRequest {
+  NodeId from_peer = 0;
+  std::string item_name;
+};
+
+/// Generic reply for client operations: a status code (0 = OK) plus either
+/// an error message or the read value.
+struct ClientReply {
+  uint8_t code = 0;  // StatusCode numeric value
+  std::string payload;
+};
+
+/// Every message the codec understands.
+using Message =
+    std::variant<PropagationRequest, PropagationResponse, OobRequest,
+                 OobResponse, ClientUpdateRequest, ClientReadRequest,
+                 ClientOobFetchRequest, ClientReply, ClientDeleteRequest,
+                 ClientStatsRequest, ClientScanRequest, ClientSyncRequest,
+                 ClientCheckpointRequest>;
+
+/// Wire tags; stable across versions, one byte on the wire.
+enum class MessageType : uint8_t {
+  kPropagationRequest = 1,
+  kPropagationResponse = 2,
+  kOobRequest = 3,
+  kOobResponse = 4,
+  kClientUpdate = 5,
+  kClientRead = 6,
+  kClientOobFetch = 7,
+  kClientReply = 8,
+  kClientDelete = 9,
+  kClientStats = 10,
+  kClientScan = 11,
+  kClientSync = 12,
+  kClientCheckpoint = 13,
+};
+
+/// Serializes any protocol message into a self-describing byte string
+/// (leading type tag + body). The inverse of Decode().
+std::string Encode(const Message& msg);
+
+/// Parses a frame produced by Encode(). Returns Corruption on malformed or
+/// trailing bytes.
+Result<Message> Decode(std::string_view frame);
+
+/// Version-vector serialization lives in vv/vv_codec.h (shared with the
+/// snapshot format); re-exported here for callers of the wire codec.
+using ::epidemic::DecodeVersionVector;
+using ::epidemic::EncodeVersionVector;
+
+}  // namespace epidemic::net
+
+#endif  // EPIDEMIC_NET_CODEC_H_

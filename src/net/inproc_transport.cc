@@ -1,0 +1,43 @@
+#include "net/inproc_transport.h"
+
+namespace epidemic::net {
+
+InProcHub::InProcHub(size_t num_nodes) {
+  slots_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void InProcHub::Register(NodeId id, RequestHandler* handler) {
+  std::lock_guard<std::mutex> lock(slots_[id]->mu);
+  slots_[id]->handler = handler;
+}
+
+void InProcHub::SetNodeUp(NodeId id, bool up) {
+  std::lock_guard<std::mutex> lock(slots_[id]->mu);
+  slots_[id]->up = up;
+}
+
+bool InProcHub::IsNodeUp(NodeId id) const {
+  std::lock_guard<std::mutex> lock(slots_[id]->mu);
+  return slots_[id]->up;
+}
+
+Result<std::string> InProcHub::Call(NodeId dest, std::string_view request) {
+  if (dest >= slots_.size()) {
+    return Status::InvalidArgument("destination node id out of range");
+  }
+  Slot& slot = *slots_[dest];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (!slot.up) {
+    return Status::Unavailable("node " + std::to_string(dest) + " is down");
+  }
+  if (slot.handler == nullptr) {
+    return Status::Unavailable("node " + std::to_string(dest) +
+                               " has no handler registered");
+  }
+  return slot.handler->HandleRequest(request);
+}
+
+}  // namespace epidemic::net

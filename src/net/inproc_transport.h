@@ -1,0 +1,56 @@
+#ifndef EPIDEMIC_NET_INPROC_TRANSPORT_H_
+#define EPIDEMIC_NET_INPROC_TRANSPORT_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace epidemic::net {
+
+/// Same-process message hub: each node registers its handler; calls are
+/// dispatched directly, serialized per destination by a mutex (the replica
+/// itself is single-threaded by contract).
+///
+/// Nodes can be marked down, in which case calls to them fail with
+/// Unavailable — used by failure-injection tests.
+class InProcHub {
+ public:
+  explicit InProcHub(size_t num_nodes);
+
+  /// `handler` must outlive the hub or be unregistered (nullptr) first.
+  void Register(NodeId id, RequestHandler* handler);
+
+  void SetNodeUp(NodeId id, bool up);
+  bool IsNodeUp(NodeId id) const;
+
+  Result<std::string> Call(NodeId dest, std::string_view request);
+
+  size_t num_nodes() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    RequestHandler* handler = nullptr;
+    bool up = true;
+  };
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+/// Transport facade over a shared hub.
+class InProcTransport : public Transport {
+ public:
+  explicit InProcTransport(InProcHub* hub) : hub_(hub) {}
+
+  Result<std::string> Call(NodeId dest, std::string_view request) override {
+    return hub_->Call(dest, request);
+  }
+
+ private:
+  InProcHub* hub_;
+};
+
+}  // namespace epidemic::net
+
+#endif  // EPIDEMIC_NET_INPROC_TRANSPORT_H_

@@ -1,0 +1,211 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/compress.h"
+#include "common/logging.h"
+
+namespace epidemic::net {
+
+namespace {
+
+Status SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, char* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t rc = ::recv(fd, data + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (rc == 0) return Status::IOError("connection closed mid-frame");
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+constexpr uint32_t kMaxFrameBytes = 256u << 20;  // 256 MiB sanity bound
+
+// Payloads this small are never worth compressing.
+constexpr size_t kCompressionThreshold = 512;
+
+constexpr uint8_t kFlagCompressed = 0x01;
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame too large");
+  }
+  // Transparent compression (the dial-up links of §1): used only when it
+  // actually shrinks the payload.
+  uint8_t flags = 0;
+  std::string compressed;
+  std::string_view body = payload;
+  if (payload.size() >= kCompressionThreshold) {
+    compressed = Compress(payload);
+    if (compressed.size() < payload.size()) {
+      flags |= kFlagCompressed;
+      body = compressed;
+    }
+  }
+
+  uint32_t len = static_cast<uint32_t>(body.size());
+  char header[5];
+  std::memcpy(header, &len, 4);
+  header[4] = static_cast<char>(flags);
+  EPI_RETURN_NOT_OK(SendAll(fd, header, 5));
+  return SendAll(fd, body.data(), body.size());
+}
+
+Result<std::string> ReadFrame(int fd) {
+  char header[5];
+  EPI_RETURN_NOT_OK(RecvAll(fd, header, 5));
+  uint32_t len;
+  std::memcpy(&len, header, 4);
+  uint8_t flags = static_cast<uint8_t>(header[4]);
+  if (len > kMaxFrameBytes) return Status::Corruption("oversized frame");
+  if ((flags & ~kFlagCompressed) != 0) {
+    return Status::Corruption("unknown frame flags");
+  }
+  std::string payload(len, '\0');
+  EPI_RETURN_NOT_OK(RecvAll(fd, payload.data(), len));
+  if (flags & kFlagCompressed) {
+    return Decompress(payload, kMaxFrameBytes);
+  }
+  return payload;
+}
+
+Status TcpServer::Start(uint16_t port) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  for (;;) {
+    Result<std::string> request = ReadFrame(fd);
+    if (!request.ok()) break;  // peer closed or transport error
+    std::string response = handler_->HandleRequest(*request);
+    if (!WriteFrame(fd, response).ok()) break;
+  }
+  ::close(fd);
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Shut the listener down to unblock accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  listen_fd_ = -1;
+}
+
+Result<std::string> TcpTransport::Call(NodeId dest,
+                                       std::string_view request) {
+  if (dest >= ports_.size() || ports_[dest] == 0) {
+    return Status::InvalidArgument("no endpoint configured for node " +
+                                   std::to_string(dest));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(ports_[dest]);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to node " + std::to_string(dest) +
+                               ": " + std::strerror(errno));
+  }
+
+  Status s = WriteFrame(fd, request);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  Result<std::string> response = ReadFrame(fd);
+  ::close(fd);
+  return response;
+}
+
+}  // namespace epidemic::net

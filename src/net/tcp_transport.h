@@ -1,0 +1,75 @@
+#ifndef EPIDEMIC_NET_TCP_TRANSPORT_H_
+#define EPIDEMIC_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace epidemic::net {
+
+/// Frame helpers shared by server and client: 4-byte little-endian length
+/// prefix followed by the payload. Exposed for tests.
+Status WriteFrame(int fd, std::string_view payload);
+Result<std::string> ReadFrame(int fd);
+
+/// Minimal threaded TCP RPC server: an accept loop plus one thread per
+/// connection; each connection carries a sequence of framed
+/// request/response pairs handled by the registered RequestHandler.
+///
+/// Listens on 127.0.0.1 only — this is a replication endpoint for the
+/// examples and integration tests, not a hardened network service.
+class TcpServer {
+ public:
+  explicit TcpServer(RequestHandler* handler) : handler_(handler) {}
+  ~TcpServer() { Stop(); }
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and starts accepting. `port` 0 picks an ephemeral port,
+  /// retrievable via port() afterwards.
+  Status Start(uint16_t port);
+
+  /// Stops accepting, closes the listener, and joins all threads. Safe to
+  /// call more than once.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  RequestHandler* handler_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+};
+
+/// Transport that maps NodeIds to TCP endpoints and performs one
+/// connect/request/response/close cycle per Call. Simple and robust; peers
+/// are expected to be local or LAN-near in this library's deployments.
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(size_t num_nodes) : ports_(num_nodes, 0) {}
+
+  /// All endpoints are 127.0.0.1:<port>.
+  void SetPeerPort(NodeId id, uint16_t port) { ports_[id] = port; }
+
+  Result<std::string> Call(NodeId dest, std::string_view request) override;
+
+ private:
+  std::vector<uint16_t> ports_;
+};
+
+}  // namespace epidemic::net
+
+#endif  // EPIDEMIC_NET_TCP_TRANSPORT_H_

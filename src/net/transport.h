@@ -1,0 +1,33 @@
+#ifndef EPIDEMIC_NET_TRANSPORT_H_
+#define EPIDEMIC_NET_TRANSPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "vv/version_vector.h"
+
+namespace epidemic::net {
+
+/// Server side of an RPC endpoint: consumes one encoded request message and
+/// produces one encoded response message (both codec frames, no length
+/// prefix — framing belongs to the transport).
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  virtual std::string HandleRequest(std::string_view request) = 0;
+};
+
+/// Client side: blocking request/response to a peer addressed by NodeId.
+/// Implementations: InProcTransport (same-process, for tests and the
+/// simulator-backed examples) and TcpTransport (real sockets).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Result<std::string> Call(NodeId dest, std::string_view request) = 0;
+};
+
+}  // namespace epidemic::net
+
+#endif  // EPIDEMIC_NET_TRANSPORT_H_

@@ -1,0 +1,317 @@
+#include "server/replica_server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/codec.h"
+
+namespace epidemic::server {
+
+using net::ClientOobFetchRequest;
+using net::ClientReadRequest;
+using net::ClientReply;
+using net::ClientUpdateRequest;
+using net::Message;
+
+namespace {
+
+std::string EncodeStatusReply(const Status& s, std::string payload = "") {
+  ClientReply reply;
+  reply.code = static_cast<uint8_t>(s.code());
+  // Only the message crosses the wire; the client rebuilds the Status from
+  // the code, so no "NotFound: NotFound:" double prefixes.
+  reply.payload = s.ok() ? std::move(payload) : s.message();
+  return net::Encode(Message(std::move(reply)));
+}
+
+/// Converts a decoded ClientReply back into a Status/value pair.
+Result<std::string> ReplyToResult(const ClientReply& reply) {
+  if (reply.code == 0) return reply.payload;
+  return Status(static_cast<StatusCode>(reply.code), reply.payload);
+}
+
+}  // namespace
+
+ReplicaServer::ReplicaServer(NodeId id, size_t num_nodes,
+                             net::Transport* transport, Options options)
+    : id_(id),
+      transport_(transport),
+      options_(std::move(options)),
+      memory_(std::make_unique<Replica>(id, num_nodes, &listener_)) {}
+
+ReplicaServer::ReplicaServer(std::unique_ptr<JournaledReplica> durable,
+                             net::Transport* transport, Options options)
+    : id_(durable->replica().id()),
+      transport_(transport),
+      options_(std::move(options)),
+      durable_(std::move(durable)) {}
+
+ReplicaServer::~ReplicaServer() { Stop(); }
+
+void ReplicaServer::Start() {
+  if (options_.anti_entropy_interval_micros <= 0 || options_.peers.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  ae_thread_ = std::thread([this] { AntiEntropyLoop(); });
+}
+
+void ReplicaServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (ae_thread_.joinable()) ae_thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  started_ = false;
+}
+
+void ReplicaServer::AntiEntropyLoop() {
+  size_t next_peer = 0;
+  TimeMicros last_checkpoint = RealClock::Default()->NowMicros();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(thread_mu_);
+      cv_.wait_for(
+          lock,
+          std::chrono::microseconds(options_.anti_entropy_interval_micros),
+          [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    NodeId peer = options_.peers[next_peer];
+    next_peer = (next_peer + 1) % options_.peers.size();
+    Status s = PullFrom(peer);
+    if (!s.ok() && !s.IsUnavailable()) {
+      EPI_LOG(kWarning) << "node " << id_ << ": anti-entropy pull from "
+                        << peer << " failed: " << s.ToString();
+    }
+    if (durable_ != nullptr && options_.checkpoint_interval_micros > 0) {
+      TimeMicros now = RealClock::Default()->NowMicros();
+      if (now - last_checkpoint >= options_.checkpoint_interval_micros) {
+        Status cp = Checkpoint();
+        if (!cp.ok()) {
+          EPI_LOG(kWarning) << "node " << id_
+                            << ": background checkpoint failed: "
+                            << cp.ToString();
+        }
+        last_checkpoint = now;
+      }
+    }
+  }
+}
+
+std::string ReplicaServer::HandleRequest(std::string_view request) {
+  Result<Message> decoded = net::Decode(request);
+  if (!decoded.ok()) return EncodeStatusReply(decoded.status());
+  Message& msg = *decoded;
+
+  if (auto* prop_req = std::get_if<PropagationRequest>(&msg)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return net::Encode(Message(rep().HandlePropagationRequest(*prop_req)));
+  }
+  if (auto* oob_req = std::get_if<OobRequest>(&msg)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return net::Encode(Message(rep().HandleOobRequest(*oob_req)));
+  }
+  if (auto* update = std::get_if<ClientUpdateRequest>(&msg)) {
+    return EncodeStatusReply(Update(update->item_name, update->value));
+  }
+  if (auto* del = std::get_if<net::ClientDeleteRequest>(&msg)) {
+    return EncodeStatusReply(Delete(del->item_name));
+  }
+  if (auto* read = std::get_if<ClientReadRequest>(&msg)) {
+    Result<std::string> value = Read(read->item_name);
+    if (!value.ok()) return EncodeStatusReply(value.status());
+    return EncodeStatusReply(Status::OK(), std::move(*value));
+  }
+  if (std::get_if<net::ClientStatsRequest>(&msg) != nullptr) {
+    return EncodeStatusReply(Status::OK(), Stats());
+  }
+  if (auto* scan = std::get_if<net::ClientScanRequest>(&msg)) {
+    auto items = Scan(scan->prefix, static_cast<size_t>(scan->limit));
+    return EncodeStatusReply(Status::OK(), net::EncodeScanListing(items));
+  }
+  if (auto* sync = std::get_if<net::ClientSyncRequest>(&msg)) {
+    if (sync->peer == id_) {
+      return EncodeStatusReply(Status::InvalidArgument("cannot self-sync"));
+    }
+    return EncodeStatusReply(PullFrom(sync->peer));
+  }
+  if (std::get_if<net::ClientCheckpointRequest>(&msg) != nullptr) {
+    return EncodeStatusReply(Checkpoint());
+  }
+  if (auto* fetch = std::get_if<ClientOobFetchRequest>(&msg)) {
+    Status s = OobFetch(fetch->from_peer, fetch->item_name);
+    if (!s.ok()) return EncodeStatusReply(s);
+    Result<std::string> value = Read(fetch->item_name);
+    if (!value.ok()) return EncodeStatusReply(value.status());
+    return EncodeStatusReply(Status::OK(), std::move(*value));
+  }
+  return EncodeStatusReply(
+      Status::InvalidArgument("message type not servable"));
+}
+
+Status ReplicaServer::Update(std::string_view item, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_ != nullptr) return durable_->Update(item, value);
+  return memory_->Update(item, value);
+}
+
+Status ReplicaServer::Delete(std::string_view item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_ != nullptr) return durable_->Delete(item);
+  return memory_->Delete(item);
+}
+
+Result<std::string> ReplicaServer::Read(std::string_view item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep().Read(item);
+}
+
+std::vector<std::pair<std::string, std::string>> ReplicaServer::Scan(
+    std::string_view prefix, size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep().Scan(prefix, limit);
+}
+
+std::string ReplicaServer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep().DebugString();
+}
+
+Status ReplicaServer::PullFrom(NodeId peer) {
+  // Build the DBVV handshake under the lock, release it for the RPC, and
+  // re-acquire to merge the response.
+  PropagationRequest req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req = rep().BuildPropagationRequest();
+  }
+  Result<std::string> wire =
+      transport_->Call(peer, net::Encode(Message(std::move(req))));
+  if (!wire.ok()) return wire.status();
+  Result<Message> decoded = net::Decode(*wire);
+  if (!decoded.ok()) return decoded.status();
+  auto* resp = std::get_if<PropagationResponse>(&*decoded);
+  if (resp == nullptr) {
+    return Status::Corruption("peer sent a non-propagation reply");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_ != nullptr) return durable_->AcceptPropagation(*resp);
+  return memory_->AcceptPropagation(*resp);
+}
+
+Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
+  OobRequest req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req = rep().BuildOobRequest(item);
+  }
+  Result<std::string> wire =
+      transport_->Call(peer, net::Encode(Message(std::move(req))));
+  if (!wire.ok()) return wire.status();
+  Result<Message> decoded = net::Decode(*wire);
+  if (!decoded.ok()) return decoded.status();
+  auto* resp = std::get_if<OobResponse>(&*decoded);
+  if (resp == nullptr) {
+    return Status::Corruption("peer sent a non-OOB reply");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_ != nullptr) return durable_->AcceptOobResponse(*resp);
+  return memory_->AcceptOobResponse(*resp);
+}
+
+void ReplicaServer::WithReplica(
+    const std::function<void(const Replica&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  fn(rep());
+}
+
+Status ReplicaServer::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_ == nullptr) {
+    return Status::FailedPrecondition("server runs in-memory");
+  }
+  return durable_->Checkpoint();
+}
+
+uint64_t ReplicaServer::conflicts_detected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rep().stats().conflicts_detected;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaClient.
+
+namespace {
+Result<std::string> CallForReply(net::Transport* transport, NodeId server,
+                                 Message msg) {
+  Result<std::string> wire = transport->Call(server, net::Encode(msg));
+  if (!wire.ok()) return wire.status();
+  Result<Message> decoded = net::Decode(*wire);
+  if (!decoded.ok()) return decoded.status();
+  auto* reply = std::get_if<ClientReply>(&*decoded);
+  if (reply == nullptr) return Status::Corruption("expected a client reply");
+  return ReplyToResult(*reply);
+}
+}  // namespace
+
+Status ReplicaClient::Update(std::string_view item, std::string_view value) {
+  Result<std::string> r = CallForReply(
+      transport_, server_,
+      Message(ClientUpdateRequest{std::string(item), std::string(value)}));
+  return r.status();
+}
+
+Status ReplicaClient::Delete(std::string_view item) {
+  Result<std::string> r =
+      CallForReply(transport_, server_,
+                   Message(net::ClientDeleteRequest{std::string(item)}));
+  return r.status();
+}
+
+Result<std::string> ReplicaClient::Read(std::string_view item) {
+  return CallForReply(transport_, server_,
+                      Message(ClientReadRequest{std::string(item)}));
+}
+
+Result<std::string> ReplicaClient::OobRead(NodeId from_peer,
+                                           std::string_view item) {
+  return CallForReply(
+      transport_, server_,
+      Message(ClientOobFetchRequest{from_peer, std::string(item)}));
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ReplicaClient::Scan(
+    std::string_view prefix, uint64_t limit) {
+  Result<std::string> payload = CallForReply(
+      transport_, server_,
+      Message(net::ClientScanRequest{std::string(prefix), limit}));
+  if (!payload.ok()) return payload.status();
+  return net::DecodeScanListing(*payload);
+}
+
+Result<std::string> ReplicaClient::Stats() {
+  return CallForReply(transport_, server_,
+                      Message(net::ClientStatsRequest{}));
+}
+
+Status ReplicaClient::TriggerSync(NodeId peer) {
+  return CallForReply(transport_, server_,
+                      Message(net::ClientSyncRequest{peer}))
+      .status();
+}
+
+Status ReplicaClient::TriggerCheckpoint() {
+  return CallForReply(transport_, server_,
+                      Message(net::ClientCheckpointRequest{}))
+      .status();
+}
+
+}  // namespace epidemic::server

@@ -1,0 +1,164 @@
+#ifndef EPIDEMIC_SERVER_REPLICA_SERVER_H_
+#define EPIDEMIC_SERVER_REPLICA_SERVER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/conflict.h"
+#include "core/journal.h"
+#include "core/replica.h"
+#include "net/transport.h"
+
+namespace epidemic::server {
+
+/// A deployable replica node: wraps a core::Replica behind a mutex, serves
+/// protocol and client RPCs as a net::RequestHandler, and (optionally) runs
+/// a background anti-entropy thread that periodically pulls updates from
+/// its peers in round-robin order — the "separate activity" of the epidemic
+/// model (§1).
+///
+/// Locking: the replica mutex is never held across a transport call, so two
+/// servers pulling from each other cannot deadlock; an anti-entropy round
+/// is build-request (locked) → RPC (unlocked) → accept (locked).
+class ReplicaServer : public net::RequestHandler {
+ public:
+  struct Options {
+    /// Peers this node pulls from, visited round-robin. Usually all other
+    /// nodes, or the ring successor for a ring schedule.
+    std::vector<NodeId> peers;
+
+    /// Background pull period; 0 disables the thread (pull manually via
+    /// PullFrom).
+    TimeMicros anti_entropy_interval_micros = 0;
+
+    /// Durable servers: checkpoint (snapshot + journal truncation) roughly
+    /// this often, piggybacked on the anti-entropy thread. 0 = only on
+    /// explicit Checkpoint() calls.
+    TimeMicros checkpoint_interval_micros = 0;
+  };
+
+  /// In-memory server. `transport` must outlive the server.
+  ReplicaServer(NodeId id, size_t num_nodes, net::Transport* transport,
+                Options options);
+
+  /// Durable server over a recovered journaled replica (core/journal.h):
+  /// every mutating input is journaled, and `Checkpoint()` snapshots +
+  /// truncates. Create the JournaledReplica with JournaledReplica::Open.
+  ReplicaServer(std::unique_ptr<JournaledReplica> durable,
+                net::Transport* transport, Options options);
+
+  ~ReplicaServer() override;
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  /// Starts the background anti-entropy thread (no-op if the interval is 0).
+  void Start();
+
+  /// Stops and joins the background thread. Safe to call repeatedly.
+  void Stop();
+
+  // -------------------------------------------------------------------
+  // RPC server side.
+
+  /// Decodes one request frame, dispatches it to the replica, and returns
+  /// the encoded reply. Unknown/undecodable input yields an encoded
+  /// error ClientReply.
+  std::string HandleRequest(std::string_view request) override;
+
+  // -------------------------------------------------------------------
+  // Local (thread-safe) API.
+
+  Status Update(std::string_view item, std::string_view value);
+  Status Delete(std::string_view item);
+  Result<std::string> Read(std::string_view item);
+  std::vector<std::pair<std::string, std::string>> Scan(
+      std::string_view prefix, size_t limit = 0) const;
+  std::string Stats() const;
+
+  /// One anti-entropy exchange pulling from `peer` over the transport.
+  Status PullFrom(NodeId peer);
+
+  /// Out-of-bound fetch of `item` from `peer` over the transport (§5.2).
+  Status OobFetch(NodeId peer, std::string_view item);
+
+  /// Runs `fn` with the replica locked — for inspection in tests/examples.
+  void WithReplica(const std::function<void(const Replica&)>& fn) const;
+
+  /// Durable servers only: snapshot + journal truncation. For in-memory
+  /// servers returns FailedPrecondition.
+  Status Checkpoint();
+
+  bool is_durable() const { return durable_ != nullptr; }
+
+  NodeId id() const { return id_; }
+  uint64_t conflicts_detected() const;
+
+ private:
+  void AntiEntropyLoop();
+
+  /// The underlying replica, durable or in-memory. Callers hold mu_.
+  Replica& rep() { return durable_ ? durable_->replica() : *memory_; }
+  const Replica& rep() const {
+    return durable_ ? durable_->replica() : *memory_;
+  }
+
+  NodeId id_;
+  net::Transport* transport_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  RecordingConflictListener listener_;
+  std::unique_ptr<Replica> memory_;             // in-memory mode
+  std::unique_ptr<JournaledReplica> durable_;   // durable mode
+
+  std::mutex thread_mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread ae_thread_;
+};
+
+/// Blocking client for a ReplicaServer reachable through a transport.
+class ReplicaClient {
+ public:
+  /// Talks to node `server` via `transport` (not owned).
+  ReplicaClient(net::Transport* transport, NodeId server)
+      : transport_(transport), server_(server) {}
+
+  Status Update(std::string_view item, std::string_view value);
+  Status Delete(std::string_view item);
+  Result<std::string> Read(std::string_view item);
+
+  /// Lists live items by name prefix (`limit` 0 = unlimited).
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      std::string_view prefix, uint64_t limit = 0);
+
+  /// Fetches the server's one-line status summary.
+  Result<std::string> Stats();
+
+  /// Admin: makes the server pull from `peer` right now.
+  Status TriggerSync(NodeId peer);
+
+  /// Admin: makes a durable server checkpoint right now.
+  Status TriggerCheckpoint();
+
+  /// Asks the server to out-of-bound-fetch `item` from `from_peer` first,
+  /// then returns the (fresh) value — a priority read.
+  Result<std::string> OobRead(NodeId from_peer, std::string_view item);
+
+ private:
+  net::Transport* transport_;
+  NodeId server_;
+};
+
+}  // namespace epidemic::server
+
+#endif  // EPIDEMIC_SERVER_REPLICA_SERVER_H_

@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace epidemic::sim {
+
+void EventQueue::At(TimeMicros t, Callback cb) {
+  EPI_CHECK(t >= now_) << "cannot schedule event in the past (" << t << " < "
+                       << now_ << ")";
+  heap_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via a copy of
+  // the entry before popping.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.time;
+  entry.cb();
+  return true;
+}
+
+size_t EventQueue::RunUntil(TimeMicros t) {
+  size_t count = 0;
+  while (!heap_.empty() && heap_.top().time <= t) {
+    RunOne();
+    ++count;
+  }
+  if (t > now_) now_ = t;
+  return count;
+}
+
+size_t EventQueue::RunAll(size_t max_events) {
+  size_t count = 0;
+  while (count < max_events && RunOne()) ++count;
+  return count;
+}
+
+}  // namespace epidemic::sim

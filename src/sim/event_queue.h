@@ -1,0 +1,66 @@
+#ifndef EPIDEMIC_SIM_EVENT_QUEUE_H_
+#define EPIDEMIC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace epidemic::sim {
+
+/// Single-threaded discrete-event scheduler with a virtual clock.
+///
+/// Events at equal timestamps run in scheduling order (a strictly
+/// increasing tiebreaker), so runs are fully deterministic. Callbacks may
+/// schedule further events.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  TimeMicros now() const { return now_; }
+
+  /// Schedules `cb` at absolute virtual time `t` (>= now).
+  void At(TimeMicros t, Callback cb);
+
+  /// Schedules `cb` `delay` microseconds from now.
+  void After(TimeMicros delay, Callback cb) { At(now_ + delay, std::move(cb)); }
+
+  /// Runs the earliest pending event, advancing the clock to it.
+  /// Returns false when the queue is empty.
+  bool RunOne();
+
+  /// Runs events with time <= `t`, then advances the clock to `t`.
+  /// Returns the number of events run.
+  size_t RunUntil(TimeMicros t);
+
+  /// Drains the queue (bounded by `max_events` as a runaway guard).
+  /// Returns the number of events run.
+  size_t RunAll(size_t max_events = SIZE_MAX);
+
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    TimeMicros time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeMicros now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace epidemic::sim
+
+#endif  // EPIDEMIC_SIM_EVENT_QUEUE_H_

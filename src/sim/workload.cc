@@ -1,0 +1,28 @@
+#include "sim/workload.h"
+
+namespace epidemic::sim {
+
+Workload::Workload(const WorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.num_items, config.zipf_s) {}
+
+std::string Workload::ItemName(uint64_t idx) {
+  return "item" + std::to_string(idx);
+}
+
+uint64_t Workload::SampleItem() { return zipf_.Sample(rng_); }
+
+Workload::Op Workload::NextUpdate(size_t num_nodes) {
+  Op op;
+  op.node = static_cast<NodeId>(rng_.Uniform(num_nodes));
+  op.item = ItemName(SampleItem());
+  op.value = "u" + std::to_string(++counter_) + "@n" +
+             std::to_string(op.node);
+  if (op.value.size() < config_.value_len) {
+    op.value.resize(config_.value_len, '.');
+  }
+  return op;
+}
+
+}  // namespace epidemic::sim

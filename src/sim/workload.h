@@ -1,0 +1,59 @@
+#ifndef EPIDEMIC_SIM_WORKLOAD_H_
+#define EPIDEMIC_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "vv/version_vector.h"
+
+namespace epidemic::sim {
+
+/// Parameters of the synthetic update workload.
+///
+/// The paper targets workloads where "the fraction of data items updated on
+/// a database replica between consecutive update propagations is in general
+/// small" (§2); a skewed (Zipf) item-popularity distribution over a large
+/// item universe produces exactly that regime, with the skew knob `zipf_s`
+/// controlling how hot the hot set is.
+struct WorkloadConfig {
+  uint64_t num_items = 1000;
+  double zipf_s = 0.99;     // 0 = uniform
+  size_t value_len = 32;    // payload bytes per update
+  uint64_t seed = 42;
+};
+
+/// Deterministic generator of client update operations.
+class Workload {
+ public:
+  explicit Workload(const WorkloadConfig& config);
+
+  struct Op {
+    NodeId node;       // replica the client contacts
+    std::string item;  // item name
+    std::string value; // unique payload, traceable to its origin
+  };
+
+  /// Next update: uniform random node among `num_nodes`, Zipf-popular item,
+  /// globally unique value "u<counter>@n<node>" padded to value_len.
+  Op NextUpdate(size_t num_nodes);
+
+  /// Stable item name for index `idx`.
+  static std::string ItemName(uint64_t idx);
+
+  /// Item index for the next update (exposed for tests).
+  uint64_t SampleItem();
+
+  Rng& rng() { return rng_; }
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace epidemic::sim
+
+#endif  // EPIDEMIC_SIM_WORKLOAD_H_

@@ -1,0 +1,24 @@
+#include "storage/item_store.h"
+
+namespace epidemic {
+
+Item& ItemStore::GetOrCreate(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return *items_[it->second];
+  ItemId id = static_cast<ItemId>(items_.size());
+  items_.push_back(std::make_unique<Item>(id, std::string(name), num_nodes_));
+  by_name_.emplace(items_.back()->name, id);
+  return *items_.back();
+}
+
+Item* ItemStore::Find(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : items_[it->second].get();
+}
+
+const Item* ItemStore::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : items_[it->second].get();
+}
+
+}  // namespace epidemic

@@ -1,0 +1,104 @@
+#ifndef EPIDEMIC_STORAGE_ITEM_STORE_H_
+#define EPIDEMIC_STORAGE_ITEM_STORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "log/log_vector.h"
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Auxiliary copy of a data item (§4.3), created by out-of-bound copying.
+/// It has its own value and its own (auxiliary) IVV; user operations are
+/// served from it while the regular copy continues to take part in scheduled
+/// update propagation.
+struct AuxCopy {
+  std::string value;
+  bool deleted = false;  // tombstone state of the auxiliary copy
+  VersionVector ivv;
+};
+
+/// One data item replica plus its control state.
+///
+/// Control state holds everything the protocol needs in O(1) while the item
+/// is being accessed anyway (§6):
+///   * `ivv`          — the item version vector of the regular copy,
+///   * `p`            — the pointer array P(x): p[j] addresses the (single)
+///                      record for this item in log component L_ij (Fig. 1),
+///   * `is_selected`  — the IsSelected flag used by SendPropagation to build
+///                      the item set S without a per-item hash probe,
+///   * `aux`          — auxiliary copy + IVV, present only while the item is
+///                      out-of-bound.
+struct Item {
+  Item(ItemId id_in, std::string name_in, size_t num_nodes)
+      : id(id_in), name(std::move(name_in)), ivv(num_nodes),
+        p(num_nodes, nullptr) {}
+
+  Item(const Item&) = delete;
+  Item& operator=(const Item&) = delete;
+
+  ItemId id;
+  std::string name;
+  std::string value;     // regular copy
+  bool deleted = false;  // tombstone: the item was deleted by an update.
+                         // Tombstones replicate like ordinary values so the
+                         // delete wins everywhere; the control state stays.
+  VersionVector ivv;     // regular IVV
+  std::vector<LogRecord*> p;
+  bool is_selected = false;
+  std::unique_ptr<AuxCopy> aux;
+
+  bool HasAux() const { return aux != nullptr; }
+
+  /// The copy user operations act on: auxiliary if present, else regular
+  /// (§5.3).
+  const std::string& UserValue() const { return aux ? aux->value : value; }
+  bool UserDeleted() const { return aux ? aux->deleted : deleted; }
+  const VersionVector& UserIvv() const { return aux ? aux->ivv : ivv; }
+};
+
+/// Name-addressable store of a node's data-item replicas.
+///
+/// Item ids are dense per-node indices handed out in creation order, so the
+/// log can reference items by integer and resolve them back in O(1). The
+/// paper's model has no item deletion, so ids are stable for the life of the
+/// store.
+class ItemStore {
+ public:
+  explicit ItemStore(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  ItemStore(const ItemStore&) = delete;
+  ItemStore& operator=(const ItemStore&) = delete;
+
+  /// Returns the item named `name`, creating an empty replica (zero IVV,
+  /// empty value) on first reference — a fresh replica that has seen no
+  /// updates, per the initialization rule of §3.
+  Item& GetOrCreate(std::string_view name);
+
+  /// Returns the item or nullptr.
+  Item* Find(std::string_view name);
+  const Item* Find(std::string_view name) const;
+
+  Item& Get(ItemId id) { return *items_[id]; }
+  const Item& Get(ItemId id) const { return *items_[id]; }
+
+  size_t size() const { return items_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Iteration support (creation order).
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  size_t num_nodes_;
+  std::vector<std::unique_ptr<Item>> items_;
+  std::unordered_map<std::string, ItemId> by_name_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_STORAGE_ITEM_STORE_H_

@@ -1,0 +1,236 @@
+#include "tokens/token_service.h"
+
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace epidemic::tokens {
+
+namespace {
+constexpr uint8_t kTagRequest = 1;
+constexpr uint8_t kTagReply = 2;
+constexpr uint8_t kTagRelease = 3;
+}  // namespace
+
+std::string EncodeTokenRequest(const TokenRequest& m) {
+  ByteWriter w;
+  w.PutU8(kTagRequest);
+  w.PutVarint64(m.requester);
+  w.PutString(m.item);
+  return w.Release();
+}
+
+std::string EncodeTokenReply(const TokenReply& m) {
+  ByteWriter w;
+  w.PutU8(kTagReply);
+  w.PutU8(m.granted ? 1 : 0);
+  w.PutVarint64(m.holder);
+  w.PutString(m.item);
+  return w.Release();
+}
+
+std::string EncodeTokenRelease(const TokenRelease& m) {
+  ByteWriter w;
+  w.PutU8(kTagRelease);
+  w.PutVarint64(m.holder);
+  w.PutString(m.item);
+  return w.Release();
+}
+
+namespace {
+Result<uint8_t> ExpectTag(ByteReader& r, uint8_t expected) {
+  auto tag = r.GetU8();
+  if (!tag.ok()) return tag.status();
+  if (*tag != expected) {
+    return Status::Corruption("unexpected token message tag");
+  }
+  return *tag;
+}
+}  // namespace
+
+Result<TokenRequest> DecodeTokenRequest(std::string_view frame) {
+  ByteReader r(frame);
+  EPI_RETURN_NOT_OK(ExpectTag(r, kTagRequest).status());
+  TokenRequest m;
+  auto requester = r.GetVarint64();
+  if (!requester.ok()) return requester.status();
+  m.requester = static_cast<NodeId>(*requester);
+  auto item = r.GetString();
+  if (!item.ok()) return item.status();
+  m.item = std::move(*item);
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes");
+  return m;
+}
+
+Result<TokenReply> DecodeTokenReply(std::string_view frame) {
+  ByteReader r(frame);
+  EPI_RETURN_NOT_OK(ExpectTag(r, kTagReply).status());
+  TokenReply m;
+  auto granted = r.GetU8();
+  if (!granted.ok()) return granted.status();
+  m.granted = (*granted != 0);
+  auto holder = r.GetVarint64();
+  if (!holder.ok()) return holder.status();
+  m.holder = static_cast<NodeId>(*holder);
+  auto item = r.GetString();
+  if (!item.ok()) return item.status();
+  m.item = std::move(*item);
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes");
+  return m;
+}
+
+Result<TokenRelease> DecodeTokenRelease(std::string_view frame) {
+  ByteReader r(frame);
+  EPI_RETURN_NOT_OK(ExpectTag(r, kTagRelease).status());
+  TokenRelease m;
+  auto holder = r.GetVarint64();
+  if (!holder.ok()) return holder.status();
+  m.holder = static_cast<NodeId>(*holder);
+  auto item = r.GetString();
+  if (!item.ok()) return item.status();
+  m.item = std::move(*item);
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes");
+  return m;
+}
+
+NodeId TokenService::HomeOf(std::string_view item) const {
+  return static_cast<NodeId>(std::hash<std::string_view>{}(item) %
+                             num_nodes_);
+}
+
+bool TokenService::Holds(std::string_view item) const {
+  return held_.contains(std::string(item));
+}
+
+TokenReply TokenService::HandleRequest(const TokenRequest& req) {
+  EPI_CHECK(HomeOf(req.item) == id_)
+      << "token request for '" << req.item << "' routed to non-home node "
+      << id_;
+  TokenReply reply;
+  reply.item = req.item;
+  auto it = directory_.find(req.item);
+  if (it == directory_.end() || it->second.holder == req.requester) {
+    // Unclaimed (or re-request by the current holder): grant. The home
+    // node itself goes through this same path for its own updates.
+    directory_[req.item] = DirectoryEntry{req.requester};
+    reply.granted = true;
+    reply.holder = req.requester;
+  } else {
+    reply.granted = false;
+    reply.holder = it->second.holder;
+  }
+  return reply;
+}
+
+Status TokenService::HandleRelease(const TokenRelease& rel) {
+  EPI_CHECK(HomeOf(rel.item) == id_)
+      << "token release for '" << rel.item << "' routed to non-home node";
+  auto it = directory_.find(rel.item);
+  if (it == directory_.end() || it->second.holder != rel.holder) {
+    return Status::FailedPrecondition("node " + std::to_string(rel.holder) +
+                                      " does not hold the token for '" +
+                                      rel.item + "'");
+  }
+  directory_.erase(it);
+  return Status::OK();
+}
+
+void TokenService::AdoptGrant(std::string_view item) {
+  held_[std::string(item)] = true;
+}
+
+void TokenService::DropLocal(std::string_view item) {
+  held_.erase(std::string(item));
+}
+
+Status TokenService::AcquireDirect(std::vector<TokenService*>& services,
+                                   NodeId requester, std::string_view item) {
+  TokenService* self = services[requester];
+  if (self->Holds(item)) return Status::OK();
+  TokenService* home = services[self->HomeOf(item)];
+  TokenReply reply =
+      home->HandleRequest(TokenRequest{requester, std::string(item)});
+  if (!reply.granted) {
+    return Status::FailedPrecondition(
+        "token for '" + std::string(item) + "' is held by node " +
+        std::to_string(reply.holder));
+  }
+  self->AdoptGrant(item);
+  return Status::OK();
+}
+
+Status TokenService::ReleaseDirect(std::vector<TokenService*>& services,
+                                   NodeId holder, std::string_view item) {
+  TokenService* self = services[holder];
+  TokenService* home = services[self->HomeOf(item)];
+  EPI_RETURN_NOT_OK(
+      home->HandleRelease(TokenRelease{holder, std::string(item)}));
+  self->DropLocal(item);
+  return Status::OK();
+}
+
+Status TokenService::Acquire(net::Transport& transport,
+                             std::string_view item) {
+  if (Holds(item)) return Status::OK();
+  NodeId home = HomeOf(item);
+  TokenReply reply;
+  if (home == id_) {
+    reply = HandleRequest(TokenRequest{id_, std::string(item)});
+  } else {
+    auto wire = transport.Call(
+        home, EncodeTokenRequest(TokenRequest{id_, std::string(item)}));
+    if (!wire.ok()) return wire.status();
+    auto decoded = DecodeTokenReply(*wire);
+    if (!decoded.ok()) return decoded.status();
+    reply = std::move(*decoded);
+  }
+  if (!reply.granted) {
+    return Status::FailedPrecondition(
+        "token for '" + std::string(item) + "' is held by node " +
+        std::to_string(reply.holder));
+  }
+  AdoptGrant(item);
+  return Status::OK();
+}
+
+Status TokenService::Release(net::Transport& transport,
+                             std::string_view item) {
+  NodeId home = HomeOf(item);
+  if (home == id_) {
+    EPI_RETURN_NOT_OK(HandleRelease(TokenRelease{id_, std::string(item)}));
+  } else {
+    auto wire = transport.Call(
+        home, EncodeTokenRelease(TokenRelease{id_, std::string(item)}));
+    if (!wire.ok()) return wire.status();
+    auto decoded = DecodeTokenReply(*wire);
+    if (!decoded.ok()) return decoded.status();
+    if (!decoded->granted) {
+      return Status::FailedPrecondition("home rejected the release of '" +
+                                        std::string(item) + "'");
+    }
+  }
+  DropLocal(item);
+  return Status::OK();
+}
+
+std::string TokenServiceHandler::HandleRequest(std::string_view request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Token frames are self-tagged; try request, then release.
+  if (auto req = DecodeTokenRequest(request); req.ok()) {
+    return EncodeTokenReply(service_->HandleRequest(*req));
+  }
+  if (auto rel = DecodeTokenRelease(request); rel.ok()) {
+    TokenReply reply;
+    reply.item = rel->item;
+    Status s = service_->HandleRelease(*rel);
+    reply.granted = s.ok();
+    reply.holder = rel->holder;
+    return EncodeTokenReply(reply);
+  }
+  TokenReply reply;
+  reply.granted = false;
+  return EncodeTokenReply(reply);
+}
+
+}  // namespace epidemic::tokens

@@ -1,0 +1,142 @@
+#ifndef EPIDEMIC_TOKENS_TOKEN_SERVICE_H_
+#define EPIDEMIC_TOKENS_TOKEN_SERVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/transport.h"
+#include "vv/version_vector.h"
+
+namespace epidemic::tokens {
+
+/// Pessimistic replica control via per-item tokens (paper §2): "there is a
+/// unique token associated with every data item, and a replica is required
+/// to acquire a token before performing any updates". With every update
+/// guarded by its token, concurrent updates — and hence version-vector
+/// conflicts — cannot occur; anti-entropy still propagates the updates.
+///
+/// The paper does not prescribe a token-location mechanism, so this module
+/// uses a standard sharded directory: each item has a *home node*
+/// (hash(item) mod n) that arbitrates its token. A node holding a token
+/// keeps it until another node asks (token caching), so repeated updates at
+/// one site stay local after the first acquisition.
+///
+/// Deployment model mirrors the replica: one TokenService per node; the
+/// request/release messages are small structs with their own binary codec,
+/// routable over any net::Transport (or called directly in-process).
+
+/// Asks `home` for the token of `item` on behalf of `requester`.
+struct TokenRequest {
+  NodeId requester = 0;
+  std::string item;
+};
+
+/// Reply from the home node.
+struct TokenReply {
+  bool granted = false;
+  NodeId holder = 0;  // current holder when not granted
+  std::string item;
+};
+
+/// Returns the token of `item` to its home.
+struct TokenRelease {
+  NodeId holder = 0;
+  std::string item;
+};
+
+std::string EncodeTokenRequest(const TokenRequest& m);
+std::string EncodeTokenReply(const TokenReply& m);
+std::string EncodeTokenRelease(const TokenRelease& m);
+Result<TokenRequest> DecodeTokenRequest(std::string_view frame);
+Result<TokenReply> DecodeTokenReply(std::string_view frame);
+Result<TokenRelease> DecodeTokenRelease(std::string_view frame);
+
+/// The per-node token authority + local cache.
+///
+/// Thread-compatible (confine to one thread or guard externally), like
+/// Replica.
+class TokenService {
+ public:
+  TokenService(NodeId id, size_t num_nodes)
+      : id_(id), num_nodes_(num_nodes) {}
+
+  /// The node that arbitrates `item`'s token.
+  NodeId HomeOf(std::string_view item) const;
+
+  /// True if this node has explicitly acquired `item`'s token (and may
+  /// update the item). Unclaimed tokens are held by nobody — the home node
+  /// arbitrates them but must acquire like everyone else to update.
+  bool Holds(std::string_view item) const;
+
+  /// Home-side handling of a request: grants when the token is unclaimed
+  /// or already owned by the requester, denies with the current holder
+  /// otherwise. Callers route this to HomeOf(item).
+  TokenReply HandleRequest(const TokenRequest& req);
+
+  /// Home-side handling of a release.
+  Status HandleRelease(const TokenRelease& rel);
+
+  /// Client-side: records a granted token locally.
+  void AdoptGrant(std::string_view item);
+
+  /// Client-side: gives the token up (pair with a TokenRelease to the
+  /// home, unless this node *is* the home).
+  void DropLocal(std::string_view item);
+
+  /// Convenience for in-process topologies: acquire `item`'s token for
+  /// `services[id_]` from the right home in one call. Returns OK,
+  /// or FailedPrecondition naming the holder.
+  static Status AcquireDirect(std::vector<TokenService*>& services,
+                              NodeId requester, std::string_view item);
+
+  /// Convenience: release back to the home.
+  static Status ReleaseDirect(std::vector<TokenService*>& services,
+                              NodeId holder, std::string_view item);
+
+  /// Distributed variants: route the request/release to the item's home
+  /// node over `transport` (the home serves them through a
+  /// TokenServiceHandler). When this node *is* the home, no RPC happens.
+  Status Acquire(net::Transport& transport, std::string_view item);
+  Status Release(net::Transport& transport, std::string_view item);
+
+  NodeId id() const { return id_; }
+
+ private:
+  struct DirectoryEntry {
+    NodeId holder;
+  };
+
+  NodeId id_;
+  size_t num_nodes_;
+  // Home-side directory: item -> current holder. Items without an entry
+  // are unclaimed (token at home).
+  std::unordered_map<std::string, DirectoryEntry> directory_;
+  // Client-side cache: tokens this node holds.
+  std::unordered_map<std::string, bool> held_;
+};
+
+/// RequestHandler facade so a TokenService can be served over any
+/// net::Transport (typically registered on a port/hub slot of its own,
+/// next to the node's ReplicaServer). Thread-safe: serializes access to
+/// the wrapped service.
+class TokenServiceHandler : public net::RequestHandler {
+ public:
+  explicit TokenServiceHandler(TokenService* service) : service_(service) {}
+
+  std::string HandleRequest(std::string_view request) override;
+
+ private:
+  std::mutex mu_;
+  TokenService* service_;
+};
+
+}  // namespace epidemic::tokens
+
+#endif  // EPIDEMIC_TOKENS_TOKEN_SERVICE_H_

@@ -1,0 +1,78 @@
+#include "vv/version_vector.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace epidemic {
+
+void VersionVector::MergeMax(const VersionVector& other) {
+  EPI_CHECK(counts_.size() == other.counts_.size())
+      << "version vector size mismatch: " << counts_.size() << " vs "
+      << other.counts_.size();
+  for (size_t k = 0; k < counts_.size(); ++k) {
+    if (other.counts_[k] > counts_[k]) counts_[k] = other.counts_[k];
+  }
+}
+
+void VersionVector::AddDelta(const VersionVector& newer,
+                             const VersionVector& base) {
+  EPI_CHECK(counts_.size() == newer.size() && counts_.size() == base.size())
+      << "version vector size mismatch in AddDelta";
+  for (size_t k = 0; k < counts_.size(); ++k) {
+    EPI_CHECK(newer[k] >= base[k])
+        << "AddDelta requires newer >= base; component " << k << " has "
+        << newer[k] << " < " << base[k];
+    counts_[k] += newer[k] - base[k];
+  }
+}
+
+VvOrder VersionVector::Compare(const VersionVector& a,
+                               const VersionVector& b) {
+  EPI_CHECK(a.size() == b.size())
+      << "comparing version vectors of different sizes";
+  bool a_greater = false;
+  bool b_greater = false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a.counts_[k] > b.counts_[k]) a_greater = true;
+    if (b.counts_[k] > a.counts_[k]) b_greater = true;
+  }
+  if (a_greater && b_greater) return VvOrder::kConcurrent;
+  if (a_greater) return VvOrder::kDominates;
+  if (b_greater) return VvOrder::kDominatedBy;
+  return VvOrder::kEqual;
+}
+
+bool VersionVector::DominatesOrEqual(const VersionVector& a,
+                                     const VersionVector& b) {
+  VvOrder order = Compare(a, b);
+  return order == VvOrder::kDominates || order == VvOrder::kEqual;
+}
+
+bool VersionVector::Dominates(const VersionVector& a,
+                              const VersionVector& b) {
+  return Compare(a, b) == VvOrder::kDominates;
+}
+
+bool VersionVector::Conflicts(const VersionVector& a,
+                              const VersionVector& b) {
+  return Compare(a, b) == VvOrder::kConcurrent;
+}
+
+UpdateCount VersionVector::Total() const {
+  UpdateCount sum = 0;
+  for (UpdateCount c : counts_) sum += c;
+  return sum;
+}
+
+std::string VersionVector::ToString() const {
+  std::string out = "[";
+  for (size_t k = 0; k < counts_.size(); ++k) {
+    if (k > 0) out += ",";
+    out += std::to_string(counts_[k]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace epidemic

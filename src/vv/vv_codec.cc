@@ -1,0 +1,25 @@
+#include "vv/vv_codec.h"
+
+namespace epidemic {
+
+void EncodeVersionVector(ByteWriter* w, const VersionVector& vv) {
+  w->PutVarint64(vv.size());
+  for (size_t k = 0; k < vv.size(); ++k) {
+    w->PutVarint64(vv[static_cast<NodeId>(k)]);
+  }
+}
+
+Result<VersionVector> DecodeVersionVector(ByteReader* r) {
+  auto n = r->GetVarint64();
+  if (!n.ok()) return n.status();
+  if (*n > (1u << 20)) return Status::Corruption("absurd version vector size");
+  VersionVector vv(static_cast<size_t>(*n));
+  for (size_t k = 0; k < *n; ++k) {
+    auto c = r->GetVarint64();
+    if (!c.ok()) return c.status();
+    vv[static_cast<NodeId>(k)] = *c;
+  }
+  return vv;
+}
+
+}  // namespace epidemic

@@ -1,0 +1,17 @@
+#ifndef EPIDEMIC_VV_VV_CODEC_H_
+#define EPIDEMIC_VV_VV_CODEC_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "vv/version_vector.h"
+
+namespace epidemic {
+
+/// Binary serialization of version vectors, shared by the wire codec and
+/// the snapshot format: varint component count followed by varint counts.
+void EncodeVersionVector(ByteWriter* w, const VersionVector& vv);
+Result<VersionVector> DecodeVersionVector(ByteReader* r);
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_VV_VV_CODEC_H_

@@ -1,0 +1,150 @@
+#include "log/aux_log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace epidemic {
+namespace {
+
+VersionVector Vv(std::vector<UpdateCount> counts) {
+  return VersionVector(std::move(counts));
+}
+
+TEST(AuxLogTest, StartsEmpty) {
+  AuxLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.head(), nullptr);
+  EXPECT_EQ(log.Earliest(0), nullptr);
+}
+
+TEST(AuxLogTest, AppendAssignsIncreasingM) {
+  AuxLog log;
+  AuxRecord* a = log.Append(0, Vv({0, 0}), UpdateOp{"v1"});
+  AuxRecord* b = log.Append(0, Vv({1, 0}), UpdateOp{"v2"});
+  EXPECT_LT(a->m, b->m);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(AuxLogTest, RecordCarriesVvAndOp) {
+  AuxLog log;
+  AuxRecord* r = log.Append(3, Vv({2, 5}), UpdateOp{"payload"});
+  EXPECT_EQ(r->item, 3u);
+  EXPECT_EQ(r->vv, Vv({2, 5}));
+  EXPECT_EQ(r->op.new_value, "payload");
+}
+
+TEST(AuxLogTest, EarliestReturnsOldestPerItem) {
+  AuxLog log;
+  AuxRecord* a0 = log.Append(0, Vv({0}), UpdateOp{"a0"});
+  log.Append(1, Vv({0}), UpdateOp{"b0"});
+  log.Append(0, Vv({1}), UpdateOp{"a1"});
+  EXPECT_EQ(log.Earliest(0), a0);
+  EXPECT_EQ(log.Earliest(0)->op.new_value, "a0");
+  EXPECT_EQ(log.Earliest(1)->op.new_value, "b0");
+  EXPECT_EQ(log.Earliest(9), nullptr);
+}
+
+TEST(AuxLogTest, RemoveEarliestAdvancesChain) {
+  AuxLog log;
+  AuxRecord* a0 = log.Append(0, Vv({0}), UpdateOp{"a0"});
+  AuxRecord* a1 = log.Append(0, Vv({1}), UpdateOp{"a1"});
+  log.Remove(a0);
+  EXPECT_EQ(log.Earliest(0), a1);
+  EXPECT_EQ(log.size(), 1u);
+  log.Remove(a1);
+  EXPECT_EQ(log.Earliest(0), nullptr);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(AuxLogTest, RemoveMiddleOfGlobalList) {
+  AuxLog log;
+  log.Append(0, Vv({0}), UpdateOp{"a"});
+  AuxRecord* mid = log.Append(1, Vv({0}), UpdateOp{"b"});
+  log.Append(2, Vv({0}), UpdateOp{"c"});
+  log.Remove(mid);
+  EXPECT_EQ(log.size(), 2u);
+  // Global order preserved for the remaining records.
+  EXPECT_EQ(log.head()->op.new_value, "a");
+  EXPECT_EQ(log.head()->next->op.new_value, "c");
+  EXPECT_EQ(log.Earliest(1), nullptr);
+}
+
+TEST(AuxLogTest, RemoveMiddleOfItemChain) {
+  AuxLog log;
+  AuxRecord* a0 = log.Append(0, Vv({0}), UpdateOp{"a0"});
+  AuxRecord* a1 = log.Append(0, Vv({1}), UpdateOp{"a1"});
+  AuxRecord* a2 = log.Append(0, Vv({2}), UpdateOp{"a2"});
+  log.Remove(a1);
+  EXPECT_EQ(log.Earliest(0), a0);
+  EXPECT_EQ(a0->item_next, a2);
+  EXPECT_EQ(a2->item_prev, a0);
+  EXPECT_EQ(log.CountForItem(0), 2u);
+}
+
+TEST(AuxLogTest, InterleavedItemChainsAreIndependent) {
+  AuxLog log;
+  log.Append(0, Vv({0}), UpdateOp{"a0"});
+  log.Append(1, Vv({0}), UpdateOp{"b0"});
+  log.Append(0, Vv({1}), UpdateOp{"a1"});
+  log.Append(1, Vv({1}), UpdateOp{"b1"});
+  EXPECT_EQ(log.CountForItem(0), 2u);
+  EXPECT_EQ(log.CountForItem(1), 2u);
+  // Draining item 0 leaves item 1 untouched.
+  while (AuxRecord* r = log.Earliest(0)) log.Remove(r);
+  EXPECT_EQ(log.CountForItem(0), 0u);
+  EXPECT_EQ(log.CountForItem(1), 2u);
+  EXPECT_EQ(log.Earliest(1)->op.new_value, "b0");
+}
+
+TEST(AuxLogTest, RemoveAllForItem) {
+  AuxLog log;
+  log.Append(0, Vv({0}), UpdateOp{"a0"});
+  log.Append(1, Vv({0}), UpdateOp{"b0"});
+  log.Append(0, Vv({1}), UpdateOp{"a1"});
+  log.RemoveAllForItem(0);
+  EXPECT_EQ(log.CountForItem(0), 0u);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.Earliest(1)->op.new_value, "b0");
+}
+
+TEST(AuxLogTest, RemoveAllForAbsentItemIsNoop) {
+  AuxLog log;
+  log.Append(0, Vv({0}), UpdateOp{"a"});
+  log.RemoveAllForItem(42);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(AuxLogTest, StressRandomRemovalKeepsChainsConsistent) {
+  AuxLog log;
+  Rng rng(31);
+  std::vector<AuxRecord*> live;
+  for (int i = 0; i < 2000; ++i) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      ItemId item = static_cast<ItemId>(rng.Uniform(8));
+      live.push_back(log.Append(item, Vv({0}), UpdateOp{"v"}));
+    } else {
+      size_t idx = rng.Uniform(live.size());
+      log.Remove(live[idx]);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+    }
+  }
+  EXPECT_EQ(log.size(), live.size());
+  // Per-item chains are in increasing-m order and match CountForItem.
+  size_t total = 0;
+  for (ItemId item = 0; item < 8; ++item) {
+    uint64_t prev_m = 0;
+    for (AuxRecord* r = log.Earliest(item); r != nullptr; r = r->item_next) {
+      EXPECT_GT(r->m, prev_m);
+      prev_m = r->m;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, live.size());
+}
+
+}  // namespace
+}  // namespace epidemic

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "baselines/epidemic_node.h"
+#include "baselines/lotus_node.h"
+#include "baselines/oracle_node.h"
+#include "baselines/per_item_vv_node.h"
+
+namespace epidemic {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EpidemicNode adapter.
+
+TEST(EpidemicNodeTest, BasicSyncAndAccounting) {
+  EpidemicNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.ClientUpdate("x", "v").ok());
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(*a.ClientRead("x"), "v");
+  EXPECT_EQ(a.sync_stats().items_copied, 1u);
+  EXPECT_EQ(a.sync_stats().items_examined, 1u);
+  EXPECT_GT(a.sync_stats().control_bytes, 0u);
+  EXPECT_GT(a.sync_stats().data_bytes, 0u);
+}
+
+TEST(EpidemicNodeTest, NoopSyncIsConstantWork) {
+  EpidemicNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.ClientUpdate("x", "v").ok());
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  a.ResetSyncStats();
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(a.sync_stats().noop_exchanges, 1u);
+  EXPECT_EQ(a.sync_stats().items_examined, 0u);  // O(1): DBVV compare only
+}
+
+TEST(EpidemicNodeTest, OobFetchSupported) {
+  EpidemicNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.ClientUpdate("x", "v").ok());
+  ASSERT_TRUE(a.OobFetch(b, "x").ok());
+  EXPECT_EQ(*a.ClientRead("x"), "v");
+}
+
+TEST(EpidemicNodeTest, SnapshotIsSortedRegularContent) {
+  EpidemicNode a(0, 2);
+  ASSERT_TRUE(a.ClientUpdate("b", "2").ok());
+  ASSERT_TRUE(a.ClientUpdate("a", "1").ok());
+  auto snap = a.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[1].first, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Lotus baseline (§8.1).
+
+TEST(LotusNodeTest, BasicPropagation) {
+  LotusNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.ClientUpdate("x", "v").ok());
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(*a.ClientRead("x"), "v");
+  EXPECT_EQ(a.sync_stats().items_copied, 1u);
+}
+
+TEST(LotusNodeTest, ConstantTimeNegativeOnlyWhenSourceUnmodified) {
+  LotusNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.ClientUpdate("x", "v").ok());
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  a.ResetSyncStats();
+  // Source unmodified since last prop to us: constant-time negative.
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(a.sync_stats().items_examined, 0u);
+  EXPECT_EQ(a.sync_stats().noop_exchanges, 1u);
+}
+
+TEST(LotusNodeTest, LinearScanWhenSourceModifiedElsewhere) {
+  // The §8.1 weakness: identical replicas still pay a per-item scan when
+  // the source changed since the last direct propagation.
+  LotusNode a(0, 3), b(1, 3), c(2, 3);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(c.ClientUpdate("k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(a.SyncWith(c).ok());
+  ASSERT_TRUE(b.SyncWith(c).ok());
+  // a and b are now identical; yet a pulling from b scans b's whole DB
+  // because b changed (by copying) since b last propagated to a (never).
+  a.ResetSyncStats();
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(a.sync_stats().items_examined, 50u);
+  EXPECT_EQ(a.sync_stats().items_copied, 0u);
+}
+
+TEST(LotusNodeTest, SilentlyMisresolvesConflicts) {
+  // §8.1: i makes two updates, j makes one concurrent update; i's copy has
+  // the larger sequence number and silently overwrites j's.
+  LotusNode i(0, 2), j(1, 2);
+  ASSERT_TRUE(i.ClientUpdate("x", "i1").ok());
+  ASSERT_TRUE(i.ClientUpdate("x", "i2").ok());
+  ASSERT_TRUE(j.ClientUpdate("x", "j1").ok());  // concurrent, never saw i's
+
+  ASSERT_TRUE(j.SyncWith(i).ok());
+  EXPECT_EQ(*j.ClientRead("x"), "i2");  // j's own update silently lost
+  EXPECT_EQ(j.conflicts_detected(), 0u);  // and nothing was reported
+}
+
+TEST(LotusNodeTest, ReadMissingItem) {
+  LotusNode a(0, 2);
+  EXPECT_TRUE(a.ClientRead("ghost").status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Oracle push baseline (§8.2).
+
+TEST(OracleNodeTest, PushDeliversPendingRecords) {
+  OracleNode a(0, 3), b(1, 3), c(2, 3);
+  ASSERT_TRUE(a.ClientUpdate("x", "v").ok());
+  EXPECT_EQ(a.PendingFor(1), 1u);
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(a.PendingFor(1), 0u);
+  EXPECT_EQ(a.PendingFor(2), 1u);  // c not yet pushed to
+  EXPECT_EQ(*b.ClientRead("x"), "v");
+  EXPECT_TRUE(c.ClientRead("x").status().IsNotFound());
+}
+
+TEST(OracleNodeTest, NoPerItemWorkOnPush) {
+  OracleNode a(0, 2), b(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.ClientUpdate("k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(a.sync_stats().items_examined, 0u);
+  EXPECT_EQ(a.sync_stats().records_shipped, 100u);
+  a.ResetSyncStats();
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(a.sync_stats().noop_exchanges, 1u);
+}
+
+TEST(OracleNodeTest, RecipientsNeverForward) {
+  // The §8.2 vulnerability in miniature: b received a's update but pushing
+  // b->c ships nothing because b did not originate it.
+  OracleNode a(0, 3), b(1, 3), c(2, 3);
+  ASSERT_TRUE(a.ClientUpdate("x", "v").ok());
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  ASSERT_TRUE(b.SyncWith(c).ok());
+  EXPECT_TRUE(c.ClientRead("x").status().IsNotFound());
+}
+
+TEST(OracleNodeTest, OriginOrderPreserved) {
+  OracleNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(a.ClientUpdate("x", "v1").ok());
+  ASSERT_TRUE(a.ClientUpdate("x", "v2").ok());
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(*b.ClientRead("x"), "v2");
+}
+
+// ---------------------------------------------------------------------------
+// Per-item version-vector baseline (§8.3).
+
+TEST(PerItemVvNodeTest, BasicPropagationAndConflictDetection) {
+  PerItemVvNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.ClientUpdate("x", "v").ok());
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(*a.ClientRead("x"), "v");
+
+  // Concurrent writes are detected, not overwritten.
+  ASSERT_TRUE(a.ClientUpdate("y", "fromA").ok());
+  ASSERT_TRUE(b.ClientUpdate("y", "fromB").ok());
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  EXPECT_EQ(*a.ClientRead("y"), "fromA");
+  EXPECT_EQ(a.conflicts_detected(), 1u);
+}
+
+TEST(PerItemVvNodeTest, ExaminesEveryItemEvenWhenIdentical) {
+  // The scalability problem the paper fixes: identical replicas still cost
+  // a full per-item pass.
+  PerItemVvNode a(0, 2), b(1, 2);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(b.ClientUpdate("k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(a.SyncWith(b).ok());
+  a.ResetSyncStats();
+  ASSERT_TRUE(a.SyncWith(b).ok());  // replicas identical now
+  EXPECT_EQ(a.sync_stats().items_examined, 64u);
+  EXPECT_EQ(a.sync_stats().items_copied, 0u);
+  EXPECT_EQ(a.sync_stats().noop_exchanges, 1u);
+}
+
+TEST(PerItemVvNodeTest, TransitivePropagationWorks) {
+  PerItemVvNode a(0, 3), b(1, 3), c(2, 3);
+  ASSERT_TRUE(a.ClientUpdate("x", "v").ok());
+  ASSERT_TRUE(b.SyncWith(a).ok());
+  ASSERT_TRUE(c.SyncWith(b).ok());
+  EXPECT_EQ(*c.ClientRead("x"), "v");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-protocol comparison: the headline scalability contrast.
+
+TEST(ComparisonTest, IdenticalReplicaOverheadContrast) {
+  const int kItems = 128;
+
+  EpidemicNode ea(0, 2), eb(1, 2);
+  LotusNode la(0, 2), lb(1, 2);
+  PerItemVvNode pa(0, 2), pb(1, 2);
+
+  for (int i = 0; i < kItems; ++i) {
+    std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(eb.ClientUpdate(key, "v").ok());
+    ASSERT_TRUE(lb.ClientUpdate(key, "v").ok());
+    ASSERT_TRUE(pb.ClientUpdate(key, "v").ok());
+  }
+  // First sync: everyone copies everything.
+  ASSERT_TRUE(ea.SyncWith(eb).ok());
+  ASSERT_TRUE(la.SyncWith(lb).ok());
+  ASSERT_TRUE(pa.SyncWith(pb).ok());
+
+  // The interesting round: replicas identical, but the Lotus source was
+  // "modified" meanwhile (self-inflicted via an unrelated item), and
+  // per-item VV always scans.
+  ASSERT_TRUE(lb.ClientUpdate("extra", "e").ok());
+  ASSERT_TRUE(eb.ClientUpdate("extra", "e").ok());
+  ASSERT_TRUE(pb.ClientUpdate("extra", "e").ok());
+  ASSERT_TRUE(ea.SyncWith(eb).ok());
+  ASSERT_TRUE(la.SyncWith(lb).ok());
+  ASSERT_TRUE(pa.SyncWith(pb).ok());
+
+  ea.ResetSyncStats();
+  la.ResetSyncStats();
+  pa.ResetSyncStats();
+  ASSERT_TRUE(eb.ClientUpdate("extra", "e2").ok());
+  ASSERT_TRUE(lb.ClientUpdate("extra", "e2").ok());
+  ASSERT_TRUE(pb.ClientUpdate("extra", "e2").ok());
+  ASSERT_TRUE(ea.SyncWith(eb).ok());
+  ASSERT_TRUE(la.SyncWith(lb).ok());
+  ASSERT_TRUE(pa.SyncWith(pb).ok());
+
+  // One dirty item: our protocol examines exactly 1; Lotus scans all
+  // items; per-item VV scans all items.
+  EXPECT_EQ(ea.sync_stats().items_examined, 1u);
+  EXPECT_EQ(la.sync_stats().items_examined,
+            static_cast<uint64_t>(kItems + 1));
+  EXPECT_EQ(pa.sync_stats().items_examined,
+            static_cast<uint64_t>(kItems + 1));
+}
+
+}  // namespace
+}  // namespace epidemic

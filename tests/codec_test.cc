@@ -1,0 +1,241 @@
+#include "net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+namespace epidemic::net {
+namespace {
+
+VersionVector Vv(std::vector<UpdateCount> counts) {
+  return VersionVector(std::move(counts));
+}
+
+TEST(CodecTest, VersionVectorRoundTrip) {
+  ByteWriter w;
+  EncodeVersionVector(&w, Vv({0, 1, 1234567890123ull}));
+  ByteReader r(w.data());
+  auto vv = DecodeVersionVector(&r);
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(*vv, Vv({0, 1, 1234567890123ull}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, EmptyVersionVector) {
+  ByteWriter w;
+  EncodeVersionVector(&w, VersionVector());
+  ByteReader r(w.data());
+  auto vv = DecodeVersionVector(&r);
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv->size(), 0u);
+}
+
+TEST(CodecTest, PropagationRequestRoundTrip) {
+  PropagationRequest req;
+  req.requester = 3;
+  req.dbvv = Vv({5, 0, 9, 2});
+  auto decoded = Decode(Encode(Message(req)));
+  ASSERT_TRUE(decoded.ok());
+  auto* out = std::get_if<PropagationRequest>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->requester, 3u);
+  EXPECT_EQ(out->dbvv, req.dbvv);
+}
+
+TEST(CodecTest, YouAreCurrentResponseRoundTrip) {
+  PropagationResponse resp;
+  resp.you_are_current = true;
+  auto decoded = Decode(Encode(Message(resp)));
+  ASSERT_TRUE(decoded.ok());
+  auto* out = std::get_if<PropagationResponse>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->you_are_current);
+  EXPECT_TRUE(out->tails.empty());
+  EXPECT_TRUE(out->items.empty());
+}
+
+TEST(CodecTest, FullPropagationResponseRoundTrip) {
+  PropagationResponse resp;
+  resp.you_are_current = false;
+  resp.tails.resize(3);
+  resp.tails[0].push_back(WireLogRecord{"alpha", 7});
+  resp.tails[2].push_back(WireLogRecord{"beta", 1});
+  resp.tails[2].push_back(WireLogRecord{"alpha", 9});
+  resp.items.push_back(WireItem{"alpha", std::string("\x00\x01", 2),
+                                /*deleted=*/false, Vv({1, 0, 2})});
+  resp.items.push_back(WireItem{"beta", "", /*deleted=*/true, Vv({0, 0, 1})});
+
+  auto decoded = Decode(Encode(Message(resp)));
+  ASSERT_TRUE(decoded.ok());
+  auto* out = std::get_if<PropagationResponse>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_FALSE(out->you_are_current);
+  ASSERT_EQ(out->tails.size(), 3u);
+  EXPECT_TRUE(out->tails[1].empty());
+  ASSERT_EQ(out->tails[2].size(), 2u);
+  EXPECT_EQ(out->tails[2][1].item_name, "alpha");
+  EXPECT_EQ(out->tails[2][1].seq, 9u);
+  ASSERT_EQ(out->items.size(), 2u);
+  EXPECT_EQ(out->items[0].value, std::string("\x00\x01", 2));
+  EXPECT_FALSE(out->items[0].deleted);
+  EXPECT_EQ(out->items[0].ivv, Vv({1, 0, 2}));
+  EXPECT_EQ(out->items[1].value, "");
+  EXPECT_TRUE(out->items[1].deleted);
+}
+
+TEST(CodecTest, OobRequestRoundTrip) {
+  OobRequest req{2, "hot-item"};
+  auto decoded = Decode(Encode(Message(req)));
+  ASSERT_TRUE(decoded.ok());
+  auto* out = std::get_if<OobRequest>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->requester, 2u);
+  EXPECT_EQ(out->item_name, "hot-item");
+}
+
+TEST(CodecTest, OobResponseFoundRoundTrip) {
+  OobResponse resp;
+  resp.found = true;
+  resp.item_name = "x";
+  resp.value = "payload";
+  resp.ivv = Vv({3, 4});
+  auto decoded = Decode(Encode(Message(resp)));
+  ASSERT_TRUE(decoded.ok());
+  auto* out = std::get_if<OobResponse>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->found);
+  EXPECT_EQ(out->value, "payload");
+  EXPECT_EQ(out->ivv, Vv({3, 4}));
+}
+
+TEST(CodecTest, OobResponseNotFoundOmitsBody) {
+  OobResponse resp;
+  resp.found = false;
+  resp.item_name = "ghost";
+  std::string encoded = Encode(Message(resp));
+  auto decoded = Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  auto* out = std::get_if<OobResponse>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_FALSE(out->found);
+  EXPECT_EQ(out->item_name, "ghost");
+  EXPECT_TRUE(out->value.empty());
+}
+
+TEST(CodecTest, ClientMessagesRoundTrip) {
+  {
+    auto decoded =
+        Decode(Encode(Message(ClientUpdateRequest{"item", "value"})));
+    ASSERT_TRUE(decoded.ok());
+    auto* out = std::get_if<ClientUpdateRequest>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->item_name, "item");
+    EXPECT_EQ(out->value, "value");
+  }
+  {
+    auto decoded = Decode(Encode(Message(ClientReadRequest{"item"})));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_NE(std::get_if<ClientReadRequest>(&*decoded), nullptr);
+  }
+  {
+    auto decoded = Decode(Encode(Message(ClientOobFetchRequest{4, "item"})));
+    ASSERT_TRUE(decoded.ok());
+    auto* out = std::get_if<ClientOobFetchRequest>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->from_peer, 4u);
+  }
+  {
+    auto decoded = Decode(Encode(Message(ClientReply{7, "oops"})));
+    ASSERT_TRUE(decoded.ok());
+    auto* out = std::get_if<ClientReply>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->code, 7);
+    EXPECT_EQ(out->payload, "oops");
+  }
+}
+
+TEST(CodecTest, StatsAndScanMessagesRoundTrip) {
+  {
+    auto decoded = Decode(Encode(Message(ClientStatsRequest{})));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_NE(std::get_if<ClientStatsRequest>(&*decoded), nullptr);
+  }
+  {
+    auto decoded = Decode(Encode(Message(ClientScanRequest{"pre", 42})));
+    ASSERT_TRUE(decoded.ok());
+    auto* out = std::get_if<ClientScanRequest>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->prefix, "pre");
+    EXPECT_EQ(out->limit, 42u);
+  }
+}
+
+TEST(CodecTest, ScanListingRoundTrip) {
+  std::vector<std::pair<std::string, std::string>> items = {
+      {"a", "1"}, {"b", ""}, {"c", std::string("\x00\x01", 2)}};
+  auto decoded = DecodeScanListing(EncodeScanListing(items));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, items);
+
+  auto empty = DecodeScanListing(EncodeScanListing({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(CodecTest, ScanListingTruncationRejected) {
+  std::string payload = EncodeScanListing({{"name", "value"}});
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeScanListing(payload.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(CodecTest, EmptyFrameRejected) {
+  EXPECT_TRUE(Decode("").status().IsCorruption());
+}
+
+TEST(CodecTest, UnknownTagRejected) {
+  std::string frame(1, '\x7f');
+  EXPECT_TRUE(Decode(frame).status().IsCorruption());
+}
+
+TEST(CodecTest, TrailingBytesRejected) {
+  std::string frame = Encode(Message(ClientReadRequest{"x"}));
+  frame += "junk";
+  EXPECT_TRUE(Decode(frame).status().IsCorruption());
+}
+
+// Truncation fuzzing: every strict prefix of a valid frame must decode to
+// an error, never crash or succeed.
+class TruncationTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TruncationTest, EveryPrefixFailsCleanly) {
+  PropagationResponse resp;
+  resp.you_are_current = false;
+  resp.tails.resize(2);
+  resp.tails[0].push_back(WireLogRecord{"item-with-a-long-name", 12345});
+  resp.items.push_back(WireItem{"item-with-a-long-name", "some value bytes",
+                                /*deleted=*/false, Vv({9, 8})});
+  std::string frame = Encode(Message(resp));
+
+  size_t cut = GetParam();
+  if (cut >= frame.size()) GTEST_SKIP() << "prefix length beyond frame";
+  auto decoded = Decode(frame.substr(0, cut));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, TruncationTest,
+                         ::testing::Range(size_t{0}, size_t{60}));
+
+TEST(CodecTest, AbsurdVersionVectorSizeRejected) {
+  // Hand-craft a propagation request claiming a gigantic DBVV.
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(MessageType::kPropagationRequest));
+  w.PutVarint64(0);              // requester
+  w.PutVarint64(1ull << 40);     // absurd vv length
+  EXPECT_TRUE(Decode(w.data()).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace epidemic::net

@@ -1,0 +1,45 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace epidemic {
+namespace {
+
+TEST(ManualClockTest, StartsAtGivenTime) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+}
+
+TEST(ManualClockTest, AdvanceAccumulates) {
+  ManualClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.Advance(50);
+  clock.Advance(25);
+  EXPECT_EQ(clock.NowMicros(), 75);
+}
+
+TEST(ManualClockTest, SetOverrides) {
+  ManualClock clock(10);
+  clock.Set(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+}
+
+TEST(RealClockTest, MonotonicNonDecreasing) {
+  RealClock* clock = RealClock::Default();
+  TimeMicros a = clock->NowMicros();
+  TimeMicros b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(RealClockTest, DefaultIsSingleton) {
+  EXPECT_EQ(RealClock::Default(), RealClock::Default());
+}
+
+TEST(ClockTest, PolymorphicUse) {
+  ManualClock manual(5);
+  Clock* clock = &manual;
+  EXPECT_EQ(clock->NowMicros(), 5);
+}
+
+}  // namespace
+}  // namespace epidemic

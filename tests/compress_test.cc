@@ -1,0 +1,149 @@
+#include "common/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace epidemic {
+namespace {
+
+std::string RoundTrip(std::string_view input) {
+  auto out = Decompress(Compress(input));
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : "";
+}
+
+TEST(CompressTest, EmptyInput) {
+  EXPECT_EQ(Compress("").size(), 0u);
+  EXPECT_EQ(RoundTrip(""), "");
+}
+
+TEST(CompressTest, ShortLiterals) {
+  EXPECT_EQ(RoundTrip("a"), "a");
+  EXPECT_EQ(RoundTrip("abc"), "abc");
+  EXPECT_EQ(RoundTrip("abcd"), "abcd");
+}
+
+TEST(CompressTest, RepetitiveInputShrinks) {
+  std::string input(10000, 'x');
+  std::string compressed = Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressTest, StructuredReplicationPayloadShrinks) {
+  // The shape of real propagation messages: repeated item-name prefixes
+  // and similar values.
+  std::string input;
+  for (int i = 0; i < 200; ++i) {
+    input += "user/profile/item" + std::to_string(i) +
+             "=some-shared-value-prefix-" + std::to_string(i % 7) + ";";
+  }
+  std::string compressed = Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressTest, IncompressibleInputGrowsBounded) {
+  Rng rng(4);
+  std::string input;
+  for (int i = 0; i < 4096; ++i) {
+    input.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  std::string compressed = Compress(input);
+  // ≤ 1 control byte per 128 literal bytes of overhead.
+  EXPECT_LE(compressed.size(), input.size() + input.size() / 128 + 2);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressTest, OverlappingMatches) {
+  // "abcabcabc..." exercises dist < len copies.
+  std::string input;
+  for (int i = 0; i < 1000; ++i) input += "abc";
+  EXPECT_EQ(RoundTrip(input), input);
+  EXPECT_LT(Compress(input).size(), 128u);  // ~3 bytes per max-length match
+}
+
+TEST(CompressTest, BinaryDataPreserved) {
+  std::string input;
+  for (int i = 0; i < 2048; ++i) input.push_back(static_cast<char>(i % 256));
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+class CompressRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressRoundTripTest, RandomMixedContent) {
+  Rng rng(GetParam() * 31);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string input;
+    size_t target = rng.Uniform(20000);
+    while (input.size() < target) {
+      if (rng.Bernoulli(0.5) && !input.empty()) {
+        // Repeat an earlier slice (creates matches).
+        size_t start = rng.Uniform(input.size());
+        size_t len = std::min(input.size() - start, rng.Uniform(64) + 1);
+        input += input.substr(start, len);
+      } else {
+        for (int i = 0; i < 16; ++i) {
+          input.push_back(static_cast<char>(rng.Uniform(256)));
+        }
+      }
+    }
+    ASSERT_EQ(RoundTrip(input), input) << "seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressRoundTripTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{5}));
+
+TEST(DecompressTest, GarbageInputNeverCrashes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage(rng.Uniform(200), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Uniform(256));
+    (void)Decompress(garbage, 1 << 20);  // must not crash or hang
+  }
+}
+
+TEST(DecompressTest, DistanceBeyondOutputRejected) {
+  // Match referring before the start of the output.
+  std::string bad;
+  bad.push_back(static_cast<char>(0x80));  // match len = kMinMatch
+  bad.push_back(0x05);                     // distance 5 into empty output
+  EXPECT_TRUE(Decompress(bad).status().IsCorruption());
+}
+
+TEST(DecompressTest, ZeroDistanceRejected) {
+  std::string bad;
+  bad.push_back(0x00);  // literal run of 1
+  bad.push_back('a');
+  bad.push_back(static_cast<char>(0x80));
+  bad.push_back(0x00);  // distance 0
+  EXPECT_TRUE(Decompress(bad).status().IsCorruption());
+}
+
+TEST(DecompressTest, OutputCapEnforced) {
+  std::string input(10000, 'y');
+  std::string compressed = Compress(input);
+  EXPECT_TRUE(Decompress(compressed, 100).status().IsCorruption());
+  auto full = Decompress(compressed, 10000);
+  EXPECT_TRUE(full.ok());
+}
+
+TEST(DecompressTest, TruncatedStreamsRejected) {
+  std::string input = "hello hello hello hello hello hello";
+  std::string compressed = Compress(input);
+  for (size_t cut = 1; cut < compressed.size(); ++cut) {
+    auto out = Decompress(compressed.substr(0, cut));
+    // Either a clean error or a (shorter) prefix — never a crash. Cuts at
+    // token boundaries legitimately decode to a prefix.
+    if (out.ok()) {
+      EXPECT_LE(out->size(), input.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epidemic

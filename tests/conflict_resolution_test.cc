@@ -1,0 +1,213 @@
+// ResolveConflict: the application-side mechanism that makes a conflict
+// resolution supersede both branches (§2 leaves the *choice* to the
+// application; the merged version vector makes the choice win everywhere).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/replica.h"
+
+namespace epidemic {
+namespace {
+
+VersionVector Vv(std::vector<UpdateCount> counts) {
+  return VersionVector(std::move(counts));
+}
+
+class ResolutionTest : public ::testing::Test {
+ protected:
+  ResolutionTest() : a_(0, 2, &conflicts_a_), b_(1, 2, &conflicts_b_) {}
+
+  // Produces a standard conflict on "x": A wrote, B wrote concurrently,
+  // and A detected it during a pull from B.
+  void MakeConflict() {
+    ASSERT_TRUE(a_.Update("x", "fromA").ok());
+    ASSERT_TRUE(b_.Update("x", "fromB").ok());
+    ASSERT_TRUE(PropagateOnce(b_, a_).ok());
+    ASSERT_EQ(conflicts_a_.count(), 1u);
+  }
+
+  RecordingConflictListener conflicts_a_, conflicts_b_;
+  Replica a_, b_;
+};
+
+TEST_F(ResolutionTest, ResolutionSupersedesBothBranches) {
+  MakeConflict();
+  const ConflictEvent& event = conflicts_a_.events()[0];
+  ASSERT_TRUE(
+      a_.ResolveConflict("x", event.remote_vv, "merged value").ok());
+  EXPECT_EQ(*a_.Read("x"), "merged value");
+  // IVV = max(local {1,0}, remote {0,1}) + own increment = {2,1}.
+  EXPECT_EQ(a_.FindItem("x")->ivv, Vv({2, 1}));
+  EXPECT_EQ(a_.stats().conflicts_resolved, 1u);
+  EXPECT_TRUE(a_.CheckInvariants().ok());
+
+  // B adopts the resolution on its next pull — no conflict this time.
+  ASSERT_TRUE(PropagateOnce(a_, b_).ok());
+  EXPECT_EQ(*b_.Read("x"), "merged value");
+  EXPECT_EQ(conflicts_b_.count(), 0u);
+  EXPECT_EQ(a_.dbvv(), b_.dbvv());
+  EXPECT_TRUE(b_.CheckInvariants().ok());
+
+  // And the system is quiescent: both directions are you-are-current.
+  a_.ResetStats();
+  b_.ResetStats();
+  ASSERT_TRUE(PropagateOnce(b_, a_).ok());
+  ASSERT_TRUE(PropagateOnce(a_, b_).ok());
+  EXPECT_EQ(a_.stats().conflicts_detected, 0u);
+  EXPECT_EQ(b_.stats().conflicts_detected, 0u);
+}
+
+TEST_F(ResolutionTest, ResolutionReachesThirdPartyTransitively) {
+  MakeConflict();
+  Replica c(1, 2);  // unused placeholder id trick avoided: use fresh pair
+  const ConflictEvent& event = conflicts_a_.events()[0];
+  ASSERT_TRUE(a_.ResolveConflict("x", event.remote_vv, "winner").ok());
+  ASSERT_TRUE(PropagateOnce(a_, b_).ok());
+  EXPECT_EQ(*b_.Read("x"), "winner");
+}
+
+TEST_F(ResolutionTest, NonConflictingVectorRejected) {
+  ASSERT_TRUE(a_.Update("x", "v").ok());
+  // Dominating and dominated vectors are not conflicts.
+  EXPECT_TRUE(
+      a_.ResolveConflict("x", Vv({2, 0}), "nope").IsInvalidArgument());
+  EXPECT_TRUE(
+      a_.ResolveConflict("x", Vv({0, 0}), "nope").IsInvalidArgument());
+  EXPECT_TRUE(
+      a_.ResolveConflict("x", Vv({1, 2, 3}), "nope").IsInvalidArgument());
+}
+
+TEST_F(ResolutionTest, UnknownItemRejected) {
+  EXPECT_TRUE(a_.ResolveConflict("ghost", Vv({0, 1}), "v").IsNotFound());
+}
+
+TEST_F(ResolutionTest, OutOfBoundItemRejected) {
+  MakeConflict();
+  // Make x out-of-bound at a third replica and try resolving there.
+  Replica c(0, 2);
+  ASSERT_TRUE(b_.Update("y", "w").ok());
+  OobRequest req = c.BuildOobRequest("y");
+  OobResponse resp = b_.HandleOobRequest(req);
+  ASSERT_TRUE(c.AcceptOobResponse(resp).ok());
+  EXPECT_TRUE(c.ResolveConflict("y", Vv({1, 0}), "v").IsFailedPrecondition());
+}
+
+TEST_F(ResolutionTest, ResolutionCanBeDeleteToo) {
+  MakeConflict();
+  const ConflictEvent& event = conflicts_a_.events()[0];
+  // Resolving to an empty value then deleting gives "neither branch wins".
+  ASSERT_TRUE(a_.ResolveConflict("x", event.remote_vv, "").ok());
+  ASSERT_TRUE(a_.Delete("x").ok());
+  ASSERT_TRUE(PropagateOnce(a_, b_).ok());
+  EXPECT_TRUE(b_.Read("x").status().IsNotFound());
+  EXPECT_EQ(conflicts_b_.count(), 0u);
+}
+
+TEST_F(ResolutionTest, CrossResolutionStillConverges) {
+  // Both sides detect and BOTH resolve (a race real deployments hit): the
+  // two resolutions conflict again, get detected, and a second resolution
+  // settles it — the mechanism is idempotent, not magic.
+  MakeConflict();
+  ASSERT_TRUE(PropagateOnce(a_, b_).ok());  // b detects the mirror conflict
+  ASSERT_EQ(conflicts_b_.count(), 1u);
+
+  ASSERT_TRUE(a_.ResolveConflict("x", conflicts_a_.events()[0].remote_vv,
+                                 "a-resolution")
+                  .ok());
+  ASSERT_TRUE(b_.ResolveConflict("x", conflicts_b_.events()[0].remote_vv,
+                                 "b-resolution")
+                  .ok());
+  // The two resolutions are concurrent: next exchange re-detects.
+  size_t before = conflicts_a_.count();
+  ASSERT_TRUE(PropagateOnce(b_, a_).ok());
+  EXPECT_GT(conflicts_a_.count(), before);
+  // One more resolution round settles everything.
+  ASSERT_TRUE(a_.ResolveConflict("x", conflicts_a_.events().back().remote_vv,
+                                 "final")
+                  .ok());
+  ASSERT_TRUE(PropagateOnce(a_, b_).ok());
+  EXPECT_EQ(*b_.Read("x"), "final");
+  EXPECT_EQ(a_.dbvv(), b_.dbvv());
+  EXPECT_TRUE(a_.CheckInvariants().ok());
+  EXPECT_TRUE(b_.CheckInvariants().ok());
+}
+
+// End-to-end policy test: an adversarial shared-key workload where one
+// designated arbiter node resolves every conflict it detects. The whole
+// system must still converge — the strongest statement of criteria 1-3
+// *with* conflicts in play.
+TEST(ResolveOnDetectTest, ArbiterDrivenWorkloadConverges) {
+  constexpr size_t kNodes = 4;
+  RecordingConflictListener arbiter_conflicts;
+  std::vector<std::unique_ptr<Replica>> nodes;
+  nodes.push_back(std::make_unique<Replica>(0, kNodes, &arbiter_conflicts));
+  for (NodeId i = 1; i < kNodes; ++i) {
+    nodes.push_back(std::make_unique<Replica>(i, kNodes));
+  }
+
+  Rng rng(404);
+  for (int step = 0; step < 300; ++step) {
+    NodeId actor = static_cast<NodeId>(rng.Uniform(kNodes));
+    if (rng.NextDouble() < 0.5) {
+      ASSERT_TRUE(nodes[actor]
+                      ->Update("k" + std::to_string(rng.Uniform(4)),
+                               "v" + std::to_string(step) + "@" +
+                                   std::to_string(actor))
+                      .ok());
+    } else {
+      NodeId peer = static_cast<NodeId>(rng.Uniform(kNodes));
+      if (peer != actor) {
+        ASSERT_TRUE(PropagateOnce(*nodes[peer], *nodes[actor]).ok());
+      }
+    }
+  }
+
+  // Quiesce: the arbiter (node 0) pulls from everyone and resolves every
+  // conflict it sees in its favour, repeatedly, until a full round of
+  // exchanges runs clean and everyone is identical.
+  bool converged = false;
+  for (int round = 0; round < 64 && !converged; ++round) {
+    for (NodeId peer = 1; peer < kNodes; ++peer) {
+      size_t before = arbiter_conflicts.count();
+      ASSERT_TRUE(PropagateOnce(*nodes[peer], *nodes[0]).ok());
+      for (size_t e = before; e < arbiter_conflicts.count(); ++e) {
+        const ConflictEvent& event = arbiter_conflicts.events()[e];
+        Status s = nodes[0]->ResolveConflict(
+            event.item_name, event.remote_vv,
+            "resolved:" + event.item_name);
+        // The same conflict may be reported by several peers; later
+        // resolutions see non-conflicting vectors and are rejected.
+        ASSERT_TRUE(s.ok() || s.IsInvalidArgument()) << s.ToString();
+      }
+    }
+    for (NodeId peer = 1; peer < kNodes; ++peer) {
+      ASSERT_TRUE(PropagateOnce(*nodes[0], *nodes[peer]).ok());
+    }
+    converged = true;
+    for (NodeId i = 1; i < kNodes && converged; ++i) {
+      converged = nodes[i]->dbvv() == nodes[0]->dbvv();
+    }
+  }
+
+  ASSERT_TRUE(converged);
+  for (NodeId i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(nodes[i]->CheckInvariants().ok());
+    for (int k = 0; k < 4; ++k) {
+      std::string item = "k" + std::to_string(k);
+      auto mine = nodes[i]->Read(item);
+      auto ref = nodes[0]->Read(item);
+      ASSERT_EQ(mine.ok(), ref.ok());
+      if (mine.ok()) {
+        EXPECT_EQ(*mine, *ref) << "node " << i << " item " << item;
+      }
+    }
+  }
+  EXPECT_GT(arbiter_conflicts.count(), 0u);  // the workload really conflicted
+}
+
+}  // namespace
+}  // namespace epidemic

@@ -1,0 +1,99 @@
+// Fuzz-style robustness tests: every decoder in the system must handle
+// arbitrary and mutated bytes without crashing, hanging, or tripping an
+// invariant — returning Corruption (or, rarely, a valid decode) instead.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "core/replica.h"
+#include "core/snapshot.h"
+#include "multidb/multi_db_server.h"
+#include "net/codec.h"
+#include "tokens/token_service.h"
+
+namespace epidemic {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string out(rng.Uniform(max_len + 1), '\0');
+  for (char& c : out) c = static_cast<char>(rng.Uniform(256));
+  return out;
+}
+
+class FuzzSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSeedTest, RandomBytesNeverCrashAnyDecoder) {
+  Rng rng(GetParam() * 1337);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string bytes = RandomBytes(rng, 256);
+    (void)net::Decode(bytes);
+    (void)DecodeSnapshot(bytes);
+    (void)net::DecodeScanListing(bytes);
+    (void)multidb::UnwrapRouted(bytes);
+    (void)multidb::DecodeSummary(bytes);
+    (void)tokens::DecodeTokenRequest(bytes);
+    (void)tokens::DecodeTokenReply(bytes);
+    (void)tokens::DecodeTokenRelease(bytes);
+  }
+}
+
+TEST_P(FuzzSeedTest, MutatedProtocolFramesFailCleanlyOrDecode) {
+  Rng rng(GetParam() * 7331);
+
+  // Build a realistic propagation response frame to mutate.
+  Replica src(0, 3), dst(1, 3);
+  for (int i = 0; i < 10; ++i) {
+    (void)src.Update("item" + std::to_string(i), "value" + std::to_string(i));
+  }
+  std::string frame = net::Encode(net::Message(
+      src.HandlePropagationRequest(dst.BuildPropagationRequest())));
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = frame;
+    // Flip 1-4 random bytes.
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    auto decoded = net::Decode(mutated);
+    if (!decoded.ok()) continue;
+    // If it decoded, feeding it onward must still be safe: the replica
+    // validates widths and rejects rather than corrupting state.
+    if (auto* resp = std::get_if<PropagationResponse>(&*decoded)) {
+      Replica victim(2, 3);
+      (void)victim.AcceptPropagation(*resp);
+      EXPECT_TRUE(victim.CheckInvariants().ok());
+    }
+  }
+}
+
+TEST_P(FuzzSeedTest, MutatedSnapshotsNeverYieldBrokenReplicas) {
+  Rng rng(GetParam() * 9973);
+  Replica r(0, 2), peer(1, 2);
+  for (int i = 0; i < 8; ++i) {
+    (void)r.Update("k" + std::to_string(i), "v");
+    (void)peer.Update("p" + std::to_string(i), "w");
+  }
+  (void)PropagateOnce(peer, r);
+  std::string blob = EncodeSnapshot(r);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = blob;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    auto restored = DecodeSnapshot(mutated);
+    if (restored.ok()) {
+      // Decode validates invariants itself; double-check.
+      EXPECT_TRUE((*restored)->CheckInvariants().ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{6}));
+
+}  // namespace
+}  // namespace epidemic

@@ -1,0 +1,107 @@
+#include "storage/item_store.h"
+
+#include <gtest/gtest.h>
+
+namespace epidemic {
+namespace {
+
+TEST(ItemStoreTest, StartsEmpty) {
+  ItemStore store(3);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.num_nodes(), 3u);
+  EXPECT_EQ(store.Find("x"), nullptr);
+}
+
+TEST(ItemStoreTest, GetOrCreateMakesFreshReplica) {
+  ItemStore store(3);
+  Item& item = store.GetOrCreate("x");
+  EXPECT_EQ(item.name, "x");
+  EXPECT_EQ(item.id, 0u);
+  EXPECT_EQ(item.value, "");
+  EXPECT_EQ(item.ivv, VersionVector(3));  // zero IVV per §3
+  EXPECT_EQ(item.p.size(), 3u);
+  for (LogRecord* slot : item.p) EXPECT_EQ(slot, nullptr);
+  EXPECT_FALSE(item.is_selected);
+  EXPECT_FALSE(item.HasAux());
+}
+
+TEST(ItemStoreTest, GetOrCreateIsIdempotent) {
+  ItemStore store(2);
+  Item& a = store.GetOrCreate("x");
+  a.value = "hello";
+  Item& b = store.GetOrCreate("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value, "hello");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ItemStoreTest, DenseIdsInCreationOrder) {
+  ItemStore store(2);
+  EXPECT_EQ(store.GetOrCreate("a").id, 0u);
+  EXPECT_EQ(store.GetOrCreate("b").id, 1u);
+  EXPECT_EQ(store.GetOrCreate("c").id, 2u);
+  EXPECT_EQ(store.GetOrCreate("b").id, 1u);  // stable
+}
+
+TEST(ItemStoreTest, FindByName) {
+  ItemStore store(2);
+  store.GetOrCreate("x").value = "v";
+  Item* found = store.Find("x");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value, "v");
+  EXPECT_EQ(store.Find("y"), nullptr);
+
+  const ItemStore& cstore = store;
+  ASSERT_NE(cstore.Find("x"), nullptr);
+  EXPECT_EQ(cstore.Find("y"), nullptr);
+}
+
+TEST(ItemStoreTest, GetById) {
+  ItemStore store(2);
+  store.GetOrCreate("a");
+  store.GetOrCreate("b");
+  EXPECT_EQ(store.Get(1).name, "b");
+}
+
+TEST(ItemStoreTest, IterationInCreationOrder) {
+  ItemStore store(1);
+  store.GetOrCreate("c");
+  store.GetOrCreate("a");
+  std::vector<std::string> names;
+  for (const auto& item : store) names.push_back(item->name);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "c");
+  EXPECT_EQ(names[1], "a");
+}
+
+TEST(ItemTest, UserValuePrefersAuxCopy) {
+  ItemStore store(2);
+  Item& item = store.GetOrCreate("x");
+  item.value = "regular";
+  item.ivv.Increment(0);
+  EXPECT_EQ(item.UserValue(), "regular");
+  EXPECT_EQ(item.UserIvv(), item.ivv);
+
+  item.aux = std::make_unique<AuxCopy>();
+  item.aux->value = "aux";
+  item.aux->ivv = VersionVector(2);
+  item.aux->ivv.Increment(1);
+  EXPECT_TRUE(item.HasAux());
+  EXPECT_EQ(item.UserValue(), "aux");
+  EXPECT_EQ(item.UserIvv(), item.aux->ivv);
+
+  item.aux.reset();
+  EXPECT_EQ(item.UserValue(), "regular");
+}
+
+TEST(ItemStoreTest, ManyItems) {
+  ItemStore store(4);
+  for (int i = 0; i < 1000; ++i) {
+    store.GetOrCreate("item" + std::to_string(i));
+  }
+  EXPECT_EQ(store.size(), 1000u);
+  EXPECT_EQ(store.Find("item999")->id, 999u);
+}
+
+}  // namespace
+}  // namespace epidemic

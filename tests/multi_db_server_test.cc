@@ -1,0 +1,160 @@
+#include "multidb/multi_db_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+
+namespace epidemic::multidb {
+namespace {
+
+TEST(EnvelopeTest, RoutedRoundTrip) {
+  std::string frame = WrapRouted("docs", "inner-bytes");
+  auto unwrapped = UnwrapRouted(frame);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(unwrapped->first, "docs");
+  EXPECT_EQ(unwrapped->second, "inner-bytes");
+}
+
+TEST(EnvelopeTest, MalformedRoutedRejected) {
+  EXPECT_TRUE(UnwrapRouted("").status().IsCorruption());
+  EXPECT_TRUE(UnwrapRouted(SummaryRequestFrame()).status().IsCorruption());
+  // Empty database name is invalid.
+  std::string bad = WrapRouted("", "x");
+  EXPECT_TRUE(UnwrapRouted(bad).status().IsCorruption());
+}
+
+TEST(EnvelopeTest, SummaryRoundTrip) {
+  std::vector<MultiDbNode::DbSummary> summary;
+  summary.push_back({"a", VersionVector({1, 2})});
+  summary.push_back({"b", VersionVector({0, 7})});
+  auto decoded = DecodeSummary(EncodeSummary(summary));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].db, "a");
+  EXPECT_EQ((*decoded)[1].dbvv, VersionVector({0, 7}));
+}
+
+TEST(EnvelopeTest, TruncatedSummaryRejected) {
+  std::vector<MultiDbNode::DbSummary> summary;
+  summary.push_back({"alpha", VersionVector({1, 2, 3})});
+  std::string frame = EncodeSummary(summary);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_FALSE(DecodeSummary(frame.substr(0, cut)).ok()) << cut;
+  }
+}
+
+class MultiDbServerTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 2;
+
+  MultiDbServerTest() : hub_(kNodes), transport_(&hub_) {
+    for (NodeId i = 0; i < kNodes; ++i) {
+      servers_.push_back(
+          std::make_unique<MultiDbServer>(i, kNodes, &transport_));
+      hub_.Register(i, servers_.back().get());
+    }
+  }
+
+  net::InProcHub hub_;
+  net::InProcTransport transport_;
+  std::vector<std::unique_ptr<MultiDbServer>> servers_;
+};
+
+TEST_F(MultiDbServerTest, PullOneDatabaseOverTransport) {
+  ASSERT_TRUE(servers_[1]->Update("docs", "readme", "hello").ok());
+  ASSERT_TRUE(servers_[0]->PullFrom(1, "docs").ok());
+  EXPECT_EQ(*servers_[0]->Read("docs", "readme"), "hello");
+}
+
+TEST_F(MultiDbServerTest, PullAllSweepsLaggingDatabasesOnly) {
+  ASSERT_TRUE(servers_[1]->Update("docs", "a", "1").ok());
+  ASSERT_TRUE(servers_[1]->Update("config", "b", "2").ok());
+  auto first = servers_[0]->PullAllFrom(1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(*first, 2u);
+  EXPECT_EQ(*servers_[0]->Read("docs", "a"), "1");
+  EXPECT_EQ(*servers_[0]->Read("config", "b"), "2");
+
+  // Nothing changed: the sweep pulls zero databases.
+  auto second = servers_[0]->PullAllFrom(1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 0u);
+
+  // One database changes: exactly one pull.
+  ASSERT_TRUE(servers_[1]->Update("docs", "a", "1b").ok());
+  auto third = servers_[0]->PullAllFrom(1);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, 1u);
+  EXPECT_EQ(*servers_[0]->Read("docs", "a"), "1b");
+}
+
+TEST_F(MultiDbServerTest, RoutedClientOpsThroughRawTransport) {
+  // Drive the server purely through encoded frames, like a remote client.
+  std::string put = WrapRouted(
+      "inbox",
+      net::Encode(net::Message(net::ClientUpdateRequest{"m1", "hi"})));
+  auto put_reply = transport_.Call(1, put);
+  ASSERT_TRUE(put_reply.ok());
+
+  std::string get = WrapRouted(
+      "inbox", net::Encode(net::Message(net::ClientReadRequest{"m1"})));
+  auto get_reply = transport_.Call(1, get);
+  ASSERT_TRUE(get_reply.ok());
+  auto decoded = net::Decode(*get_reply);
+  ASSERT_TRUE(decoded.ok());
+  auto* reply = std::get_if<net::ClientReply>(&*decoded);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->code, 0);
+  EXPECT_EQ(reply->payload, "hi");
+
+  // Reading from a different database misses.
+  std::string wrong_db = WrapRouted(
+      "outbox", net::Encode(net::Message(net::ClientReadRequest{"m1"})));
+  auto miss = transport_.Call(1, wrong_db);
+  ASSERT_TRUE(miss.ok());
+  auto miss_decoded = net::Decode(*miss);
+  ASSERT_TRUE(miss_decoded.ok());
+  EXPECT_NE(std::get_if<net::ClientReply>(&*miss_decoded)->code, 0);
+}
+
+TEST_F(MultiDbServerTest, GarbageFrameYieldsErrorReply) {
+  auto reply = transport_.Call(0, "\x01garbage");
+  ASSERT_TRUE(reply.ok());  // transported fine; reply is an error message
+  auto decoded = net::Decode(*reply);
+  ASSERT_TRUE(decoded.ok());
+  auto* err = std::get_if<net::ClientReply>(&*decoded);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->code, 0);
+}
+
+TEST(MultiDbTcpTest, SweepOverRealSockets) {
+  constexpr size_t kNodes = 2;
+  net::TcpTransport transport(kNodes);
+  MultiDbServer s0(0, kNodes, &transport);
+  MultiDbServer s1(1, kNodes, &transport);
+  net::TcpServer tcp0(&s0), tcp1(&s1);
+  ASSERT_TRUE(tcp0.Start(0).ok());
+  ASSERT_TRUE(tcp1.Start(0).ok());
+  transport.SetPeerPort(0, tcp0.port());
+  transport.SetPeerPort(1, tcp1.port());
+
+  ASSERT_TRUE(s1.Update("docs", "readme", "over tcp").ok());
+  ASSERT_TRUE(s1.Update("metrics", "qps", "120").ok());
+  auto pulled = s0.PullAllFrom(1);
+  ASSERT_TRUE(pulled.ok()) << pulled.status().ToString();
+  EXPECT_EQ(*pulled, 2u);
+  EXPECT_EQ(*s0.Read("docs", "readme"), "over tcp");
+  EXPECT_EQ(*s0.Read("metrics", "qps"), "120");
+
+  tcp0.Stop();
+  tcp1.Stop();
+}
+
+}  // namespace
+}  // namespace epidemic::multidb

@@ -1,0 +1,142 @@
+#include "multidb/multi_db_node.h"
+
+#include <gtest/gtest.h>
+
+namespace epidemic::multidb {
+namespace {
+
+TEST(MultiDbTest, OpenCreatesIndependentInstances) {
+  MultiDbNode node(0, 2);
+  Replica& a = node.OpenDatabase("alpha");
+  Replica& b = node.OpenDatabase("beta");
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &node.OpenDatabase("alpha"));  // idempotent
+  EXPECT_EQ(node.database_count(), 2u);
+
+  ASSERT_TRUE(a.Update("x", "in-alpha").ok());
+  // Separate protocol instance: beta's DBVV unaffected (§2).
+  EXPECT_EQ(a.dbvv().Total(), 1u);
+  EXPECT_EQ(b.dbvv().Total(), 0u);
+  EXPECT_TRUE(b.Read("x").status().IsNotFound());
+}
+
+TEST(MultiDbTest, ListDatabasesSorted) {
+  MultiDbNode node(0, 2);
+  node.OpenDatabase("zeta");
+  node.OpenDatabase("alpha");
+  auto names = node.ListDatabases();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(MultiDbTest, AddressedClientOperations) {
+  MultiDbNode node(0, 2);
+  ASSERT_TRUE(node.Update("db1", "k", "v1").ok());
+  ASSERT_TRUE(node.Update("db2", "k", "v2").ok());
+  EXPECT_EQ(*node.Read("db1", "k"), "v1");
+  EXPECT_EQ(*node.Read("db2", "k"), "v2");
+  ASSERT_TRUE(node.Delete("db1", "k").ok());
+  EXPECT_TRUE(node.Read("db1", "k").status().IsNotFound());
+  EXPECT_EQ(*node.Read("db2", "k"), "v2");
+  EXPECT_TRUE(node.Read("nope", "k").status().IsNotFound());
+}
+
+TEST(MultiDbTest, PullFromSingleDatabase) {
+  MultiDbNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("docs", "readme", "hello").ok());
+  auto copied = a.PullFrom(b, "docs");
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(*copied, 1u);
+  EXPECT_EQ(*a.Read("docs", "readme"), "hello");
+  EXPECT_TRUE(a.PullFrom(b, "nope").status().IsNotFound());
+}
+
+TEST(MultiDbTest, PullAllSyncsEveryLaggingDatabase) {
+  MultiDbNode a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("docs", "readme", "hello").ok());
+  ASSERT_TRUE(b.Update("config", "timeout", "30").ok());
+  ASSERT_TRUE(b.Update("metrics", "cpu", "0.4").ok());
+  ASSERT_TRUE(a.Update("local-only", "k", "v").ok());
+
+  auto transferred = a.PullAllFrom(b);
+  ASSERT_TRUE(transferred.ok());
+  EXPECT_EQ(*transferred, 3u);
+  EXPECT_EQ(*a.Read("docs", "readme"), "hello");
+  EXPECT_EQ(*a.Read("config", "timeout"), "30");
+  EXPECT_EQ(*a.Read("metrics", "cpu"), "0.4");
+  // a's own database untouched; b still doesn't have it (pull direction).
+  EXPECT_EQ(*a.Read("local-only", "k"), "v");
+  EXPECT_EQ(b.FindDatabase("local-only"), nullptr);
+}
+
+TEST(MultiDbTest, PullAllSkipsCurrentDatabasesInConstantTime) {
+  MultiDbNode a(0, 2), b(1, 2);
+  for (int d = 0; d < 5; ++d) {
+    std::string db = "db" + std::to_string(d);
+    for (int k = 0; k < 20; ++k) {
+      ASSERT_TRUE(b.Update(db, "k" + std::to_string(k), "v").ok());
+    }
+  }
+  ASSERT_TRUE(a.PullAllFrom(b).ok());
+
+  // Everything is current; only one database changes.
+  ASSERT_TRUE(b.Update("db3", "k0", "fresh").ok());
+  // Reset per-replica stats to observe work done by the second sweep.
+  for (const std::string& db : a.ListDatabases()) {
+    a.FindDatabase(db)->ResetStats();
+    b.FindDatabase(db)->ResetStats();
+  }
+  auto transferred = a.PullAllFrom(b);
+  ASSERT_TRUE(transferred.ok());
+  EXPECT_EQ(*transferred, 1u);
+  EXPECT_EQ(*a.Read("db3", "k0"), "fresh");
+  // Current databases were skipped by the summary comparison without even
+  // invoking their protocol instances.
+  for (int d = 0; d < 5; ++d) {
+    std::string db = "db" + std::to_string(d);
+    uint64_t served = b.FindDatabase(db)->stats().propagation_requests_served;
+    EXPECT_EQ(served, d == 3 ? 1u : 0u) << db;
+  }
+}
+
+TEST(MultiDbTest, ConflictsReportedPerDatabaseToSharedListener) {
+  RecordingConflictListener conflicts;
+  MultiDbNode a(0, 2, &conflicts), b(1, 2);
+  ASSERT_TRUE(a.Update("db1", "x", "A").ok());
+  ASSERT_TRUE(b.Update("db1", "x", "B").ok());
+  ASSERT_TRUE(a.Update("db2", "x", "A").ok());  // same item name, other db
+  ASSERT_TRUE(a.PullAllFrom(b).ok());
+  // Only db1 conflicts; db2's identically-named item is independent.
+  EXPECT_EQ(conflicts.count(), 1u);
+  EXPECT_EQ(*a.Read("db2", "x"), "A");
+}
+
+TEST(MultiDbTest, BuildSummaryReflectsPerDatabaseState) {
+  MultiDbNode node(0, 3);
+  ASSERT_TRUE(node.Update("a", "k", "v").ok());
+  ASSERT_TRUE(node.Update("b", "k", "v").ok());
+  ASSERT_TRUE(node.Update("b", "k2", "v").ok());
+  auto summary = node.BuildSummary();
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].db, "a");
+  EXPECT_EQ(summary[0].dbvv.Total(), 1u);
+  EXPECT_EQ(summary[1].db, "b");
+  EXPECT_EQ(summary[1].dbvv.Total(), 2u);
+}
+
+TEST(MultiDbTest, ThreeNodeTransitiveMultiDb) {
+  MultiDbNode n0(0, 3), n1(1, 3), n2(2, 3);
+  ASSERT_TRUE(n0.Update("inventory", "widgets", "12").ok());
+  ASSERT_TRUE(n0.Update("users", "alice", "admin").ok());
+  ASSERT_TRUE(n1.PullAllFrom(n0).ok());
+  ASSERT_TRUE(n2.PullAllFrom(n1).ok());  // transitive, never talks to n0
+  EXPECT_EQ(*n2.Read("inventory", "widgets"), "12");
+  EXPECT_EQ(*n2.Read("users", "alice"), "admin");
+  for (const std::string& db : n2.ListDatabases()) {
+    EXPECT_TRUE(n2.FindDatabase(db)->CheckInvariants().ok());
+  }
+}
+
+}  // namespace
+}  // namespace epidemic::multidb

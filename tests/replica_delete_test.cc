@@ -1,0 +1,121 @@
+// Tombstone deletes: Delete() is an ordinary update whose state is
+// "deleted", so it replicates, conflicts, and replays exactly like a value
+// write.
+
+#include <gtest/gtest.h>
+
+#include "core/replica.h"
+
+namespace epidemic {
+namespace {
+
+Status OobFetch(Replica& source, Replica& dest, std::string_view item) {
+  OobRequest req = dest.BuildOobRequest(item);
+  OobResponse resp = source.HandleOobRequest(req);
+  return dest.AcceptOobResponse(resp);
+}
+
+TEST(DeleteTest, DeleteMakesReadNotFound) {
+  Replica r(0, 2);
+  ASSERT_TRUE(r.Update("x", "v").ok());
+  ASSERT_TRUE(r.Delete("x").ok());
+  EXPECT_TRUE(r.Read("x").status().IsNotFound());
+  // The control state persists as a tombstone.
+  const Item* item = r.FindItem("x");
+  ASSERT_NE(item, nullptr);
+  EXPECT_TRUE(item->deleted);
+  EXPECT_EQ(item->ivv.Total(), 2u);  // delete counted as an update
+  EXPECT_TRUE(r.CheckInvariants().ok());
+}
+
+TEST(DeleteTest, DeleteOfUnknownItemCreatesTombstone) {
+  Replica r(0, 2);
+  ASSERT_TRUE(r.Delete("ghost").ok());
+  EXPECT_TRUE(r.Read("ghost").status().IsNotFound());
+  EXPECT_EQ(r.dbvv().Total(), 1u);
+}
+
+TEST(DeleteTest, UpdateRevivesDeletedItem) {
+  Replica r(0, 2);
+  ASSERT_TRUE(r.Update("x", "v1").ok());
+  ASSERT_TRUE(r.Delete("x").ok());
+  ASSERT_TRUE(r.Update("x", "v2").ok());
+  auto v = r.Read("x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v2");
+}
+
+TEST(DeleteTest, TombstonePropagates) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "v").ok());
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  EXPECT_TRUE(a.Read("x").ok());
+
+  ASSERT_TRUE(b.Delete("x").ok());
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  EXPECT_TRUE(a.Read("x").status().IsNotFound());
+  EXPECT_EQ(a.dbvv(), b.dbvv());
+  EXPECT_TRUE(a.CheckInvariants().ok());
+}
+
+TEST(DeleteTest, DeleteWinsOverStaleValueEverywhere) {
+  // Transitive: the tombstone reaches a third node via an intermediary.
+  Replica n0(0, 3), n1(1, 3), n2(2, 3);
+  ASSERT_TRUE(n0.Update("x", "v").ok());
+  ASSERT_TRUE(PropagateOnce(n0, n1).ok());
+  ASSERT_TRUE(PropagateOnce(n1, n2).ok());
+  ASSERT_TRUE(n0.Delete("x").ok());
+  ASSERT_TRUE(PropagateOnce(n0, n1).ok());
+  ASSERT_TRUE(PropagateOnce(n1, n2).ok());
+  EXPECT_TRUE(n2.Read("x").status().IsNotFound());
+}
+
+TEST(DeleteTest, ConcurrentDeleteAndUpdateConflict) {
+  RecordingConflictListener conflicts;
+  Replica a(0, 2, &conflicts);
+  Replica b(1, 2);
+  ASSERT_TRUE(a.Update("x", "base").ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+
+  ASSERT_TRUE(a.Delete("x").ok());        // concurrent delete at a
+  ASSERT_TRUE(b.Update("x", "edit").ok());  // concurrent edit at b
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  EXPECT_EQ(conflicts.count(), 1u);
+  // Neither side overwritten: a still has the tombstone.
+  EXPECT_TRUE(a.Read("x").status().IsNotFound());
+}
+
+TEST(DeleteTest, DeleteOnAuxiliaryCopy) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "v").ok());
+  ASSERT_TRUE(OobFetch(b, a, "x").ok());
+  ASSERT_TRUE(a.Delete("x").ok());  // delete goes to the aux copy
+  EXPECT_TRUE(a.Read("x").status().IsNotFound());
+  // Regular structures untouched until catch-up.
+  EXPECT_FALSE(a.FindItem("x")->deleted);
+  EXPECT_EQ(a.aux_log().size(), 1u);
+
+  // Catch-up replays the delete onto the regular copy.
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  EXPECT_TRUE(a.FindItem("x")->deleted);
+  EXPECT_FALSE(a.FindItem("x")->HasAux());
+  EXPECT_TRUE(a.Read("x").status().IsNotFound());
+
+  // And it propagates back to b.
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  EXPECT_TRUE(b.Read("x").status().IsNotFound());
+  EXPECT_TRUE(b.CheckInvariants().ok());
+}
+
+TEST(DeleteTest, OobFetchOfTombstone) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "v").ok());
+  ASSERT_TRUE(b.Delete("x").ok());
+  ASSERT_TRUE(OobFetch(b, a, "x").ok());
+  // a received the tombstone as its auxiliary copy.
+  EXPECT_TRUE(a.Read("x").status().IsNotFound());
+  EXPECT_TRUE(a.FindItem("x")->aux->deleted);
+}
+
+}  // namespace
+}  // namespace epidemic

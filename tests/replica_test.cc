@@ -1,0 +1,462 @@
+#include "core/replica.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace epidemic {
+namespace {
+
+VersionVector Vv(std::vector<UpdateCount> counts) {
+  return VersionVector(std::move(counts));
+}
+
+// ---------------------------------------------------------------------------
+// User update bookkeeping (§5.3, regular path).
+
+TEST(ReplicaUpdateTest, FirstUpdateBookkeeping) {
+  Replica r(0, 3);
+  ASSERT_TRUE(r.Update("x", "v1").ok());
+
+  const Item* item = r.FindItem("x");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->value, "v1");
+  EXPECT_EQ(item->ivv, Vv({1, 0, 0}));
+  EXPECT_EQ(r.dbvv(), Vv({1, 0, 0}));
+
+  // L_00 got one record (x, V_00 = 1).
+  const OriginLog& own = r.log_vector().ForOrigin(0);
+  ASSERT_EQ(own.size(), 1u);
+  EXPECT_EQ(own.head()->seq, 1u);
+  EXPECT_EQ(own.head()->item, item->id);
+  EXPECT_EQ(item->p[0], own.head());
+}
+
+TEST(ReplicaUpdateTest, RepeatedUpdatesKeepOneLogRecord) {
+  Replica r(1, 2);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(r.Update("x", "v" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(r.dbvv(), Vv({0, 5}));
+  EXPECT_EQ(r.FindItem("x")->ivv, Vv({0, 5}));
+  // Only the latest record survives (§4.2).
+  const OriginLog& own = r.log_vector().ForOrigin(1);
+  EXPECT_EQ(own.size(), 1u);
+  EXPECT_EQ(own.head()->seq, 5u);
+  EXPECT_TRUE(r.CheckInvariants().ok());
+}
+
+TEST(ReplicaUpdateTest, UpdatesToDistinctItemsAccumulateRecords) {
+  Replica r(0, 2);
+  ASSERT_TRUE(r.Update("a", "1").ok());
+  ASSERT_TRUE(r.Update("b", "2").ok());
+  ASSERT_TRUE(r.Update("c", "3").ok());
+  EXPECT_EQ(r.log_vector().ForOrigin(0).size(), 3u);
+  EXPECT_EQ(r.dbvv(), Vv({3, 0}));
+  EXPECT_TRUE(r.CheckInvariants().ok());
+}
+
+TEST(ReplicaUpdateTest, EmptyNameRejected) {
+  Replica r(0, 2);
+  EXPECT_TRUE(r.Update("", "v").IsInvalidArgument());
+}
+
+TEST(ReplicaReadTest, ReadReturnsLatestValue) {
+  Replica r(0, 2);
+  EXPECT_TRUE(r.Read("x").status().IsNotFound());
+  ASSERT_TRUE(r.Update("x", "hello").ok());
+  auto v = r.Read("x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "hello");
+}
+
+TEST(ScanTest, PrefixFilterSortedAndLimited) {
+  Replica r(0, 2);
+  ASSERT_TRUE(r.Update("user/bob", "2").ok());
+  ASSERT_TRUE(r.Update("user/alice", "1").ok());
+  ASSERT_TRUE(r.Update("config/x", "3").ok());
+  ASSERT_TRUE(r.Update("user/carol", "4").ok());
+  ASSERT_TRUE(r.Delete("user/carol").ok());  // tombstones excluded
+
+  auto all = r.Scan("");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, "config/x");
+
+  auto users = r.Scan("user/");
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0].first, "user/alice");
+  EXPECT_EQ(users[1].first, "user/bob");
+
+  auto limited = r.Scan("user/", 1);
+  ASSERT_EQ(limited.size(), 1u);
+  EXPECT_EQ(limited[0].first, "user/alice");
+
+  EXPECT_TRUE(r.Scan("zzz").empty());
+}
+
+TEST(ScanTest, ScanSeesAuxiliaryValues) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "fresh").ok());
+  OobRequest req = a.BuildOobRequest("x");
+  OobResponse resp = b.HandleOobRequest(req);
+  ASSERT_TRUE(a.AcceptOobResponse(resp).ok());
+  auto listed = a.Scan("");
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].second, "fresh");  // the user-visible (aux) value
+}
+
+TEST(DebugStringTest, MentionsKeyState) {
+  Replica r(1, 3);
+  ASSERT_TRUE(r.Update("x", "v").ok());
+  ASSERT_TRUE(r.Delete("y").ok());
+  std::string s = r.DebugString();
+  EXPECT_NE(s.find("replica 1/3"), std::string::npos);
+  EXPECT_NE(s.find("items=2"), std::string::npos);
+  EXPECT_NE(s.find("tombstones=1"), std::string::npos);
+  EXPECT_NE(s.find("dbvv=[0,2,0]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SendPropagation / AcceptPropagation (§5.1, Figs. 2-3).
+
+TEST(PropagationTest, IdenticalReplicasYieldYouAreCurrent) {
+  Replica a(0, 2), b(1, 2);
+  PropagationResponse resp = b.HandlePropagationRequest(
+      a.BuildPropagationRequest());
+  EXPECT_TRUE(resp.you_are_current);
+  EXPECT_EQ(b.stats().you_are_current_replies, 1u);
+  EXPECT_EQ(b.stats().items_shipped, 0u);
+  EXPECT_EQ(b.stats().log_records_selected, 0u);
+}
+
+TEST(PropagationTest, RecipientAheadYieldsYouAreCurrent) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(a.Update("x", "v").ok());
+  // a asks b; b has nothing a misses.
+  PropagationResponse resp = b.HandlePropagationRequest(
+      a.BuildPropagationRequest());
+  EXPECT_TRUE(resp.you_are_current);
+}
+
+TEST(PropagationTest, BasicOneItemPropagation) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "v1").ok());
+
+  PropagationResponse resp = b.HandlePropagationRequest(
+      a.BuildPropagationRequest());
+  ASSERT_FALSE(resp.you_are_current);
+  ASSERT_EQ(resp.items.size(), 1u);
+  EXPECT_EQ(resp.items[0].name, "x");
+  EXPECT_EQ(resp.items[0].value, "v1");
+  ASSERT_EQ(resp.tails.size(), 2u);
+  EXPECT_TRUE(resp.tails[0].empty());
+  ASSERT_EQ(resp.tails[1].size(), 1u);
+  EXPECT_EQ(resp.tails[1][0].seq, 1u);
+
+  ASSERT_TRUE(a.AcceptPropagation(resp).ok());
+  EXPECT_EQ(*a.Read("x"), "v1");
+  EXPECT_EQ(a.dbvv(), b.dbvv());
+  EXPECT_EQ(a.FindItem("x")->ivv, b.FindItem("x")->ivv);
+  EXPECT_TRUE(a.CheckInvariants().ok());
+  EXPECT_TRUE(b.CheckInvariants().ok());
+}
+
+TEST(PropagationTest, PropagateOnceHelper) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "v").ok());
+  ASSERT_TRUE(b.Update("y", "w").ok());
+  auto copied = PropagateOnce(/*source=*/b, /*recipient=*/a);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(*copied, 2u);
+  EXPECT_EQ(*a.Read("y"), "w");
+
+  // Second exchange finds identical replicas: zero items.
+  auto again = PropagateOnce(b, a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+TEST(PropagationTest, OnlyLatestVersionShipped) {
+  Replica a(0, 2), b(1, 2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b.Update("x", "v" + std::to_string(i)).ok());
+  }
+  b.ResetStats();
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  // Ten updates, but only one record and one item cross the wire (§6).
+  EXPECT_EQ(b.stats().log_records_selected, 1u);
+  EXPECT_EQ(b.stats().items_shipped, 1u);
+  EXPECT_EQ(*a.Read("x"), "v9");
+}
+
+TEST(PropagationTest, SelectedFlagsDeduplicateAcrossTails) {
+  // Node 2 pulls from node 1 after both 0 and 1 updated the same item; the
+  // tails for origins 0 and 1 both reference "x", but S must contain it once.
+  Replica n0(0, 3), n1(1, 3), n2(2, 3);
+  ASSERT_TRUE(n0.Update("x", "from0").ok());
+  ASSERT_TRUE(PropagateOnce(n0, n1).ok());
+  ASSERT_TRUE(n1.Update("x", "from1").ok());
+
+  PropagationResponse resp = n1.HandlePropagationRequest(
+      n2.BuildPropagationRequest());
+  ASSERT_FALSE(resp.you_are_current);
+  EXPECT_EQ(resp.tails[0].size(), 1u);
+  EXPECT_EQ(resp.tails[1].size(), 1u);
+  EXPECT_EQ(resp.items.size(), 1u);  // deduplicated by IsSelected
+  ASSERT_TRUE(n2.AcceptPropagation(resp).ok());
+  EXPECT_EQ(*n2.Read("x"), "from1");
+  EXPECT_TRUE(n2.CheckInvariants().ok());
+}
+
+TEST(PropagationTest, IsSelectedFlagsResetAfterSend) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "v").ok());
+  (void)b.HandlePropagationRequest(a.BuildPropagationRequest());
+  // Flags must be flipped back so the next request is unaffected.
+  EXPECT_TRUE(b.CheckInvariants().ok());
+  PropagationResponse resp = b.HandlePropagationRequest(
+      a.BuildPropagationRequest());
+  EXPECT_EQ(resp.items.size(), 1u);
+}
+
+TEST(PropagationTest, TransitivePropagationThroughMiddleNode) {
+  Replica n0(0, 3), n1(1, 3), n2(2, 3);
+  ASSERT_TRUE(n0.Update("x", "v").ok());
+  ASSERT_TRUE(PropagateOnce(n0, n1).ok());
+  // n2 learns n0's update from n1, never talking to n0.
+  ASSERT_TRUE(PropagateOnce(n1, n2).ok());
+  EXPECT_EQ(*n2.Read("x"), "v");
+  EXPECT_EQ(n2.dbvv(), Vv({1, 0, 0}));
+  EXPECT_TRUE(n2.CheckInvariants().ok());
+}
+
+TEST(PropagationTest, IndirectlyCurrentReplicasDetectedInConstantTime) {
+  // The Lotus weakness our protocol fixes (§8.1): i got j's data via an
+  // intermediary; a direct i<->j comparison must still be a constant-time
+  // "you-are-current".
+  Replica n0(0, 3), n1(1, 3), n2(2, 3);
+  ASSERT_TRUE(n0.Update("x", "v").ok());
+  ASSERT_TRUE(PropagateOnce(n0, n1).ok());
+  ASSERT_TRUE(PropagateOnce(n1, n2).ok());
+
+  n0.ResetStats();
+  PropagationResponse resp = n0.HandlePropagationRequest(
+      n2.BuildPropagationRequest());
+  EXPECT_TRUE(resp.you_are_current);
+  EXPECT_EQ(n0.stats().log_records_selected, 0u);
+  EXPECT_EQ(n0.stats().items_shipped, 0u);
+}
+
+TEST(PropagationTest, BidirectionalDivergenceBothDirectionsNeeded) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(a.Update("ax", "1").ok());
+  ASSERT_TRUE(b.Update("bx", "2").ok());
+
+  ASSERT_TRUE(PropagateOnce(b, a).ok());  // a learns bx
+  EXPECT_EQ(*a.Read("bx"), "2");
+  EXPECT_TRUE(a.Read("ax").ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());  // b learns ax
+  EXPECT_EQ(*b.Read("ax"), "1");
+  EXPECT_EQ(a.dbvv(), b.dbvv());
+  EXPECT_TRUE(a.CheckInvariants().ok());
+  EXPECT_TRUE(b.CheckInvariants().ok());
+}
+
+TEST(PropagationTest, ManyItemsManyRounds) {
+  Replica a(0, 2), b(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.Update("a" + std::to_string(i), "x").ok());
+    ASSERT_TRUE(b.Update("b" + std::to_string(i), "y").ok());
+  }
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  EXPECT_EQ(a.dbvv(), b.dbvv());
+  EXPECT_EQ(a.items().size(), 200u);
+  EXPECT_EQ(b.items().size(), 200u);
+  EXPECT_TRUE(a.CheckInvariants().ok());
+  EXPECT_TRUE(b.CheckInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Conflict handling.
+
+TEST(ConflictTest, ConcurrentUpdatesDetectedAndNotAdopted) {
+  RecordingConflictListener conflicts_a;
+  Replica a(0, 2, &conflicts_a);
+  Replica b(1, 2);
+  ASSERT_TRUE(a.Update("x", "fromA").ok());
+  ASSERT_TRUE(b.Update("x", "fromB").ok());
+
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  // Criterion 1 of §2.1: the inconsistency is detected...
+  EXPECT_EQ(conflicts_a.count(), 1u);
+  EXPECT_EQ(conflicts_a.events()[0].item_name, "x");
+  EXPECT_EQ(conflicts_a.events()[0].source, ConflictSource::kPropagation);
+  // ...and criterion 2: no overwrite happened.
+  EXPECT_EQ(*a.Read("x"), "fromA");
+  EXPECT_EQ(a.stats().conflicts_detected, 1u);
+  EXPECT_TRUE(a.CheckInvariants().ok());
+}
+
+TEST(ConflictTest, ConflictingItemRecordsDroppedButOthersPropagate) {
+  RecordingConflictListener conflicts;
+  Replica a(0, 2, &conflicts);
+  Replica b(1, 2);
+  ASSERT_TRUE(a.Update("x", "fromA").ok());
+  ASSERT_TRUE(b.Update("x", "fromB").ok());
+  ASSERT_TRUE(b.Update("y", "clean").ok());
+
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  EXPECT_EQ(conflicts.count(), 1u);
+  EXPECT_EQ(*a.Read("x"), "fromA");  // conflicting copy rejected
+  EXPECT_EQ(*a.Read("y"), "clean");  // clean item still propagated
+  // The dropped record must not be in a's log for origin 1: only y's.
+  EXPECT_EQ(a.log_vector().ForOrigin(1).size(), 1u);
+  EXPECT_TRUE(a.CheckInvariants().ok());
+}
+
+TEST(ConflictTest, ConflictReportedOnBothSides) {
+  RecordingConflictListener ca, cb;
+  Replica a(0, 2, &ca);
+  Replica b(1, 2, &cb);
+  ASSERT_TRUE(a.Update("x", "A").ok());
+  ASSERT_TRUE(b.Update("x", "B").ok());
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  EXPECT_EQ(ca.count(), 1u);
+  EXPECT_EQ(cb.count(), 1u);
+}
+
+TEST(ConflictTest, ConflictResolvedBySupersedingUpdate) {
+  // After a conflict, a fresh update on one side that has *seen* both
+  // histories cannot arise without application action; but a new update on
+  // b makes b's copy strictly dominate its previous one, and a still
+  // conflicts. This documents that conflicts persist until resolved.
+  RecordingConflictListener conflicts;
+  Replica a(0, 2, &conflicts);
+  Replica b(1, 2);
+  ASSERT_TRUE(a.Update("x", "A").ok());
+  ASSERT_TRUE(b.Update("x", "B").ok());
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  EXPECT_EQ(conflicts.count(), 1u);
+  ASSERT_TRUE(b.Update("x", "B2").ok());
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+  EXPECT_EQ(conflicts.count(), 2u);  // still concurrent, still reported
+  EXPECT_EQ(*a.Read("x"), "A");
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input handling.
+
+TEST(RobustnessTest, WrongTailVectorWidthRejected) {
+  Replica a(0, 2);
+  PropagationResponse resp;
+  resp.you_are_current = false;
+  resp.tails.resize(5);  // wrong: should be 2
+  EXPECT_TRUE(a.AcceptPropagation(resp).IsInvalidArgument());
+}
+
+TEST(RobustnessTest, WrongIvvWidthRejected) {
+  Replica a(0, 2);
+  PropagationResponse resp;
+  resp.tails.resize(2);
+  WireItem item;
+  item.name = "x";
+  item.ivv = VersionVector(7);
+  resp.items.push_back(item);
+  EXPECT_TRUE(a.AcceptPropagation(resp).IsInvalidArgument());
+}
+
+// Builds a minimal valid response shipping one item with one record.
+PropagationResponse OneItemResponse(size_t n, const std::string& name,
+                                    UpdateCount seq, NodeId origin) {
+  PropagationResponse resp;
+  resp.tails.resize(n);
+  resp.tails[origin].push_back(WireLogRecord{name, seq});
+  WireItem item;
+  item.name = name;
+  item.value = "v";
+  VersionVector ivv(n);
+  ivv[origin] = seq;
+  item.ivv = ivv;
+  resp.items.push_back(item);
+  return resp;
+}
+
+TEST(RobustnessTest, OutOfOrderTailRejected) {
+  Replica a(0, 2);
+  PropagationResponse resp = OneItemResponse(2, "x", 2, 1);
+  resp.tails[1].push_back(WireLogRecord{"x", 1});  // decreasing seq
+  EXPECT_TRUE(a.AcceptPropagation(resp).IsInvalidArgument());
+  EXPECT_EQ(a.dbvv().Total(), 0u);  // nothing applied
+  EXPECT_TRUE(a.CheckInvariants().ok());
+}
+
+TEST(RobustnessTest, TailRecordBelowHorizonRejected) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "v").ok());
+  ASSERT_TRUE(PropagateOnce(b, a).ok());  // a's horizon for origin 1 is 1
+  PropagationResponse stale = OneItemResponse(2, "x", 1, 1);  // seq == horizon
+  EXPECT_TRUE(a.AcceptPropagation(stale).IsInvalidArgument());
+  EXPECT_TRUE(a.CheckInvariants().ok());
+}
+
+TEST(RobustnessTest, RecordForUnshippedItemRejected) {
+  Replica a(0, 2);
+  PropagationResponse resp = OneItemResponse(2, "x", 1, 1);
+  resp.tails[1].push_back(WireLogRecord{"ghost", 2});  // not in S
+  EXPECT_TRUE(a.AcceptPropagation(resp).IsInvalidArgument());
+}
+
+TEST(RobustnessTest, DuplicateItemInResponseRejected) {
+  Replica a(0, 2);
+  PropagationResponse resp = OneItemResponse(2, "x", 1, 1);
+  resp.items.push_back(resp.items[0]);
+  EXPECT_TRUE(a.AcceptPropagation(resp).IsInvalidArgument());
+}
+
+TEST(RobustnessTest, EmptyItemNameRejected) {
+  Replica a(0, 2);
+  PropagationResponse resp = OneItemResponse(2, "", 1, 1);
+  EXPECT_TRUE(a.AcceptPropagation(resp).IsInvalidArgument());
+}
+
+TEST(RobustnessTest, ValidSyntheticResponseAccepted) {
+  Replica a(0, 2);
+  PropagationResponse resp = OneItemResponse(2, "x", 1, 1);
+  ASSERT_TRUE(a.AcceptPropagation(resp).ok());
+  EXPECT_EQ(*a.Read("x"), "v");
+  EXPECT_TRUE(a.CheckInvariants().ok());
+}
+
+TEST(RobustnessTest, YouAreCurrentAcceptIsNoop) {
+  Replica a(0, 2);
+  PropagationResponse resp;
+  resp.you_are_current = true;
+  EXPECT_TRUE(a.AcceptPropagation(resp).ok());
+  EXPECT_EQ(a.dbvv(), Vv({0, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Stats counters.
+
+TEST(StatsTest, CountersTrackOperations) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("x", "v").ok());
+  ASSERT_TRUE(b.Update("y", "w").ok());
+  ASSERT_TRUE(PropagateOnce(b, a).ok());
+
+  EXPECT_EQ(b.stats().updates_regular, 2u);
+  EXPECT_EQ(b.stats().propagation_requests_served, 1u);
+  EXPECT_EQ(b.stats().dbvv_comparisons, 1u);
+  EXPECT_EQ(b.stats().items_shipped, 2u);
+  EXPECT_EQ(a.stats().items_adopted, 2u);
+  EXPECT_EQ(a.stats().records_appended, 2u);
+  EXPECT_EQ(a.stats().item_ivv_comparisons, 2u);
+
+  a.ResetStats();
+  EXPECT_EQ(a.stats().items_adopted, 0u);
+}
+
+}  // namespace
+}  // namespace epidemic

@@ -1,0 +1,299 @@
+#include "server/replica_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+
+namespace epidemic::server {
+namespace {
+
+/// Three replica servers wired through an in-process hub.
+class InProcClusterTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 3;
+
+  InProcClusterTest() : hub_(kNodes), transport_(&hub_) {
+    for (NodeId i = 0; i < kNodes; ++i) {
+      ReplicaServer::Options options;
+      for (NodeId p = 0; p < kNodes; ++p) {
+        if (p != i) options.peers.push_back(p);
+      }
+      servers_.push_back(std::make_unique<ReplicaServer>(
+          i, kNodes, &transport_, options));
+      hub_.Register(i, servers_.back().get());
+    }
+  }
+
+  net::InProcHub hub_;
+  net::InProcTransport transport_;
+  std::vector<std::unique_ptr<ReplicaServer>> servers_;
+};
+
+TEST_F(InProcClusterTest, LocalUpdateAndRead) {
+  ASSERT_TRUE(servers_[0]->Update("x", "v").ok());
+  auto v = servers_[0]->Read("x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v");
+  EXPECT_TRUE(servers_[1]->Read("x").status().IsNotFound());
+}
+
+TEST_F(InProcClusterTest, ManualPullPropagates) {
+  ASSERT_TRUE(servers_[0]->Update("x", "v").ok());
+  ASSERT_TRUE(servers_[1]->PullFrom(0).ok());
+  EXPECT_EQ(*servers_[1]->Read("x"), "v");
+  // Transitive: node 2 learns from node 1.
+  ASSERT_TRUE(servers_[2]->PullFrom(1).ok());
+  EXPECT_EQ(*servers_[2]->Read("x"), "v");
+}
+
+TEST_F(InProcClusterTest, PullFromDownPeerIsUnavailable) {
+  hub_.SetNodeUp(0, false);
+  EXPECT_TRUE(servers_[1]->PullFrom(0).IsUnavailable());
+}
+
+TEST_F(InProcClusterTest, OobFetchThroughTransport) {
+  ASSERT_TRUE(servers_[0]->Update("hot", "fresh").ok());
+  ASSERT_TRUE(servers_[1]->OobFetch(0, "hot").ok());
+  EXPECT_EQ(*servers_[1]->Read("hot"), "fresh");
+  // Regular state untouched on node 1 (it was an OOB copy).
+  servers_[1]->WithReplica([](const Replica& r) {
+    EXPECT_EQ(r.dbvv().Total(), 0u);
+    EXPECT_TRUE(r.FindItem("hot")->HasAux());
+  });
+}
+
+TEST_F(InProcClusterTest, ClientRpcPath) {
+  ReplicaClient client(&transport_, /*server=*/0);
+  ASSERT_TRUE(client.Update("x", "v").ok());
+  auto v = client.Read("x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v");
+  EXPECT_TRUE(client.Read("ghost").status().IsNotFound());
+}
+
+TEST_F(InProcClusterTest, ClientDeleteRpcAndTombstoneReplication) {
+  ReplicaClient client0(&transport_, 0);
+  ReplicaClient client1(&transport_, 1);
+  ASSERT_TRUE(client0.Update("doomed", "v").ok());
+  ASSERT_TRUE(servers_[1]->PullFrom(0).ok());
+  ASSERT_TRUE(client1.Read("doomed").ok());
+
+  ASSERT_TRUE(client0.Delete("doomed").ok());
+  EXPECT_TRUE(client0.Read("doomed").status().IsNotFound());
+  // The tombstone replicates like any update.
+  ASSERT_TRUE(servers_[1]->PullFrom(0).ok());
+  EXPECT_TRUE(client1.Read("doomed").status().IsNotFound());
+  // Deleting an unknown item just writes a tombstone (no error).
+  EXPECT_TRUE(client0.Delete("never-existed").ok());
+}
+
+TEST_F(InProcClusterTest, ClientOobReadFetchesFromPeer) {
+  ReplicaClient client0(&transport_, 0);
+  ReplicaClient client1(&transport_, 1);
+  ASSERT_TRUE(client0.Update("doc", "v7").ok());
+  // Node 1 does not have the item; OobRead makes it fetch from node 0.
+  auto v = client1.OobRead(/*from_peer=*/0, "doc");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v7");
+}
+
+TEST_F(InProcClusterTest, BackgroundAntiEntropyConverges) {
+  // Rebuild server 1 and 2 with a fast anti-entropy loop.
+  for (NodeId i = 0; i < kNodes; ++i) hub_.Register(i, nullptr);
+  std::vector<std::unique_ptr<ReplicaServer>> servers;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    ReplicaServer::Options options;
+    for (NodeId p = 0; p < kNodes; ++p) {
+      if (p != i) options.peers.push_back(p);
+    }
+    options.anti_entropy_interval_micros = 2000;  // 2 ms
+    servers.push_back(std::make_unique<ReplicaServer>(
+        i, kNodes, &transport_, options));
+    hub_.Register(i, servers.back().get());
+  }
+  for (auto& s : servers) s->Start();
+
+  ASSERT_TRUE(servers[0]->Update("x", "v").ok());
+  // Wait (bounded) for the update to spread to all nodes.
+  bool spread = false;
+  for (int attempt = 0; attempt < 500 && !spread; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    spread = servers[1]->Read("x").ok() && servers[2]->Read("x").ok();
+  }
+  EXPECT_TRUE(spread);
+  for (auto& s : servers) s->Stop();
+  for (NodeId i = 0; i < kNodes; ++i) hub_.Register(i, nullptr);
+  if (spread) {
+    EXPECT_EQ(*servers[1]->Read("x"), "v");
+    EXPECT_EQ(*servers[2]->Read("x"), "v");
+  }
+}
+
+TEST_F(InProcClusterTest, ScanAndStatsRpc) {
+  ReplicaClient client(&transport_, 0);
+  ASSERT_TRUE(client.Update("a/1", "x").ok());
+  ASSERT_TRUE(client.Update("a/2", "y").ok());
+  ASSERT_TRUE(client.Update("b/1", "z").ok());
+
+  auto listed = client.Scan("a/");
+  ASSERT_TRUE(listed.ok()) << listed.status().ToString();
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0].first, "a/1");
+  EXPECT_EQ((*listed)[1].second, "y");
+
+  auto limited = client.Scan("", 1);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 1u);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("replica 0/3"), std::string::npos);
+  EXPECT_NE(stats->find("items=3"), std::string::npos);
+}
+
+TEST_F(InProcClusterTest, AdminSyncRpcPullsOnDemand) {
+  ReplicaClient client0(&transport_, 0);
+  ReplicaClient client1(&transport_, 1);
+  ASSERT_TRUE(client0.Update("x", "v").ok());
+  EXPECT_TRUE(client1.Read("x").status().IsNotFound());
+  // Admin-triggered pull: node 1 syncs from node 0 immediately.
+  ASSERT_TRUE(client1.TriggerSync(0).ok());
+  EXPECT_EQ(*client1.Read("x"), "v");
+  // Self-sync rejected; checkpoint rejected on an in-memory server.
+  EXPECT_TRUE(client1.TriggerSync(1).IsInvalidArgument());
+  EXPECT_TRUE(client1.TriggerCheckpoint().IsFailedPrecondition());
+}
+
+TEST_F(InProcClusterTest, MalformedRequestYieldsErrorReply) {
+  auto wire = transport_.Call(0, "garbage-bytes");
+  ASSERT_TRUE(wire.ok());  // transport succeeded; reply is an error message
+  auto decoded = net::Decode(*wire);
+  ASSERT_TRUE(decoded.ok());
+  auto* reply = std::get_if<net::ClientReply>(&*decoded);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_NE(reply->code, 0);
+}
+
+TEST(DurableServerTest, SurvivesRestartWithReplicatedState) {
+  const std::string dir = ::testing::TempDir() + "/durable_server_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  net::InProcHub hub(2);
+  net::InProcTransport transport(&hub);
+  ReplicaServer peer(1, 2, &transport, {});
+  hub.Register(1, &peer);
+  ASSERT_TRUE(peer.Update("remote", "from-peer").ok());
+
+  {
+    auto durable = JournaledReplica::Open(dir, 0, 2);
+    ASSERT_TRUE(durable.ok());
+    ReplicaServer server(std::move(*durable), &transport, {});
+    EXPECT_TRUE(server.is_durable());
+    hub.Register(0, &server);
+    ASSERT_TRUE(server.Update("local", "mine").ok());
+    ASSERT_TRUE(server.PullFrom(1).ok());
+    EXPECT_EQ(*server.Read("remote"), "from-peer");
+    hub.Register(0, nullptr);
+  }  // crash without checkpoint
+
+  {
+    auto recovered = JournaledReplica::Open(dir, 0, 2);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ReplicaServer server(std::move(*recovered), &transport, {});
+    hub.Register(0, &server);
+    EXPECT_EQ(*server.Read("local"), "mine");
+    EXPECT_EQ(*server.Read("remote"), "from-peer");
+    // Checkpoint then keep operating.
+    ASSERT_TRUE(server.Checkpoint().ok());
+    ASSERT_TRUE(server.Update("post", "cp").ok());
+    hub.Register(0, nullptr);
+  }
+
+  {
+    auto again = JournaledReplica::Open(dir, 0, 2);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*(*again)->Read("post"), "cp");
+    EXPECT_EQ(*(*again)->Read("local"), "mine");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableServerTest, InMemoryServerRejectsCheckpoint) {
+  net::InProcHub hub(2);
+  net::InProcTransport transport(&hub);
+  ReplicaServer server(0, 2, &transport, {});
+  EXPECT_FALSE(server.is_durable());
+  EXPECT_TRUE(server.Checkpoint().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// The same server stack over real TCP sockets.
+
+TEST(TcpClusterTest, EndToEndReplicationOverSockets) {
+  constexpr size_t kNodes = 2;
+  net::TcpTransport transport(kNodes);
+
+  ReplicaServer::Options opts0, opts1;
+  opts0.peers = {1};
+  opts1.peers = {0};
+  ReplicaServer s0(0, kNodes, &transport, opts0);
+  ReplicaServer s1(1, kNodes, &transport, opts1);
+
+  net::TcpServer tcp0(&s0), tcp1(&s1);
+  ASSERT_TRUE(tcp0.Start(0).ok());
+  ASSERT_TRUE(tcp1.Start(0).ok());
+  transport.SetPeerPort(0, tcp0.port());
+  transport.SetPeerPort(1, tcp1.port());
+
+  ReplicaClient client0(&transport, 0);
+  ASSERT_TRUE(client0.Update("k", "over-tcp").ok());
+
+  ASSERT_TRUE(s1.PullFrom(0).ok());
+  ReplicaClient client1(&transport, 1);
+  auto v = client1.Read("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "over-tcp");
+
+  // Identical replicas: another pull is a no-op and leaves state equal.
+  ASSERT_TRUE(s1.PullFrom(0).ok());
+  s0.WithReplica([&s1](const Replica& r0) {
+    s1.WithReplica([&r0](const Replica& r1) {
+      EXPECT_EQ(r0.dbvv(), r1.dbvv());
+    });
+  });
+
+  tcp0.Stop();
+  tcp1.Stop();
+}
+
+TEST(TcpClusterTest, OobFetchOverSockets) {
+  constexpr size_t kNodes = 2;
+  net::TcpTransport transport(kNodes);
+  ReplicaServer s0(0, kNodes, &transport, {});
+  ReplicaServer s1(1, kNodes, &transport, {});
+  net::TcpServer tcp0(&s0), tcp1(&s1);
+  ASSERT_TRUE(tcp0.Start(0).ok());
+  ASSERT_TRUE(tcp1.Start(0).ok());
+  transport.SetPeerPort(0, tcp0.port());
+  transport.SetPeerPort(1, tcp1.port());
+
+  ASSERT_TRUE(s0.Update("doc", "payload").ok());
+  ASSERT_TRUE(s1.OobFetch(0, "doc").ok());
+  EXPECT_EQ(*s1.Read("doc"), "payload");
+
+  tcp0.Stop();
+  tcp1.Stop();
+}
+
+}  // namespace
+}  // namespace epidemic::server

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/workload.h"
+
+namespace epidemic::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Event queue.
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::string trace;
+  q.At(30, [&] { trace += "c"; });
+  q.At(10, [&] { trace += "a"; });
+  q.At(20, [&] { trace += "b"; });
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(trace, "abc");
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, EqualTimestampsRunInScheduleOrder) {
+  EventQueue q;
+  std::string trace;
+  for (char c : {'1', '2', '3', '4'}) {
+    q.At(5, [&trace, c] { trace += c; });
+  }
+  q.RunAll();
+  EXPECT_EQ(trace, "1234");
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.After(10, chain);
+  };
+  q.After(10, chain);
+  q.RunAll();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.At(10, [&] { ++fired; });
+  q.At(20, [&] { ++fired; });
+  q.At(30, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(25), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 25);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunOneOnEmptyQueue) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunOne());
+}
+
+TEST(EventQueueTest, RunAllHonorsEventBudget) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> forever = [&] {
+    ++fired;
+    q.After(1, forever);
+  };
+  q.After(1, forever);
+  EXPECT_EQ(q.RunAll(100), 100u);
+  EXPECT_EQ(fired, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Workload.
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  config.seed = 5;
+  Workload w1(config), w2(config);
+  for (int i = 0; i < 50; ++i) {
+    Workload::Op a = w1.NextUpdate(4);
+    Workload::Op b = w2.NextUpdate(4);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.item, b.item);
+    EXPECT_EQ(a.value, b.value);
+  }
+}
+
+TEST(WorkloadTest, ValuesAreUniqueAndPadded) {
+  WorkloadConfig config;
+  config.value_len = 24;
+  Workload w(config);
+  std::set<std::string> values;
+  for (int i = 0; i < 200; ++i) {
+    Workload::Op op = w.NextUpdate(3);
+    EXPECT_GE(op.value.size(), 24u);
+    EXPECT_TRUE(values.insert(op.value).second) << "duplicate " << op.value;
+  }
+}
+
+TEST(WorkloadTest, SkewedWorkloadTouchesFewItems) {
+  WorkloadConfig config;
+  config.num_items = 10000;
+  config.zipf_s = 1.3;
+  Workload w(config);
+  std::set<std::string> touched;
+  for (int i = 0; i < 1000; ++i) touched.insert(w.NextUpdate(4).item);
+  // The paper's target regime: far fewer dirty items than the item count.
+  EXPECT_LT(touched.size(), 400u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster harness, across all four protocols.
+
+class ClusterProtocolTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ClusterProtocolTest, ConvergesAfterUpdatesWithRingSchedule) {
+  ClusterConfig config;
+  config.protocol = GetParam();
+  config.num_nodes = 4;
+  config.peering = Peering::kRing;
+  config.workload.num_items = 50;
+  config.workload.seed = 11;
+  Cluster cluster(config);
+
+  if (GetParam() == ProtocolKind::kOraclePush) {
+    // Push-based: only the originator distributes. Drive one node's
+    // updates and push rounds.
+    ASSERT_TRUE(cluster.UpdateAt(0, "x", "v").ok());
+    for (NodeId p = 1; p < 4; ++p) {
+      ASSERT_TRUE(cluster.SyncPair(0, p).ok());
+    }
+    EXPECT_TRUE(cluster.IsConverged());
+    return;
+  }
+
+  // Conflict-free workload (each node writes its own key range): every
+  // pull-based protocol must converge under the ring schedule. Conflicting
+  // items are *supposed* to stay divergent until resolved, so they are not
+  // part of a convergence test.
+  for (NodeId node = 0; node < 4; ++node) {
+    for (int k = 0; k < 5; ++k) {
+      ASSERT_TRUE(cluster
+                      .UpdateAt(node,
+                                "n" + std::to_string(node) + "-k" +
+                                    std::to_string(k),
+                                "v" + std::to_string(node * 10 + k))
+                      .ok());
+    }
+  }
+  auto rounds = cluster.RunUntilConverged(/*max_rounds=*/20);
+  ASSERT_TRUE(rounds.ok()) << rounds.status().ToString();
+  EXPECT_GT(*rounds, 0u);
+  EXPECT_TRUE(cluster.IsConverged());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ClusterProtocolTest,
+    ::testing::Values(ProtocolKind::kEpidemicDbvv, ProtocolKind::kLotus,
+                      ProtocolKind::kOraclePush, ProtocolKind::kPerItemVv,
+                      ProtocolKind::kWuuBernstein, ProtocolKind::kMerkle),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      std::string name(ProtocolKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ClusterTest, RandomPeeringAlsoConverges) {
+  ClusterConfig config;
+  config.protocol = ProtocolKind::kEpidemicDbvv;
+  config.num_nodes = 8;
+  config.peering = Peering::kRandom;
+  config.seed = 3;
+  config.workload.seed = 3;
+  Cluster cluster(config);
+  for (NodeId node = 0; node < 8; ++node) {
+    for (int k = 0; k < 4; ++k) {
+      ASSERT_TRUE(cluster
+                      .UpdateAt(node,
+                                "n" + std::to_string(node) + "-k" +
+                                    std::to_string(k),
+                                "v")
+                      .ok());
+    }
+  }
+  auto rounds = cluster.RunUntilConverged(100);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_TRUE(cluster.IsConverged());
+}
+
+TEST(ClusterTest, CrashedNodeSkipsSyncAndLagsBehind) {
+  ClusterConfig config;
+  config.protocol = ProtocolKind::kEpidemicDbvv;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+
+  cluster.Crash(2);
+  EXPECT_FALSE(cluster.IsUp(2));
+  EXPECT_EQ(cluster.LiveCount(), 2u);
+  ASSERT_TRUE(cluster.UpdateAt(0, "x", "v").ok());
+  ASSERT_TRUE(cluster.SyncPair(1, 0).ok());
+  EXPECT_TRUE(cluster.SyncPair(2, 0).IsUnavailable());
+  EXPECT_TRUE(cluster.SyncPair(1, 2).IsUnavailable());
+
+  // Live nodes converge among themselves.
+  EXPECT_TRUE(cluster.IsConverged());
+
+  // After recovery the lagging node catches up from either survivor.
+  cluster.Recover(2);
+  EXPECT_FALSE(cluster.IsConverged());
+  ASSERT_TRUE(cluster.SyncPair(2, 1).ok());
+  EXPECT_TRUE(cluster.IsConverged());
+}
+
+TEST(ClusterTest, UpdateAtDownNodeFails) {
+  ClusterConfig config;
+  Cluster cluster(config);
+  cluster.Crash(1);
+  EXPECT_TRUE(cluster.UpdateAt(1, "x", "v").IsUnavailable());
+}
+
+TEST(ClusterTest, SelfSyncRejected) {
+  Cluster cluster(ClusterConfig{});
+  EXPECT_TRUE(cluster.SyncPair(0, 0).IsInvalidArgument());
+}
+
+TEST(ClusterTest, TotalStatsAggregateAcrossNodes) {
+  ClusterConfig config;
+  config.protocol = ProtocolKind::kEpidemicDbvv;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  cluster.ApplyUpdates(10);
+  cluster.SyncRound();
+  SyncStats total = cluster.TotalSyncStats();
+  EXPECT_GT(total.exchanges, 0u);
+  EXPECT_GT(total.control_bytes, 0u);
+}
+
+TEST(ClusterTest, ConvergedClusterReportsZeroRounds) {
+  Cluster cluster(ClusterConfig{});
+  auto rounds = cluster.RunUntilConverged(5);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_EQ(*rounds, 0u);
+}
+
+TEST(ClusterTest, NonConvergenceTimesOut) {
+  // An Oracle cluster where a non-originator can never obtain the update
+  // because the originator is down: RunUntilConverged must time out.
+  ClusterConfig config;
+  config.protocol = ProtocolKind::kOraclePush;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.UpdateAt(0, "x", "v").ok());
+  ASSERT_TRUE(cluster.SyncPair(0, 1).ok());  // only node 1 got it
+  cluster.Crash(0);
+  auto rounds = cluster.RunUntilConverged(10);
+  EXPECT_TRUE(rounds.status().IsTimedOut());
+  EXPECT_EQ(cluster.CountDivergentFrom(1), 1u);  // node 2 still obsolete
+}
+
+TEST(ClusterTest, EpidemicForwardsAfterOriginatorCrash) {
+  // Same scenario as above but with the paper's protocol: node 2 catches
+  // up from node 1 even though the originator is gone (§8.2 contrast).
+  ClusterConfig config;
+  config.protocol = ProtocolKind::kEpidemicDbvv;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.UpdateAt(0, "x", "v").ok());
+  ASSERT_TRUE(cluster.SyncPair(1, 0).ok());  // node 1 pulled it
+  cluster.Crash(0);
+  ASSERT_TRUE(cluster.SyncPair(2, 1).ok());  // node 2 pulls from node 1
+  EXPECT_TRUE(cluster.IsConverged());
+}
+
+TEST(ClusterTest, ConflictCountsSurface) {
+  ClusterConfig config;
+  config.protocol = ProtocolKind::kEpidemicDbvv;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.UpdateAt(0, "x", "A").ok());
+  ASSERT_TRUE(cluster.UpdateAt(1, "x", "B").ok());
+  ASSERT_TRUE(cluster.SyncPair(0, 1).ok());
+  EXPECT_EQ(cluster.TotalConflicts(), 1u);
+}
+
+TEST(ClusterTest, SeveredLinkBlocksSyncPair) {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster cluster(config);
+  EXPECT_TRUE(cluster.IsLinkUp(0, 1));
+  cluster.SetLinkUp(0, 1, false);
+  EXPECT_FALSE(cluster.IsLinkUp(0, 1));
+  EXPECT_FALSE(cluster.IsLinkUp(1, 0));  // symmetric
+  ASSERT_TRUE(cluster.UpdateAt(0, "x", "v").ok());
+  EXPECT_TRUE(cluster.SyncPair(1, 0).IsUnavailable());
+  // The indirect route still works: 2 pulls from 0, then 1 pulls from 2.
+  ASSERT_TRUE(cluster.SyncPair(2, 0).ok());
+  ASSERT_TRUE(cluster.SyncPair(1, 2).ok());
+  EXPECT_TRUE(cluster.IsConverged());
+}
+
+TEST(ClusterTest, PartitionDivergesThenHealsAndConverges) {
+  ClusterConfig config;
+  config.protocol = ProtocolKind::kEpidemicDbvv;
+  config.num_nodes = 6;
+  config.peering = Peering::kRandom;
+  config.seed = 31;
+  Cluster cluster(config);
+
+  cluster.Partition({0, 1, 2}, {3, 4, 5});
+  ASSERT_TRUE(cluster.UpdateAt(0, "left", "L").ok());
+  ASSERT_TRUE(cluster.UpdateAt(3, "right", "R").ok());
+  for (int round = 0; round < 10; ++round) cluster.SyncRound();
+  // Each side converged internally but not across the cut.
+  EXPECT_FALSE(cluster.IsConverged());
+  EXPECT_TRUE(cluster.node(2).ClientRead("left").ok());
+  EXPECT_FALSE(cluster.node(2).ClientRead("right").ok());
+  EXPECT_TRUE(cluster.node(5).ClientRead("right").ok());
+
+  cluster.HealAllLinks();
+  auto rounds = cluster.RunUntilConverged(50);
+  ASSERT_TRUE(rounds.ok()) << rounds.status().ToString();
+  EXPECT_EQ(*cluster.node(5).ClientRead("left"), "L");
+  EXPECT_EQ(*cluster.node(0).ClientRead("right"), "R");
+}
+
+TEST(ClusterTest, RingStallsAcrossPartitionRandomRoutesAround) {
+  // With ring peering, severing one ring edge can stall propagation across
+  // it; random peering routes around. Documents why the schedule matters
+  // for Theorem 5's transitivity premise.
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.peering = Peering::kRing;
+  Cluster cluster(config);
+  // Ring pulls go i <- i+1, so node 1's updates reach the others only
+  // through node 0. Severing 0<->1 breaks the sole dissemination path: the
+  // fixed ring schedule no longer satisfies Theorem 5's "everyone
+  // propagates transitively from everyone" premise, and the update stalls.
+  cluster.SetLinkUp(0, 1, false);
+  ASSERT_TRUE(cluster.UpdateAt(1, "x", "v").ok());
+  for (int round = 0; round < 8; ++round) cluster.SyncRound();
+  EXPECT_FALSE(cluster.node(0).ClientRead("x").ok());
+  EXPECT_FALSE(cluster.node(3).ClientRead("x").ok());
+
+  // A random schedule reaches every live pair eventually and heals.
+  ClusterConfig random_config = config;
+  random_config.peering = Peering::kRandom;
+  random_config.seed = 5;
+  Cluster random_cluster(random_config);
+  random_cluster.SetLinkUp(0, 1, false);
+  ASSERT_TRUE(random_cluster.UpdateAt(1, "x", "v").ok());
+  auto rounds = random_cluster.RunUntilConverged(60);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_EQ(*random_cluster.node(0).ClientRead("x"), "v");
+}
+
+TEST(ClusterTest, MakeNodeProducesRequestedProtocol) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kEpidemicDbvv, ProtocolKind::kLotus,
+        ProtocolKind::kOraclePush, ProtocolKind::kPerItemVv,
+        ProtocolKind::kWuuBernstein, ProtocolKind::kMerkle}) {
+    auto node = MakeNode(kind, 0, 2);
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->protocol_name(), ProtocolKindName(kind));
+  }
+}
+
+}  // namespace
+}  // namespace epidemic::sim

@@ -1,0 +1,173 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "core/replica.h"
+
+namespace epidemic {
+namespace {
+
+Status OobFetch(Replica& source, Replica& dest, std::string_view item) {
+  OobRequest req = dest.BuildOobRequest(item);
+  OobResponse resp = source.HandleOobRequest(req);
+  return dest.AcceptOobResponse(resp);
+}
+
+// Drives `r` into a rich state: values, tombstones, foreign updates,
+// auxiliary copies, pending aux-log records.
+void PopulateRich(Replica& r, Replica& peer) {
+  ASSERT_TRUE(peer.Update("shared", "from-peer").ok());
+  ASSERT_TRUE(peer.Update("hot", "peer-hot").ok());
+  ASSERT_TRUE(PropagateOnce(peer, r).ok());
+
+  ASSERT_TRUE(r.Update("local", "mine").ok());
+  ASSERT_TRUE(r.Update("local", "mine2").ok());
+  ASSERT_TRUE(r.Delete("doomed").ok());
+
+  // Out-of-bound fetch of a fresher 'hot' plus pending local edits.
+  ASSERT_TRUE(peer.Update("hot", "peer-hot2").ok());
+  ASSERT_TRUE(OobFetch(peer, r, "hot").ok());
+  ASSERT_TRUE(r.Update("hot", "local-hot").ok());
+  ASSERT_TRUE(r.Update("hot", "local-hot2").ok());
+}
+
+void ExpectEquivalent(const Replica& a, const Replica& b) {
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.dbvv(), b.dbvv());
+  EXPECT_EQ(a.items().size(), b.items().size());
+  for (const auto& item : a.items()) {
+    const Item* other = b.FindItem(item->name);
+    ASSERT_NE(other, nullptr) << item->name;
+    EXPECT_EQ(item->value, other->value) << item->name;
+    EXPECT_EQ(item->deleted, other->deleted) << item->name;
+    EXPECT_EQ(item->ivv, other->ivv) << item->name;
+    EXPECT_EQ(item->HasAux(), other->HasAux()) << item->name;
+    if (item->HasAux() && other->HasAux()) {
+      EXPECT_EQ(item->aux->value, other->aux->value);
+      EXPECT_EQ(item->aux->deleted, other->aux->deleted);
+      EXPECT_EQ(item->aux->ivv, other->aux->ivv);
+    }
+  }
+  EXPECT_EQ(a.log_vector().TotalRecords(), b.log_vector().TotalRecords());
+  EXPECT_EQ(a.aux_log().size(), b.aux_log().size());
+}
+
+TEST(SnapshotTest, EmptyReplicaRoundTrip) {
+  Replica r(1, 3);
+  auto restored = DecodeSnapshot(EncodeSnapshot(r));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectEquivalent(r, **restored);
+  EXPECT_TRUE((*restored)->CheckInvariants().ok());
+}
+
+TEST(SnapshotTest, RichStateRoundTrip) {
+  Replica r(0, 3), peer(1, 3);
+  PopulateRich(r, peer);
+  ASSERT_TRUE(r.CheckInvariants().ok());
+
+  auto restored = DecodeSnapshot(EncodeSnapshot(r));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectEquivalent(r, **restored);
+  EXPECT_TRUE((*restored)->CheckInvariants().ok());
+
+  // The restored replica behaves like the original: user reads agree.
+  EXPECT_EQ(*(*restored)->Read("hot"), *r.Read("hot"));
+  EXPECT_TRUE((*restored)->Read("doomed").status().IsNotFound());
+}
+
+TEST(SnapshotTest, RestoredReplicaResumesProtocol) {
+  Replica r(0, 3), peer(1, 3);
+  PopulateRich(r, peer);
+
+  auto restored = DecodeSnapshot(EncodeSnapshot(r));
+  ASSERT_TRUE(restored.ok());
+  Replica& revived = **restored;
+
+  // Peer made progress while we were "down"; the revived node pulls and
+  // completes the pending intra-node replay.
+  ASSERT_TRUE(peer.Update("shared", "newer").ok());
+  ASSERT_TRUE(PropagateOnce(peer, revived).ok());
+  EXPECT_EQ(*revived.Read("shared"), "newer");
+  EXPECT_EQ(*revived.Read("hot"), "local-hot2");
+  EXPECT_FALSE(revived.FindItem("hot")->HasAux());  // replay completed
+  EXPECT_TRUE(revived.CheckInvariants().ok());
+
+  // And it can serve as a source again.
+  Replica n2(2, 3);
+  ASSERT_TRUE(PropagateOnce(revived, n2).ok());
+  EXPECT_EQ(*n2.Read("local"), "mine2");
+}
+
+TEST(SnapshotTest, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "/epi_snapshot_test.bin";
+  Replica r(0, 2), peer(1, 2);
+  PopulateRich(r, peer);
+  ASSERT_TRUE(SaveSnapshot(r, path).ok());
+
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEquivalent(r, **loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadMissingFileIsNotFound) {
+  auto loaded = LoadSnapshot("/nonexistent/dir/snap.bin");
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+TEST(SnapshotTest, BadMagicRejected) {
+  auto r = DecodeSnapshot("WRONGMAGIC-and-some-data");
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(SnapshotTest, EmptyBlobRejected) {
+  EXPECT_TRUE(DecodeSnapshot("").status().IsCorruption());
+}
+
+TEST(SnapshotTest, TruncatedSnapshotsFailCleanly) {
+  Replica r(0, 3), peer(1, 3);
+  PopulateRich(r, peer);
+  std::string blob = EncodeSnapshot(r);
+  // Every strict prefix must fail with Corruption (or, for a cut exactly at
+  // a section boundary, an Internal invariant failure) — never crash.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t cut = rng.Uniform(blob.size());
+    auto restored = DecodeSnapshot(std::string_view(blob).substr(0, cut));
+    EXPECT_FALSE(restored.ok()) << "prefix " << cut << " decoded";
+  }
+}
+
+TEST(SnapshotTest, EveryByteFlipCaughtByChecksum) {
+  Replica r(0, 2), peer(1, 2);
+  PopulateRich(r, peer);
+  std::string blob = EncodeSnapshot(r);
+  Rng rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = blob;
+    size_t pos = rng.Uniform(mutated.size());
+    char flip = static_cast<char>(1 + rng.Uniform(255));  // guaranteed change
+    mutated[pos] = static_cast<char>(mutated[pos] ^ flip);
+    auto restored = DecodeSnapshot(mutated);
+    // Every byte is covered by the trailing CRC-32C (or *is* the CRC), so
+    // any flip must be rejected — no silent acceptance of bit rot.
+    EXPECT_FALSE(restored.ok()) << "pos=" << pos;
+    if (!restored.ok()) {
+      EXPECT_TRUE(restored.status().IsCorruption());
+    }
+  }
+}
+
+TEST(SnapshotTest, SnapshotIsDeterministic) {
+  Replica r(0, 2), peer(1, 2);
+  PopulateRich(r, peer);
+  EXPECT_EQ(EncodeSnapshot(r), EncodeSnapshot(r));
+}
+
+}  // namespace
+}  // namespace epidemic

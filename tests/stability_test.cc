@@ -1,0 +1,83 @@
+// Stability-frontier tracking (extension): a node passively learns peers'
+// DBVVs from the propagation requests they send and exposes which updates
+// are known replicated everywhere.
+
+#include <gtest/gtest.h>
+
+#include "core/replica.h"
+
+namespace epidemic {
+namespace {
+
+VersionVector Vv(std::vector<UpdateCount> counts) {
+  return VersionVector(std::move(counts));
+}
+
+TEST(StabilityTest, FrontierStartsAtZero) {
+  Replica r(0, 3);
+  ASSERT_TRUE(r.Update("x", "v").ok());
+  // Nobody has told us anything: nothing is stable.
+  EXPECT_EQ(r.StabilityFrontier(), Vv({0, 0, 0}));
+  EXPECT_FALSE(r.IsStable(*r.FindItem("x")));
+  EXPECT_EQ(r.CountStable().stable_items, 0u);
+}
+
+TEST(StabilityTest, FrontierAdvancesAsPeersReport) {
+  Replica a(0, 3), b(1, 3), c(2, 3);
+  ASSERT_TRUE(a.Update("x", "v").ok());
+
+  // b pulls from a: a learns b's (empty) DBVV — frontier still zero.
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  EXPECT_EQ(a.StabilityFrontier(), Vv({0, 0, 0}));
+
+  // c pulls from b, then both pull from a again: now their requests carry
+  // DBVVs that include a's update.
+  ASSERT_TRUE(PropagateOnce(b, c).ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  ASSERT_TRUE(PropagateOnce(a, c).ok());
+  EXPECT_EQ(a.StabilityFrontier(), Vv({1, 0, 0}));
+  EXPECT_TRUE(a.IsStable(*a.FindItem("x")));
+  EXPECT_EQ(a.CountStable().stable_items, 1u);
+}
+
+TEST(StabilityTest, UnstableWhileAnyPeerLags) {
+  Replica a(0, 3), b(1, 3), c(2, 3);
+  ASSERT_TRUE(a.Update("x", "v").ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());  // b reports knowledge of x
+  // c never talked to a: x cannot be declared stable.
+  EXPECT_FALSE(a.IsStable(*a.FindItem("x")));
+}
+
+TEST(StabilityTest, StableTombstonesCounted) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(a.Update("keep", "v").ok());
+  ASSERT_TRUE(a.Delete("gone").ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());  // second pull reports knowledge
+  auto info = a.CountStable();
+  EXPECT_EQ(info.stable_items, 2u);
+  EXPECT_EQ(info.stable_tombstones, 1u);
+}
+
+TEST(StabilityTest, FresherUpdateResetsStability) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(a.Update("x", "v1").ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());
+  ASSERT_TRUE(a.IsStable(*a.FindItem("x")));
+  // A new local update moves the item above the frontier again.
+  ASSERT_TRUE(a.Update("x", "v2").ok());
+  EXPECT_FALSE(a.IsStable(*a.FindItem("x")));
+}
+
+TEST(StabilityTest, LastKnownDbvvExposed) {
+  Replica a(0, 2), b(1, 2);
+  ASSERT_TRUE(b.Update("y", "w").ok());
+  ASSERT_TRUE(PropagateOnce(a, b).ok());  // b's request carries {0,1}
+  EXPECT_EQ(a.LastKnownDbvvOf(1), Vv({0, 1}));
+  EXPECT_EQ(a.LastKnownDbvvOf(0), Vv({0, 0}));  // never set for self
+}
+
+}  // namespace
+}  // namespace epidemic

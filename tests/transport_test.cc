@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+
+namespace epidemic::net {
+namespace {
+
+/// Echo-with-prefix handler used by all transport tests.
+class EchoHandler : public RequestHandler {
+ public:
+  explicit EchoHandler(std::string prefix) : prefix_(std::move(prefix)) {}
+  std::string HandleRequest(std::string_view request) override {
+    ++calls_;
+    return prefix_ + std::string(request);
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  std::string prefix_;
+  std::atomic<int> calls_{0};  // handlers may run on connection threads
+};
+
+// ---------------------------------------------------------------------------
+// In-process hub.
+
+TEST(InProcTest, DispatchesToRegisteredHandler) {
+  InProcHub hub(2);
+  EchoHandler h0("n0:"), h1("n1:");
+  hub.Register(0, &h0);
+  hub.Register(1, &h1);
+
+  InProcTransport transport(&hub);
+  auto r = transport.Call(1, "ping");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "n1:ping");
+  EXPECT_EQ(h1.calls(), 1);
+  EXPECT_EQ(h0.calls(), 0);
+}
+
+TEST(InProcTest, UnregisteredNodeUnavailable) {
+  InProcHub hub(2);
+  InProcTransport transport(&hub);
+  EXPECT_TRUE(transport.Call(0, "x").status().IsUnavailable());
+}
+
+TEST(InProcTest, OutOfRangeNodeRejected) {
+  InProcHub hub(2);
+  InProcTransport transport(&hub);
+  EXPECT_TRUE(transport.Call(9, "x").status().IsInvalidArgument());
+}
+
+TEST(InProcTest, DownNodeUnavailableAndRecovers) {
+  InProcHub hub(2);
+  EchoHandler h("n:");
+  hub.Register(1, &h);
+  InProcTransport transport(&hub);
+
+  hub.SetNodeUp(1, false);
+  EXPECT_FALSE(hub.IsNodeUp(1));
+  EXPECT_TRUE(transport.Call(1, "x").status().IsUnavailable());
+
+  hub.SetNodeUp(1, true);
+  EXPECT_TRUE(transport.Call(1, "x").ok());
+}
+
+TEST(InProcTest, ConcurrentCallsSerialized) {
+  InProcHub hub(1);
+  EchoHandler h("");
+  hub.Register(0, &h);
+  InProcTransport transport(&hub);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&transport] {
+      for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(transport.Call(0, "x").ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.calls(), 400);
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+
+TEST(TcpTest, StartStopIdempotent) {
+  EchoHandler h("");
+  TcpServer server(&h);
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(server.Start(0).IsFailedPrecondition());
+  server.Stop();
+  server.Stop();  // safe to repeat
+}
+
+TEST(TcpTest, RequestResponseRoundTrip) {
+  EchoHandler h("srv:");
+  TcpServer server(&h);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  TcpTransport transport(1);
+  transport.SetPeerPort(0, server.port());
+  auto r = transport.Call(0, "hello");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "srv:hello");
+  server.Stop();
+}
+
+TEST(TcpTest, LargePayloadRoundTrip) {
+  EchoHandler h("");
+  TcpServer server(&h);
+  ASSERT_TRUE(server.Start(0).ok());
+  TcpTransport transport(1);
+  transport.SetPeerPort(0, server.port());
+
+  std::string big(1 << 20, 'q');  // 1 MiB
+  auto r = transport.Call(0, big);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), big.size());
+  EXPECT_EQ(*r, big);
+  server.Stop();
+}
+
+TEST(TcpTest, BinaryPayloadPreserved) {
+  EchoHandler h("");
+  TcpServer server(&h);
+  ASSERT_TRUE(server.Start(0).ok());
+  TcpTransport transport(1);
+  transport.SetPeerPort(0, server.port());
+
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  auto r = transport.Call(0, binary);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, binary);
+  server.Stop();
+}
+
+TEST(TcpTest, UnconfiguredPeerRejected) {
+  TcpTransport transport(2);
+  EXPECT_TRUE(transport.Call(0, "x").status().IsInvalidArgument());
+  EXPECT_TRUE(transport.Call(5, "x").status().IsInvalidArgument());
+}
+
+TEST(TcpTest, ConnectionRefusedIsUnavailable) {
+  TcpTransport transport(1);
+  transport.SetPeerPort(0, 1);  // almost certainly nothing listens on :1
+  EXPECT_TRUE(transport.Call(0, "x").status().IsUnavailable());
+}
+
+TEST(TcpTest, ManySequentialCalls) {
+  EchoHandler h("");
+  TcpServer server(&h);
+  ASSERT_TRUE(server.Start(0).ok());
+  TcpTransport transport(1);
+  transport.SetPeerPort(0, server.port());
+  for (int i = 0; i < 50; ++i) {
+    auto r = transport.Call(0, "m" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, "m" + std::to_string(i));
+  }
+  EXPECT_EQ(h.calls(), 50);
+  server.Stop();
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  EchoHandler h("");
+  TcpServer server(&h);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&server] {
+      TcpTransport transport(1);
+      transport.SetPeerPort(0, server.port());
+      for (int i = 0; i < 25; ++i) {
+        auto r = transport.Call(0, "x");
+        ASSERT_TRUE(r.ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.calls(), 100);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace epidemic::net

@@ -1,0 +1,191 @@
+#include "vv/version_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+
+namespace epidemic {
+namespace {
+
+VersionVector Vv(std::vector<UpdateCount> counts) {
+  return VersionVector(std::move(counts));
+}
+
+TEST(VersionVectorTest, ZeroInitialized) {
+  VersionVector vv(3);
+  EXPECT_EQ(vv.size(), 3u);
+  for (NodeId k = 0; k < 3; ++k) EXPECT_EQ(vv[k], 0u);
+  EXPECT_EQ(vv.Total(), 0u);
+}
+
+TEST(VersionVectorTest, IncrementBumpsOwnEntry) {
+  VersionVector vv(3);
+  vv.Increment(1);
+  vv.Increment(1);
+  vv.Increment(2);
+  EXPECT_EQ(vv[0], 0u);
+  EXPECT_EQ(vv[1], 2u);
+  EXPECT_EQ(vv[2], 1u);
+  EXPECT_EQ(vv.Total(), 3u);
+}
+
+TEST(VersionVectorTest, CompareEqual) {
+  EXPECT_EQ(VersionVector::Compare(Vv({1, 2, 3}), Vv({1, 2, 3})),
+            VvOrder::kEqual);
+}
+
+TEST(VersionVectorTest, CompareDominates) {
+  EXPECT_EQ(VersionVector::Compare(Vv({2, 2, 3}), Vv({1, 2, 3})),
+            VvOrder::kDominates);
+  EXPECT_EQ(VersionVector::Compare(Vv({2, 3, 4}), Vv({1, 2, 3})),
+            VvOrder::kDominates);
+}
+
+TEST(VersionVectorTest, CompareDominatedBy) {
+  EXPECT_EQ(VersionVector::Compare(Vv({1, 2, 3}), Vv({1, 2, 4})),
+            VvOrder::kDominatedBy);
+}
+
+TEST(VersionVectorTest, CompareConcurrent) {
+  // Corollary 4 (§3): each side has a component exceeding the other.
+  EXPECT_EQ(VersionVector::Compare(Vv({2, 0}), Vv({0, 1})),
+            VvOrder::kConcurrent);
+  EXPECT_EQ(VersionVector::Compare(Vv({1, 5, 0}), Vv({1, 4, 1})),
+            VvOrder::kConcurrent);
+}
+
+TEST(VersionVectorTest, DominatesOrEqualHelpers) {
+  EXPECT_TRUE(VersionVector::DominatesOrEqual(Vv({1, 1}), Vv({1, 1})));
+  EXPECT_TRUE(VersionVector::DominatesOrEqual(Vv({2, 1}), Vv({1, 1})));
+  EXPECT_FALSE(VersionVector::DominatesOrEqual(Vv({1, 1}), Vv({2, 1})));
+  EXPECT_FALSE(VersionVector::DominatesOrEqual(Vv({2, 0}), Vv({0, 2})));
+
+  EXPECT_FALSE(VersionVector::Dominates(Vv({1, 1}), Vv({1, 1})));
+  EXPECT_TRUE(VersionVector::Dominates(Vv({2, 1}), Vv({1, 1})));
+
+  EXPECT_TRUE(VersionVector::Conflicts(Vv({2, 0}), Vv({0, 2})));
+  EXPECT_FALSE(VersionVector::Conflicts(Vv({2, 2}), Vv({0, 2})));
+}
+
+TEST(VersionVectorTest, MergeMaxTakesComponentwiseMax) {
+  VersionVector a = Vv({1, 5, 0});
+  a.MergeMax(Vv({3, 2, 0}));
+  EXPECT_EQ(a, Vv({3, 5, 0}));
+}
+
+TEST(VersionVectorTest, MergeMaxWithSelfIsIdentity) {
+  VersionVector a = Vv({4, 7});
+  VersionVector b = a;
+  a.MergeMax(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VersionVectorTest, AddDeltaImplementsDbvvRule3) {
+  // DBVV (§4.1 rule 3): V_i += (v_j(x) - v_i(x)) componentwise.
+  VersionVector dbvv = Vv({10, 20, 30});
+  dbvv.AddDelta(/*newer=*/Vv({3, 5, 7}), /*base=*/Vv({1, 5, 4}));
+  EXPECT_EQ(dbvv, Vv({12, 20, 33}));
+}
+
+TEST(VersionVectorTest, AddDeltaZeroDelta) {
+  VersionVector dbvv = Vv({1, 1});
+  dbvv.AddDelta(Vv({2, 3}), Vv({2, 3}));
+  EXPECT_EQ(dbvv, Vv({1, 1}));
+}
+
+TEST(VersionVectorTest, ToStringFormat) {
+  EXPECT_EQ(Vv({3, 0, 7}).ToString(), "[3,0,7]");
+  EXPECT_EQ(VersionVector().ToString(), "[]");
+}
+
+TEST(VersionVectorTest, EqualityOperator) {
+  EXPECT_TRUE(Vv({1, 2}) == Vv({1, 2}));
+  EXPECT_FALSE(Vv({1, 2}) == Vv({2, 1}));
+}
+
+// --- Property-based sweeps -------------------------------------------------
+
+class VvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Compare is antisymmetric: swapping arguments maps kDominates to
+// kDominatedBy and fixes kEqual/kConcurrent.
+TEST_P(VvPropertyTest, CompareAntisymmetric) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t n = 1 + rng.Uniform(6);
+    VersionVector a(n), b(n);
+    for (NodeId k = 0; k < n; ++k) {
+      a[k] = rng.Uniform(4);
+      b[k] = rng.Uniform(4);
+    }
+    VvOrder ab = VersionVector::Compare(a, b);
+    VvOrder ba = VersionVector::Compare(b, a);
+    switch (ab) {
+      case VvOrder::kEqual:
+        EXPECT_EQ(ba, VvOrder::kEqual);
+        break;
+      case VvOrder::kDominates:
+        EXPECT_EQ(ba, VvOrder::kDominatedBy);
+        break;
+      case VvOrder::kDominatedBy:
+        EXPECT_EQ(ba, VvOrder::kDominates);
+        break;
+      case VvOrder::kConcurrent:
+        EXPECT_EQ(ba, VvOrder::kConcurrent);
+        break;
+    }
+  }
+}
+
+// MergeMax result dominates-or-equals both inputs, is idempotent and
+// commutative — the lattice-join property replica merging relies on.
+TEST_P(VvPropertyTest, MergeMaxIsJoin) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t n = 1 + rng.Uniform(6);
+    VersionVector a(n), b(n);
+    for (NodeId k = 0; k < n; ++k) {
+      a[k] = rng.Uniform(10);
+      b[k] = rng.Uniform(10);
+    }
+    VersionVector ab = a;
+    ab.MergeMax(b);
+    VersionVector ba = b;
+    ba.MergeMax(a);
+    EXPECT_EQ(ab, ba);
+    EXPECT_TRUE(VersionVector::DominatesOrEqual(ab, a));
+    EXPECT_TRUE(VersionVector::DominatesOrEqual(ab, b));
+    VersionVector again = ab;
+    again.MergeMax(b);
+    EXPECT_EQ(again, ab);
+  }
+}
+
+// Total is monotone under MergeMax and exactly additive under Increment.
+TEST_P(VvPropertyTest, TotalMonotone) {
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + rng.Uniform(5);
+    VersionVector a(n);
+    UpdateCount expected = 0;
+    for (int i = 0; i < 20; ++i) {
+      a.Increment(static_cast<NodeId>(rng.Uniform(n)));
+      ++expected;
+    }
+    EXPECT_EQ(a.Total(), expected);
+    VersionVector b(n);
+    for (NodeId k = 0; k < n; ++k) b[k] = rng.Uniform(5);
+    UpdateCount before = a.Total();
+    a.MergeMax(b);
+    EXPECT_GE(a.Total(), before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VvPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace epidemic

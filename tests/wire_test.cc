@@ -1,0 +1,119 @@
+// Direct tests of the shared message-body serialization (core/wire.h) that
+// both the network codec and the journal depend on.
+
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace epidemic::wire {
+namespace {
+
+VersionVector Vv(std::vector<UpdateCount> counts) {
+  return VersionVector(std::move(counts));
+}
+
+TEST(WireTest, PropagationRequestBodyRoundTrip) {
+  PropagationRequest m{7, Vv({1, 2, 3})};
+  ByteWriter w;
+  EncodePropagationRequestBody(w, m);
+  ByteReader r(w.data());
+  auto out = DecodePropagationRequestBody(r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->requester, 7u);
+  EXPECT_EQ(out->dbvv, Vv({1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, PropagationResponseBodyRoundTrip) {
+  PropagationResponse m;
+  m.tails.resize(2);
+  m.tails[0].push_back(WireLogRecord{"a", 9});
+  m.items.push_back(WireItem{"a", "val", true, Vv({9, 0})});
+  ByteWriter w;
+  EncodePropagationResponseBody(w, m);
+  ByteReader r(w.data());
+  auto out = DecodePropagationResponseBody(r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->you_are_current);
+  ASSERT_EQ(out->tails.size(), 2u);
+  EXPECT_EQ(out->tails[0][0].seq, 9u);
+  ASSERT_EQ(out->items.size(), 1u);
+  EXPECT_TRUE(out->items[0].deleted);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, YouAreCurrentBodyIsOneByte) {
+  PropagationResponse m;
+  m.you_are_current = true;
+  ByteWriter w;
+  EncodePropagationResponseBody(w, m);
+  EXPECT_EQ(w.size(), 1u);
+  ByteReader r(w.data());
+  auto out = DecodePropagationResponseBody(r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->you_are_current);
+}
+
+TEST(WireTest, OobBodiesRoundTrip) {
+  {
+    OobRequest m{3, "item"};
+    ByteWriter w;
+    EncodeOobRequestBody(w, m);
+    ByteReader r(w.data());
+    auto out = DecodeOobRequestBody(r);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->requester, 3u);
+    EXPECT_EQ(out->item_name, "item");
+  }
+  {
+    OobResponse m;
+    m.found = true;
+    m.item_name = "item";
+    m.value = "v";
+    m.deleted = true;
+    m.ivv = Vv({4});
+    ByteWriter w;
+    EncodeOobResponseBody(w, m);
+    ByteReader r(w.data());
+    auto out = DecodeOobResponseBody(r);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out->found);
+    EXPECT_TRUE(out->deleted);
+    EXPECT_EQ(out->ivv, Vv({4}));
+  }
+}
+
+TEST(WireTest, BodiesComposeInOneBuffer) {
+  // The journal writes a tag byte then a body; several records share one
+  // buffer. Bodies must consume exactly their own bytes.
+  ByteWriter w;
+  EncodeOobRequestBody(w, OobRequest{1, "x"});
+  EncodePropagationRequestBody(w, PropagationRequest{2, Vv({5, 6})});
+  ByteReader r(w.data());
+  auto first = DecodeOobRequestBody(r);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->item_name, "x");
+  auto second = DecodePropagationRequestBody(r);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->dbvv, Vv({5, 6}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, TruncatedBodiesFail) {
+  PropagationResponse m;
+  m.tails.resize(1);
+  m.tails[0].push_back(WireLogRecord{"abc", 5});
+  m.items.push_back(WireItem{"abc", "value", false, Vv({5})});
+  ByteWriter w;
+  EncodePropagationResponseBody(w, m);
+  std::string data = w.Release();
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    ByteReader r(std::string_view(data).substr(0, cut));
+    EXPECT_FALSE(DecodePropagationResponseBody(r).ok()) << cut;
+  }
+}
+
+}  // namespace
+}  // namespace epidemic::wire
