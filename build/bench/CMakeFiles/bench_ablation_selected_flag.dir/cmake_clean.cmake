@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selected_flag.dir/bench_ablation_selected_flag.cc.o"
+  "CMakeFiles/bench_ablation_selected_flag.dir/bench_ablation_selected_flag.cc.o.d"
+  "bench_ablation_selected_flag"
+  "bench_ablation_selected_flag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selected_flag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

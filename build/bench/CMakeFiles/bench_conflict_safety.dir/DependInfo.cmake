@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_conflict_safety.cc" "bench/CMakeFiles/bench_conflict_safety.dir/bench_conflict_safety.cc.o" "gcc" "bench/CMakeFiles/bench_conflict_safety.dir/bench_conflict_safety.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/epi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/epi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/epi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/epi_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/vv/CMakeFiles/epi_vv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/epi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conflict_safety.dir/bench_conflict_safety.cc.o"
+  "CMakeFiles/bench_conflict_safety.dir/bench_conflict_safety.cc.o.d"
+  "bench_conflict_safety"
+  "bench_conflict_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_staleness.dir/bench_failure_staleness.cc.o"
+  "CMakeFiles/bench_failure_staleness.dir/bench_failure_staleness.cc.o.d"
+  "bench_failure_staleness"
+  "bench_failure_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gossip_spread.dir/bench_gossip_spread.cc.o"
+  "CMakeFiles/bench_gossip_spread.dir/bench_gossip_spread.cc.o.d"
+  "bench_gossip_spread"
+  "bench_gossip_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gossip_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_identical_replicas.dir/bench_identical_replicas.cc.o"
+  "CMakeFiles/bench_identical_replicas.dir/bench_identical_replicas.cc.o.d"
+  "bench_identical_replicas"
+  "bench_identical_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identical_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

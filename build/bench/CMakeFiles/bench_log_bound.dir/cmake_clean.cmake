@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log_bound.dir/bench_log_bound.cc.o"
+  "CMakeFiles/bench_log_bound.dir/bench_log_bound.cc.o.d"
+  "bench_log_bound"
+  "bench_log_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merkle_comparison.dir/bench_merkle_comparison.cc.o"
+  "CMakeFiles/bench_merkle_comparison.dir/bench_merkle_comparison.cc.o.d"
+  "bench_merkle_comparison"
+  "bench_merkle_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merkle_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_out_of_bound.dir/bench_out_of_bound.cc.o"
+  "CMakeFiles/bench_out_of_bound.dir/bench_out_of_bound.cc.o.d"
+  "bench_out_of_bound"
+  "bench_out_of_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_out_of_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

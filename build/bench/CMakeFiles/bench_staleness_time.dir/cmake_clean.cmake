@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staleness_time.dir/bench_staleness_time.cc.o"
+  "CMakeFiles/bench_staleness_time.dir/bench_staleness_time.cc.o.d"
+  "bench_staleness_time"
+  "bench_staleness_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staleness_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

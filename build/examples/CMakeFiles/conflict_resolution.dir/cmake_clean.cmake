@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_resolution.dir/conflict_resolution.cpp.o"
+  "CMakeFiles/conflict_resolution.dir/conflict_resolution.cpp.o.d"
+  "conflict_resolution"
+  "conflict_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialup_sync.dir/dialup_sync.cpp.o"
+  "CMakeFiles/dialup_sync.dir/dialup_sync.cpp.o.d"
+  "dialup_sync"
+  "dialup_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialup_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

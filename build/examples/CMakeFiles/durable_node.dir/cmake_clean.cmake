@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_node.dir/durable_node.cpp.o"
+  "CMakeFiles/durable_node.dir/durable_node.cpp.o.d"
+  "durable_node"
+  "durable_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_database.dir/multi_database.cpp.o"
+  "CMakeFiles/multi_database.dir/multi_database.cpp.o.d"
+  "multi_database"
+  "multi_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pessimistic_tokens.dir/pessimistic_tokens.cpp.o"
+  "CMakeFiles/pessimistic_tokens.dir/pessimistic_tokens.cpp.o.d"
+  "pessimistic_tokens"
+  "pessimistic_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pessimistic_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

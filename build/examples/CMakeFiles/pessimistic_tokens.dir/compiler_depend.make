@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pessimistic_tokens.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_reads.dir/priority_reads.cpp.o"
+  "CMakeFiles/priority_reads.dir/priority_reads.cpp.o.d"
+  "priority_reads"
+  "priority_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

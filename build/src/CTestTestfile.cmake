@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("vv")
+subdirs("log")
+subdirs("storage")
+subdirs("core")
+subdirs("tokens")
+subdirs("multidb")
+subdirs("baselines")
+subdirs("net")
+subdirs("sim")
+subdirs("server")

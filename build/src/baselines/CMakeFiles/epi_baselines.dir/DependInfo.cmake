@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/epidemic_node.cc" "src/baselines/CMakeFiles/epi_baselines.dir/epidemic_node.cc.o" "gcc" "src/baselines/CMakeFiles/epi_baselines.dir/epidemic_node.cc.o.d"
+  "/root/repo/src/baselines/lotus_node.cc" "src/baselines/CMakeFiles/epi_baselines.dir/lotus_node.cc.o" "gcc" "src/baselines/CMakeFiles/epi_baselines.dir/lotus_node.cc.o.d"
+  "/root/repo/src/baselines/merkle_node.cc" "src/baselines/CMakeFiles/epi_baselines.dir/merkle_node.cc.o" "gcc" "src/baselines/CMakeFiles/epi_baselines.dir/merkle_node.cc.o.d"
+  "/root/repo/src/baselines/oracle_node.cc" "src/baselines/CMakeFiles/epi_baselines.dir/oracle_node.cc.o" "gcc" "src/baselines/CMakeFiles/epi_baselines.dir/oracle_node.cc.o.d"
+  "/root/repo/src/baselines/per_item_vv_node.cc" "src/baselines/CMakeFiles/epi_baselines.dir/per_item_vv_node.cc.o" "gcc" "src/baselines/CMakeFiles/epi_baselines.dir/per_item_vv_node.cc.o.d"
+  "/root/repo/src/baselines/wuu_bernstein_node.cc" "src/baselines/CMakeFiles/epi_baselines.dir/wuu_bernstein_node.cc.o" "gcc" "src/baselines/CMakeFiles/epi_baselines.dir/wuu_bernstein_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vv/CMakeFiles/epi_vv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/epi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/epi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/epi_log.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_baselines.dir/epidemic_node.cc.o"
+  "CMakeFiles/epi_baselines.dir/epidemic_node.cc.o.d"
+  "CMakeFiles/epi_baselines.dir/lotus_node.cc.o"
+  "CMakeFiles/epi_baselines.dir/lotus_node.cc.o.d"
+  "CMakeFiles/epi_baselines.dir/merkle_node.cc.o"
+  "CMakeFiles/epi_baselines.dir/merkle_node.cc.o.d"
+  "CMakeFiles/epi_baselines.dir/oracle_node.cc.o"
+  "CMakeFiles/epi_baselines.dir/oracle_node.cc.o.d"
+  "CMakeFiles/epi_baselines.dir/per_item_vv_node.cc.o"
+  "CMakeFiles/epi_baselines.dir/per_item_vv_node.cc.o.d"
+  "CMakeFiles/epi_baselines.dir/wuu_bernstein_node.cc.o"
+  "CMakeFiles/epi_baselines.dir/wuu_bernstein_node.cc.o.d"
+  "libepi_baselines.a"
+  "libepi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

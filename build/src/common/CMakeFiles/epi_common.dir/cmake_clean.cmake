@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_common.dir/clock.cc.o"
+  "CMakeFiles/epi_common.dir/clock.cc.o.d"
+  "CMakeFiles/epi_common.dir/compress.cc.o"
+  "CMakeFiles/epi_common.dir/compress.cc.o.d"
+  "CMakeFiles/epi_common.dir/hash.cc.o"
+  "CMakeFiles/epi_common.dir/hash.cc.o.d"
+  "CMakeFiles/epi_common.dir/logging.cc.o"
+  "CMakeFiles/epi_common.dir/logging.cc.o.d"
+  "CMakeFiles/epi_common.dir/random.cc.o"
+  "CMakeFiles/epi_common.dir/random.cc.o.d"
+  "CMakeFiles/epi_common.dir/status.cc.o"
+  "CMakeFiles/epi_common.dir/status.cc.o.d"
+  "libepi_common.a"
+  "libepi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/journal.cc" "src/core/CMakeFiles/epi_core.dir/journal.cc.o" "gcc" "src/core/CMakeFiles/epi_core.dir/journal.cc.o.d"
+  "/root/repo/src/core/replica.cc" "src/core/CMakeFiles/epi_core.dir/replica.cc.o" "gcc" "src/core/CMakeFiles/epi_core.dir/replica.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/epi_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/epi_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/epi_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/epi_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/epi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/epi_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/vv/CMakeFiles/epi_vv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/epi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_core.dir/journal.cc.o"
+  "CMakeFiles/epi_core.dir/journal.cc.o.d"
+  "CMakeFiles/epi_core.dir/replica.cc.o"
+  "CMakeFiles/epi_core.dir/replica.cc.o.d"
+  "CMakeFiles/epi_core.dir/snapshot.cc.o"
+  "CMakeFiles/epi_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/epi_core.dir/wire.cc.o"
+  "CMakeFiles/epi_core.dir/wire.cc.o.d"
+  "libepi_core.a"
+  "libepi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

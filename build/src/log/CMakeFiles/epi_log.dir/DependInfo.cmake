@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/aux_log.cc" "src/log/CMakeFiles/epi_log.dir/aux_log.cc.o" "gcc" "src/log/CMakeFiles/epi_log.dir/aux_log.cc.o.d"
+  "/root/repo/src/log/log_vector.cc" "src/log/CMakeFiles/epi_log.dir/log_vector.cc.o" "gcc" "src/log/CMakeFiles/epi_log.dir/log_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vv/CMakeFiles/epi_vv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/epi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

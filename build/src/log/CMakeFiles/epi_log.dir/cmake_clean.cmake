@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_log.dir/aux_log.cc.o"
+  "CMakeFiles/epi_log.dir/aux_log.cc.o.d"
+  "CMakeFiles/epi_log.dir/log_vector.cc.o"
+  "CMakeFiles/epi_log.dir/log_vector.cc.o.d"
+  "libepi_log.a"
+  "libepi_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_multidb.dir/multi_db_node.cc.o"
+  "CMakeFiles/epi_multidb.dir/multi_db_node.cc.o.d"
+  "CMakeFiles/epi_multidb.dir/multi_db_server.cc.o"
+  "CMakeFiles/epi_multidb.dir/multi_db_server.cc.o.d"
+  "libepi_multidb.a"
+  "libepi_multidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_multidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

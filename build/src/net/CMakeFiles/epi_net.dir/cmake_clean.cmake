@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_net.dir/codec.cc.o"
+  "CMakeFiles/epi_net.dir/codec.cc.o.d"
+  "CMakeFiles/epi_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/epi_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/epi_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/epi_net.dir/tcp_transport.cc.o.d"
+  "libepi_net.a"
+  "libepi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_server.dir/replica_server.cc.o"
+  "CMakeFiles/epi_server.dir/replica_server.cc.o.d"
+  "libepi_server.a"
+  "libepi_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

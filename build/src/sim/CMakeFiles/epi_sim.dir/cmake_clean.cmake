@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_sim.dir/cluster.cc.o"
+  "CMakeFiles/epi_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/epi_sim.dir/event_queue.cc.o"
+  "CMakeFiles/epi_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/epi_sim.dir/workload.cc.o"
+  "CMakeFiles/epi_sim.dir/workload.cc.o.d"
+  "libepi_sim.a"
+  "libepi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

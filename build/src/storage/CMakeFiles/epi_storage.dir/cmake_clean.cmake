@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_storage.dir/item_store.cc.o"
+  "CMakeFiles/epi_storage.dir/item_store.cc.o.d"
+  "libepi_storage.a"
+  "libepi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_tokens.dir/token_service.cc.o"
+  "CMakeFiles/epi_tokens.dir/token_service.cc.o.d"
+  "libepi_tokens.a"
+  "libepi_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_vv.dir/version_vector.cc.o"
+  "CMakeFiles/epi_vv.dir/version_vector.cc.o.d"
+  "CMakeFiles/epi_vv.dir/vv_codec.cc.o"
+  "CMakeFiles/epi_vv.dir/vv_codec.cc.o.d"
+  "libepi_vv.a"
+  "libepi_vv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_vv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aux_log_test.dir/aux_log_test.cc.o"
+  "CMakeFiles/aux_log_test.dir/aux_log_test.cc.o.d"
+  "aux_log_test"
+  "aux_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aux_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

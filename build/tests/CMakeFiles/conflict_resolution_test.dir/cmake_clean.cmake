@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_resolution_test.dir/conflict_resolution_test.cc.o"
+  "CMakeFiles/conflict_resolution_test.dir/conflict_resolution_test.cc.o.d"
+  "conflict_resolution_test"
+  "conflict_resolution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_resolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/log_vector_test.cc" "tests/CMakeFiles/log_vector_test.dir/log_vector_test.cc.o" "gcc" "tests/CMakeFiles/log_vector_test.dir/log_vector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/log/CMakeFiles/epi_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/vv/CMakeFiles/epi_vv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/epi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

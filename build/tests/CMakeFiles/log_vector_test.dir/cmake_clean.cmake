@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_vector_test.dir/log_vector_test.cc.o"
+  "CMakeFiles/log_vector_test.dir/log_vector_test.cc.o.d"
+  "log_vector_test"
+  "log_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_db_server_test.dir/multi_db_server_test.cc.o"
+  "CMakeFiles/multi_db_server_test.dir/multi_db_server_test.cc.o.d"
+  "multi_db_server_test"
+  "multi_db_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_db_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

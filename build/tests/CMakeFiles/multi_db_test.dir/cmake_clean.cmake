@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_db_test.dir/multi_db_test.cc.o"
+  "CMakeFiles/multi_db_test.dir/multi_db_test.cc.o.d"
+  "multi_db_test"
+  "multi_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

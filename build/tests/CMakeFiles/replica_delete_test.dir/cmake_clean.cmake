@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_delete_test.dir/replica_delete_test.cc.o"
+  "CMakeFiles/replica_delete_test.dir/replica_delete_test.cc.o.d"
+  "replica_delete_test"
+  "replica_delete_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_delete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_oob_test.dir/replica_oob_test.cc.o"
+  "CMakeFiles/replica_oob_test.dir/replica_oob_test.cc.o.d"
+  "replica_oob_test"
+  "replica_oob_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_oob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_property_test.dir/replica_property_test.cc.o"
+  "CMakeFiles/replica_property_test.dir/replica_property_test.cc.o.d"
+  "replica_property_test"
+  "replica_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_service_test.dir/token_service_test.cc.o"
+  "CMakeFiles/token_service_test.dir/token_service_test.cc.o.d"
+  "token_service_test"
+  "token_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

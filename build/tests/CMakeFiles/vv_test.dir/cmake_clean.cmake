@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vv_test.dir/vv_test.cc.o"
+  "CMakeFiles/vv_test.dir/vv_test.cc.o.d"
+  "vv_test"
+  "vv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

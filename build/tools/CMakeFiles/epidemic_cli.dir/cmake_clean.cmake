@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic_cli.dir/epidemic_cli.cc.o"
+  "CMakeFiles/epidemic_cli.dir/epidemic_cli.cc.o.d"
+  "epidemic_cli"
+  "epidemic_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemicd.dir/epidemicd.cc.o"
+  "CMakeFiles/epidemicd.dir/epidemicd.cc.o.d"
+  "epidemicd"
+  "epidemicd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemicd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
