@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite.
+#
+#   scripts/check.sh          # plain RelWithDebInfo build in build/
+#   scripts/check.sh --asan   # AddressSanitizer+UBSan build in build-asan/
+#   scripts/check.sh --tsan   # ThreadSanitizer build in build-tsan/
+#
+# Extra arguments after the mode are passed to ctest (e.g. -R server).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+case "$mode" in
+  --asan)
+    shift
+    build_dir=build-asan
+    cmake_flags=(-DEPIDEMIC_ASAN=ON)
+    ;;
+  --tsan)
+    shift
+    build_dir=build-tsan
+    cmake_flags=(-DEPIDEMIC_TSAN=ON)
+    ;;
+  *)
+    build_dir=build
+    cmake_flags=()
+    ;;
+esac
+
+cmake -B "$build_dir" -S . "${cmake_flags[@]}"
+cmake --build "$build_dir" -j"$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" "$@"

@@ -1,0 +1,87 @@
+#include "common/worker_pool.h"
+
+#include <utility>
+
+namespace epidemic {
+
+WorkerPool::WorkerPool(size_t threads) {
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t WorkerPool::DrainBatch() {
+  size_t done = 0;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_task_ >= tasks_.size()) return done;
+      task = std::move(tasks_[next_task_++]);
+    }
+    task();
+    ++done;
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (generation_ != seen_generation &&
+                             next_task_ < tasks_.size());
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    const size_t done = DrainBatch();
+    if (done > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_ -= done;
+      if (pending_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::Run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    // Serial pool: run inline, no synchronization at all.
+    for (auto& task : tasks) task();
+    return;
+  }
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = std::move(tasks);
+    next_task_ = 0;
+    pending_ = tasks_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The caller works too, then waits for stragglers.
+  const size_t done = DrainBatch();
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_ -= done;
+  if (pending_ == 0) {
+    batch_done_.notify_all();
+  } else {
+    batch_done_.wait(lock, [&] { return pending_ == 0; });
+  }
+  tasks_.clear();
+  return;
+}
+
+}  // namespace epidemic

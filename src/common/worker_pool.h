@@ -1,0 +1,63 @@
+#ifndef EPIDEMIC_COMMON_WORKER_POOL_H_
+#define EPIDEMIC_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace epidemic {
+
+/// A small persistent pool for running a batch of independent tasks and
+/// waiting for all of them — the shape parallel per-shard anti-entropy
+/// needs (fan out over shards, barrier, continue).
+///
+/// `threads` is the number of *extra* threads: the caller participates in
+/// every batch, so `WorkerPool(0)` degrades to plain serial execution with
+/// no threads, no locks taken per task, and identical semantics — callers
+/// never need a separate code path for the serial case.
+///
+/// Run() is a barrier: it returns only after every task in the batch has
+/// finished. Concurrent Run() calls from different threads are serialized
+/// internally (one batch in flight at a time). Tasks must not themselves
+/// call Run() on the same pool.
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Executes every task and returns when all are done. Tasks run in
+  /// unspecified order on the pool threads and the calling thread; they
+  /// must not throw.
+  void Run(std::vector<std::function<void()>> tasks);
+
+  size_t threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks from the current batch until it is drained.
+  /// Returns the number of tasks this thread completed.
+  size_t DrainBatch();
+
+  std::mutex batch_mu_;  // serializes concurrent Run() callers
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::vector<std::function<void()>> tasks_;
+  size_t next_task_ = 0;  // guarded by mu_
+  size_t pending_ = 0;    // tasks not yet finished, guarded by mu_
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_COMMON_WORKER_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <sys/stat.h>
 
+#include <cerrno>
+#include <cstdlib>
 #include <utility>
 
 #include "common/bytes.h"
@@ -9,6 +11,7 @@
 #include "common/logging.h"
 #include "core/snapshot.h"
 #include "core/wire.h"
+#include "vv/vv_codec.h"
 
 namespace epidemic {
 
@@ -19,6 +22,7 @@ enum class RecordTag : uint8_t {
   kDelete = 2,
   kPropagation = 3,
   kOob = 4,
+  kResolve = 5,
 };
 
 std::string JournalPath(const std::string& dir) {
@@ -55,6 +59,21 @@ Status ReplayRecord(Replica& replica, std::string_view payload) {
       auto resp = wire::DecodeOobResponseBody(r);
       if (!resp.ok()) return resp.status();
       return replica.AcceptOobResponse(*resp);
+    }
+    case RecordTag::kResolve: {
+      auto name = r.GetString();
+      if (!name.ok()) return name.status();
+      auto vv = DecodeVersionVector(&r);
+      if (!vv.ok()) return vv.status();
+      auto value = r.GetString();
+      if (!value.ok()) return value.status();
+      Status s = replica.ResolveConflict(*name, *vv, *value);
+      // A resolve that failed live (stale vector, item out-of-bound) fails
+      // identically on replay — a faithful no-op, not corruption.
+      if (s.IsInvalidArgument() || s.IsFailedPrecondition()) {
+        return Status::OK();
+      }
+      return s;
     }
   }
   return Status::Corruption("unknown journal record tag");
@@ -177,6 +196,18 @@ Status JournaledReplica::Delete(std::string_view name) {
   return replica_->Delete(name);
 }
 
+Status JournaledReplica::ResolveConflict(std::string_view name,
+                                         const VersionVector& remote_vv,
+                                         std::string_view value) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(RecordTag::kResolve));
+  w.PutString(name);
+  EncodeVersionVector(&w, remote_vv);
+  w.PutString(value);
+  EPI_RETURN_NOT_OK(AppendRecord(w.Release()));
+  return replica_->ResolveConflict(name, remote_vv, value);
+}
+
 Status JournaledReplica::AcceptPropagation(const PropagationResponse& resp) {
   if (resp.you_are_current) {
     // No state change; nothing worth journaling.
@@ -209,6 +240,136 @@ Status JournaledReplica::Checkpoint() {
   std::fclose(f);
   records_ = 0;
   return OpenJournalForAppend();
+}
+
+// ---------------------------------------------------------------------------
+// JournaledShardedReplica
+
+namespace {
+
+std::string ShardCountPath(const std::string& dir) {
+  return dir + "/shards.meta";
+}
+
+/// Reads or establishes the pinned shard count. The item→shard mapping is
+/// a function of the count, so data written under one count is unreadable
+/// under another — hence refuse rather than misroute.
+Status PinShardCount(const std::string& dir, size_t num_shards) {
+  std::FILE* f = std::fopen(ShardCountPath(dir).c_str(), "rb");
+  if (f != nullptr) {
+    char buf[32] = {0};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    const unsigned long stored = std::strtoul(buf, nullptr, 10);
+    if (n == 0 || stored == 0) {
+      return Status::Corruption("unreadable shard count in '" + dir + "'");
+    }
+    if (stored != num_shards) {
+      return Status::InvalidArgument(
+          "'" + dir + "' was created with " + std::to_string(stored) +
+          " shards, cannot open with " + std::to_string(num_shards));
+    }
+    return Status::OK();
+  }
+  f = std::fopen(ShardCountPath(dir).c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot write shard count in '" + dir + "'");
+  }
+  const std::string text = std::to_string(num_shards) + "\n";
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = (std::fflush(f) == 0);
+  std::fclose(f);
+  if (written != text.size() || !flushed) {
+    return Status::IOError("short write to shard count in '" + dir + "'");
+  }
+  return Status::OK();
+}
+
+std::string ShardDir(const std::string& dir, size_t k) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%03zu", k);
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+JournaledShardedReplica::JournaledShardedReplica(
+    std::vector<std::unique_ptr<JournaledReplica>> shards)
+    : shards_(std::move(shards)) {
+  std::vector<Replica*> raw;
+  raw.reserve(shards_.size());
+  for (auto& shard : shards_) raw.push_back(&shard->replica());
+  view_ = std::make_unique<ShardedReplica>(std::move(raw));
+}
+
+Result<std::unique_ptr<JournaledShardedReplica>> JournaledShardedReplica::Open(
+    const std::string& dir, NodeId id, size_t num_nodes, size_t num_shards,
+    ConflictListener* listener) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  struct stat st;
+  if (stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("'" + dir + "' is not a directory");
+  }
+  EPI_RETURN_NOT_OK(PinShardCount(dir, num_shards));
+
+  std::vector<std::unique_ptr<JournaledReplica>> shards;
+  shards.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    const std::string shard_dir = ShardDir(dir, k);
+    if (mkdir(shard_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError("cannot create '" + shard_dir + "'");
+    }
+    auto shard = JournaledReplica::Open(shard_dir, id, num_nodes, listener);
+    if (!shard.ok()) {
+      return Status::Internal("shard " + std::to_string(k) + ": " +
+                              shard.status().message());
+    }
+    shards.push_back(std::move(*shard));
+  }
+  return std::unique_ptr<JournaledShardedReplica>(
+      new JournaledShardedReplica(std::move(shards)));
+}
+
+Status JournaledShardedReplica::AcceptPropagation(
+    const ShardedPropagationResponse& resp) {
+  if (resp.num_shards != shards_.size()) {
+    return Status::InvalidArgument(
+        "source runs " + std::to_string(resp.num_shards) +
+        " shards, this replica " + std::to_string(shards_.size()));
+  }
+  Status first_error = Status::OK();
+  for (const ShardedPropagationSegment& seg : resp.segments) {
+    if (seg.shard >= shards_.size()) {
+      if (first_error.ok()) {
+        first_error = Status::InvalidArgument("segment shard out of range");
+      }
+      continue;
+    }
+    Result<PropagationResponse> decoded =
+        wire::DecodeShardSegmentBody(seg.body);
+    Status s = decoded.ok()
+                   ? shards_[seg.shard]->AcceptPropagation(*decoded)
+                   : decoded.status();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+Status JournaledShardedReplica::Checkpoint() {
+  Status first_error = Status::OK();
+  for (auto& shard : shards_) {
+    Status s = shard->Checkpoint();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+uint64_t JournaledShardedReplica::records_since_checkpoint() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->records_since_checkpoint();
+  return total;
 }
 
 }  // namespace epidemic

@@ -6,9 +6,12 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "common/result.h"
 #include "common/status.h"
 #include "core/replica.h"
+#include "core/sharded_replica.h"
 
 namespace epidemic {
 
@@ -45,6 +48,8 @@ class JournaledReplica {
   // Journaled mutating operations — logged, then applied.
   Status Update(std::string_view name, std::string_view value);
   Status Delete(std::string_view name);
+  Status ResolveConflict(std::string_view name, const VersionVector& remote_vv,
+                         std::string_view value);
   Status AcceptPropagation(const PropagationResponse& resp);
   Status AcceptOobResponse(const OobResponse& resp);
 
@@ -86,6 +91,78 @@ class JournaledReplica {
   std::unique_ptr<Replica> replica_;
   std::FILE* journal_ = nullptr;
   uint64_t records_ = 0;
+};
+
+/// A sharded replica where every shard is its own JournaledReplica in a
+/// `shard-NNN/` subdirectory of `dir`, plus a `shards.meta` file pinning
+/// the shard count (the item→shard mapping depends on it, so reopening
+/// with a different count is refused rather than silently misrouting).
+///
+/// Shards journal and checkpoint independently — a full-database fsync
+/// barrier never exists, and recovery replays each shard's suffix through
+/// the ordinary code paths. Thread-compatibility matches ShardedReplica:
+/// no locking here; the server guards each shard with its own lock (the
+/// journaled entry points below touch exactly one shard each, so the
+/// caller may hold just that shard's lock).
+class JournaledShardedReplica {
+ public:
+  /// Recovers (or freshly creates) the sharded state under `dir`, which
+  /// must exist; shard subdirectories are created as needed.
+  static Result<std::unique_ptr<JournaledShardedReplica>> Open(
+      const std::string& dir, NodeId id, size_t num_nodes, size_t num_shards,
+      ConflictListener* listener = nullptr);
+
+  JournaledShardedReplica(const JournaledShardedReplica&) = delete;
+  JournaledShardedReplica& operator=(const JournaledShardedReplica&) = delete;
+
+  // Journaled mutating operations, each touching exactly one shard.
+  Status Update(std::string_view name, std::string_view value) {
+    return shards_[view_->ShardOf(name)]->Update(name, value);
+  }
+  Status Delete(std::string_view name) {
+    return shards_[view_->ShardOf(name)]->Delete(name);
+  }
+  Status ResolveConflict(std::string_view name, const VersionVector& remote_vv,
+                         std::string_view value) {
+    return shards_[view_->ShardOf(name)]->ResolveConflict(name, remote_vv,
+                                                          value);
+  }
+  Status AcceptShardPropagation(size_t shard, const PropagationResponse& r) {
+    return shards_[shard]->AcceptPropagation(r);
+  }
+  Status AcceptOobResponse(const OobResponse& resp) {
+    return shards_[view_->ShardOf(resp.item_name)]->AcceptOobResponse(resp);
+  }
+
+  /// Applies a full sharded response, journaling each segment to its
+  /// shard. Applies every segment even if one fails; first error wins.
+  Status AcceptPropagation(const ShardedPropagationResponse& resp);
+
+  /// Checkpoints every shard (first error wins, but all are attempted).
+  Status Checkpoint();
+  /// Checkpoints one shard; callers with striped locks need only that one.
+  Status CheckpointShard(size_t shard) {
+    return shards_[shard]->Checkpoint();
+  }
+
+  /// Journal records appended since the last checkpoint, over all shards.
+  uint64_t records_since_checkpoint() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  JournaledReplica& shard(size_t k) { return *shards_[k]; }
+
+  /// Non-owning sharded view over the shard engines — use it for reads,
+  /// handshake building/serving, and introspection. Mutations MUST go
+  /// through the journaled entry points above or they bypass the journal.
+  ShardedReplica& view() { return *view_; }
+  const ShardedReplica& view() const { return *view_; }
+
+ private:
+  explicit JournaledShardedReplica(
+      std::vector<std::unique_ptr<JournaledReplica>> shards);
+
+  std::vector<std::unique_ptr<JournaledReplica>> shards_;
+  std::unique_ptr<ShardedReplica> view_;  // non-owning over shards_
 };
 
 }  // namespace epidemic

@@ -43,6 +43,38 @@ struct PropagationResponse {
   std::vector<WireItem> items;                    // S
 };
 
+/// Sharded handshake (wire format v2): one round trip carries the DBVV of
+/// every shard, so a recipient lagging on any subset of shards pulls all of
+/// them in a single exchange. Each shard is a complete instance of the
+/// paper's protocol state, so the per-shard semantics (Fig. 2-4) are
+/// untouched; the aggregate handshake is O(S) DBVV comparisons but still
+/// ships only O(m) items.
+struct ShardedPropagationRequest {
+  NodeId requester = 0;
+  std::vector<VersionVector> shard_dbvvs;  // indexed by shard
+};
+
+/// One shard's segment of a sharded reply: the shard index plus the
+/// *encoded* PropagationResponse body (core/wire.h). Bodies stay opaque at
+/// the envelope layer so each shard can be encoded at the source and
+/// decoded at the recipient independently — in parallel, under that shard's
+/// lock only.
+struct ShardedPropagationSegment {
+  uint32_t shard = 0;
+  std::string body;  // wire::EncodePropagationResponseBody bytes
+};
+
+/// Source reply to a sharded handshake. Shards found current by the O(1)
+/// DBVV check are simply omitted; an empty segment list is the sharded
+/// "you-are-current". `num_shards` echoes the source's shard count so a
+/// topology mismatch is detected before any state is touched.
+struct ShardedPropagationResponse {
+  uint32_t num_shards = 0;
+  std::vector<ShardedPropagationSegment> segments;
+
+  bool you_are_current() const { return segments.empty(); }
+};
+
 /// Out-of-bound copy request (§5.2) for a single named item.
 struct OobRequest {
   NodeId requester = 0;

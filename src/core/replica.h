@@ -48,6 +48,30 @@ struct ReplicaStats {
   uint64_t aux_copies_created = 0;
   uint64_t aux_copies_discarded = 0;
   uint64_t intra_node_ops_applied = 0;
+
+  /// Component-wise sum, used to aggregate counters across shards.
+  void Accumulate(const ReplicaStats& o) {
+    propagation_requests_served += o.propagation_requests_served;
+    you_are_current_replies += o.you_are_current_replies;
+    dbvv_comparisons += o.dbvv_comparisons;
+    log_records_selected += o.log_records_selected;
+    items_shipped += o.items_shipped;
+    item_ivv_comparisons += o.item_ivv_comparisons;
+    items_adopted += o.items_adopted;
+    redundant_items_received += o.redundant_items_received;
+    records_appended += o.records_appended;
+    conflicts_detected += o.conflicts_detected;
+    conflicts_resolved += o.conflicts_resolved;
+    updates_regular += o.updates_regular;
+    updates_aux += o.updates_aux;
+    reads += o.reads;
+    oob_requests_served += o.oob_requests_served;
+    oob_copies_adopted += o.oob_copies_adopted;
+    oob_copies_ignored += o.oob_copies_ignored;
+    aux_copies_created += o.aux_copies_created;
+    aux_copies_discarded += o.aux_copies_discarded;
+    intra_node_ops_applied += o.intra_node_ops_applied;
+  }
 };
 
 /// A node's replica of the database, implementing the paper's protocol (§5).

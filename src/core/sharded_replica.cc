@@ -1,0 +1,219 @@
+#include "core/sharded_replica.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/wire.h"
+
+namespace epidemic {
+
+ShardedReplica::ShardedReplica(NodeId id, size_t num_nodes, size_t num_shards,
+                               ConflictListener* listener) {
+  EPI_CHECK(num_shards >= 1) << "a replica needs at least one shard";
+  owned_.reserve(num_shards);
+  shards_.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    owned_.push_back(std::make_unique<Replica>(id, num_nodes, listener));
+    shards_.push_back(owned_.back().get());
+  }
+}
+
+ShardedReplica::ShardedReplica(std::vector<std::unique_ptr<Replica>> shards)
+    : owned_(std::move(shards)) {
+  EPI_CHECK(!owned_.empty()) << "a replica needs at least one shard";
+  shards_.reserve(owned_.size());
+  for (auto& shard : owned_) {
+    EPI_CHECK(shard != nullptr);
+    EPI_CHECK(shard->id() == owned_[0]->id() &&
+              shard->num_nodes() == owned_[0]->num_nodes())
+        << "shards disagree on node identity";
+    shards_.push_back(shard.get());
+  }
+}
+
+ShardedReplica::ShardedReplica(std::vector<Replica*> shards)
+    : shards_(std::move(shards)) {
+  EPI_CHECK(!shards_.empty()) << "a replica needs at least one shard";
+  for (const Replica* shard : shards_) {
+    EPI_CHECK(shard != nullptr);
+    EPI_CHECK(shard->id() == shards_[0]->id() &&
+              shard->num_nodes() == shards_[0]->num_nodes())
+        << "shards disagree on node identity";
+  }
+}
+
+size_t ShardedReplica::ShardOf(std::string_view name, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return Crc32c(name) % num_shards;
+}
+
+std::vector<std::pair<std::string, std::string>> ShardedReplica::Scan(
+    std::string_view prefix, size_t limit) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const Replica* shard : shards_) {
+    auto part = shard->Scan(prefix, /*limit=*/0);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(out.begin(), out.end());
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+ShardedPropagationRequest ShardedReplica::BuildPropagationRequest() const {
+  ShardedPropagationRequest req;
+  req.requester = id();
+  req.shard_dbvvs.reserve(shards_.size());
+  for (const Replica* shard : shards_) {
+    req.shard_dbvvs.push_back(shard->dbvv());
+  }
+  return req;
+}
+
+ShardedPropagationResponse ShardedReplica::HandlePropagationRequest(
+    const ShardedPropagationRequest& req) {
+  ShardedPropagationResponse resp;
+  resp.num_shards = static_cast<uint32_t>(shards_.size());
+  if (req.shard_dbvvs.size() != shards_.size()) {
+    // Topology mismatch: reply "current" with our shard count so the
+    // requester can diagnose; it must not apply anything.
+    return resp;
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    PropagationResponse shard_resp = shards_[k]->HandlePropagationRequest(
+        PropagationRequest{req.requester, req.shard_dbvvs[k]});
+    if (shard_resp.you_are_current) continue;
+    resp.segments.push_back(ShardedPropagationSegment{
+        static_cast<uint32_t>(k), wire::EncodeShardSegmentBody(shard_resp)});
+  }
+  return resp;
+}
+
+Status ShardedReplica::AcceptPropagation(
+    const ShardedPropagationResponse& resp) {
+  if (resp.num_shards != shards_.size()) {
+    return Status::InvalidArgument(
+        "source runs " + std::to_string(resp.num_shards) +
+        " shards, this replica " + std::to_string(shards_.size()));
+  }
+  Status first_error = Status::OK();
+  for (const ShardedPropagationSegment& seg : resp.segments) {
+    if (seg.shard >= shards_.size()) {
+      if (first_error.ok()) {
+        first_error = Status::InvalidArgument("segment shard out of range");
+      }
+      continue;
+    }
+    Result<PropagationResponse> decoded =
+        wire::DecodeShardSegmentBody(seg.body);
+    Status s = decoded.ok()
+                   ? shards_[seg.shard]->AcceptPropagation(*decoded)
+                   : decoded.status();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+VersionVector ShardedReplica::AggregateDbvv() const {
+  VersionVector sum(num_nodes());
+  for (const Replica* shard : shards_) {
+    for (NodeId k = 0; k < num_nodes(); ++k) sum[k] += shard->dbvv()[k];
+  }
+  return sum;
+}
+
+ReplicaStats ShardedReplica::TotalStats() const {
+  ReplicaStats total;
+  for (const Replica* shard : shards_) total.Accumulate(shard->stats());
+  return total;
+}
+
+void ShardedReplica::ResetStats() {
+  for (Replica* shard : shards_) shard->ResetStats();
+}
+
+size_t ShardedReplica::TotalItems() const {
+  size_t n = 0;
+  for (const Replica* shard : shards_) n += shard->items().size();
+  return n;
+}
+
+Status ShardedReplica::CheckInvariants() const {
+  VersionVector ivv_sum(num_nodes());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    Status s = shards_[k]->CheckInvariants();
+    if (!s.ok()) {
+      return Status::Internal("shard " + std::to_string(k) + ": " +
+                              s.message());
+    }
+    for (const auto& item : shards_[k]->items()) {
+      for (NodeId j = 0; j < num_nodes(); ++j) ivv_sum[j] += item->ivv[j];
+    }
+  }
+  // Aggregate §4.1: the reconstructed whole-database vector must equal the
+  // sum of all item IVVs across all shards.
+  VersionVector agg = AggregateDbvv();
+  if (!(ivv_sum == agg)) {
+    return Status::Internal("aggregate DBVV invariant violated: sum of all "
+                            "IVVs is " + ivv_sum.ToString() +
+                            " but shard DBVVs sum to " + agg.ToString());
+  }
+  return Status::OK();
+}
+
+std::string ShardedReplica::DebugString() const {
+  size_t tombstones = 0;
+  size_t aux_copies = 0;
+  size_t log_records = 0;
+  size_t aux_records = 0;
+  for (const Replica* shard : shards_) {
+    for (const auto& item : shard->items()) {
+      if (item->HasAux()) ++aux_copies;
+      if (item->deleted) ++tombstones;
+    }
+    log_records += shard->log_vector().TotalRecords();
+    aux_records += shard->aux_log().size();
+  }
+  ReplicaStats stats = TotalStats();
+
+  std::string out;
+  out += "replica " + std::to_string(id()) + "/" +
+         std::to_string(num_nodes());
+  out += " shards=" + std::to_string(shards_.size());
+  out += " dbvv=" + AggregateDbvv().ToString();
+  out += " items=" + std::to_string(TotalItems());
+  out += " tombstones=" + std::to_string(tombstones);
+  out += " log_records=" + std::to_string(log_records);
+  out += " aux_copies=" + std::to_string(aux_copies);
+  out += " aux_records=" + std::to_string(aux_records);
+  out += "\nstats:";
+  out += " updates=" + std::to_string(stats.updates_regular) + "+" +
+         std::to_string(stats.updates_aux) + "aux";
+  out += " reads=" + std::to_string(stats.reads);
+  out += " prop_served=" + std::to_string(stats.propagation_requests_served);
+  out += " current_replies=" + std::to_string(stats.you_are_current_replies);
+  out += " items_shipped=" + std::to_string(stats.items_shipped);
+  out += " items_adopted=" + std::to_string(stats.items_adopted);
+  out += " conflicts=" + std::to_string(stats.conflicts_detected);
+  out += " oob_served=" + std::to_string(stats.oob_requests_served);
+  out += " intra_node=" + std::to_string(stats.intra_node_ops_applied);
+  out += "\nshard items:";
+  for (const Replica* shard : shards_) {
+    out += " " + std::to_string(shard->items().size());
+  }
+  return out;
+}
+
+Result<size_t> PropagateOnceSharded(ShardedReplica& source,
+                                    ShardedReplica& recipient) {
+  ShardedPropagationRequest req = recipient.BuildPropagationRequest();
+  ShardedPropagationResponse resp = source.HandlePropagationRequest(req);
+  uint64_t adopted_before = recipient.TotalStats().items_adopted;
+  Status s = recipient.AcceptPropagation(resp);
+  if (!s.ok()) return s;
+  return static_cast<size_t>(recipient.TotalStats().items_adopted -
+                             adopted_before);
+}
+
+}  // namespace epidemic

@@ -1,0 +1,191 @@
+#ifndef EPIDEMIC_CORE_SHARDED_REPLICA_H_
+#define EPIDEMIC_CORE_SHARDED_REPLICA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/replica.h"
+
+namespace epidemic {
+
+/// A node's replica partitioned into S independent shards.
+///
+/// Item names are hashed into a fixed number of shards; each shard owns a
+/// complete instance of the paper's protocol state — its own item store,
+/// DBVV, log vector, and auxiliary log — so every per-shard exchange is
+/// exactly the §5 protocol and the §4.1 invariant `V[k] == Σ ivv(x)[k]`
+/// holds per shard (and, by summation, in aggregate). What sharding buys:
+///
+///   * the "nothing to do" check stays O(1) *per shard* (O(S) per node-pair
+///     handshake, still independent of the item count), and a full exchange
+///     still ships only O(m) items;
+///   * shards share no protocol state, so user operations and anti-entropy
+///     on different shards need no coordination — the server layer exploits
+///     this with per-shard striped locks and parallel shard processing.
+///
+/// Thread-compatibility matches Replica: this class does no locking itself.
+/// Callers either confine it to one thread or guard each shard with its own
+/// lock (two operations may run concurrently iff they touch different
+/// shards; the routed convenience methods below touch exactly one shard
+/// unless documented otherwise).
+class ShardedReplica {
+ public:
+  static constexpr size_t kDefaultShards = 16;
+
+  /// Owning constructor: builds `num_shards` fresh shard engines.
+  /// `listener` (optional, must outlive the object) receives conflicts from
+  /// every shard; with concurrent shard access it must be thread-safe.
+  ShardedReplica(NodeId id, size_t num_nodes,
+                 size_t num_shards = kDefaultShards,
+                 ConflictListener* listener = nullptr);
+
+  /// Owning constructor over pre-built shard engines (snapshot restore).
+  /// All shards must agree on id/num_nodes.
+  explicit ShardedReplica(std::vector<std::unique_ptr<Replica>> shards);
+
+  /// Non-owning view over externally owned shard engines (the durable
+  /// server: each shard lives inside its own JournaledReplica). All shards
+  /// must agree on id/num_nodes and must outlive the view. Mutating routed
+  /// calls through a view bypass any journaling the owner performs, so
+  /// views are for inspection and the non-journaled protocol steps
+  /// (handshake building/serving) only.
+  explicit ShardedReplica(std::vector<Replica*> shards);
+
+  ShardedReplica(const ShardedReplica&) = delete;
+  ShardedReplica& operator=(const ShardedReplica&) = delete;
+
+  /// Stable item-name → shard mapping (CRC-32C modulo `num_shards`). Every
+  /// replica of a cluster must agree on the shard count or propagation is
+  /// rejected at the handshake.
+  static size_t ShardOf(std::string_view name, size_t num_shards);
+  size_t ShardOf(std::string_view name) const {
+    return ShardOf(name, shards_.size());
+  }
+
+  // ---------------------------------------------------------------------
+  // User operations (§5.3), routed to the owning shard.
+
+  Status Update(std::string_view name, std::string_view value) {
+    return route(name).Update(name, value);
+  }
+  Status Delete(std::string_view name) { return route(name).Delete(name); }
+  Result<std::string> Read(std::string_view name) {
+    return route(name).Read(name);
+  }
+  Status ResolveConflict(std::string_view name, const VersionVector& remote_vv,
+                         std::string_view value) {
+    return route(name).ResolveConflict(name, remote_vv, value);
+  }
+
+  /// Merged scan across all shards, sorted by name. Touches every shard.
+  std::vector<std::pair<std::string, std::string>> Scan(
+      std::string_view prefix, size_t limit = 0) const;
+
+  // ---------------------------------------------------------------------
+  // Sharded update propagation: one round trip for all shards.
+
+  /// Step (1): every shard's DBVV in one handshake message.
+  ShardedPropagationRequest BuildPropagationRequest() const;
+
+  /// Source side: runs SendPropagation (Fig. 2) per shard; shards the
+  /// requester is current on are omitted from the reply. Touches every
+  /// shard. The server layer instead calls HandleShardPropagation per shard
+  /// under striped locks; this serial form serves single-threaded callers
+  /// (simulator, benchmarks, tests).
+  ShardedPropagationResponse HandlePropagationRequest(
+      const ShardedPropagationRequest& req);
+
+  /// Recipient side: AcceptPropagation (Fig. 3-4) per received segment.
+  /// Touches the shards named by the response. Applies every segment even
+  /// if one fails; returns the first error.
+  Status AcceptPropagation(const ShardedPropagationResponse& resp);
+
+  // Per-shard building blocks for callers that hold per-shard locks.
+
+  /// Fig. 2 for one shard; `req.dbvv` is the requester's DBVV *of this
+  /// shard*.
+  PropagationResponse HandleShardPropagation(size_t shard,
+                                             const PropagationRequest& req) {
+    return shards_[shard]->HandlePropagationRequest(req);
+  }
+
+  /// Fig. 3-4 for one shard.
+  Status AcceptShardPropagation(size_t shard,
+                                const PropagationResponse& resp) {
+    return shards_[shard]->AcceptPropagation(resp);
+  }
+
+  // ---------------------------------------------------------------------
+  // Out-of-bound copying (§5.2), routed by item name.
+
+  OobRequest BuildOobRequest(std::string_view name) const {
+    return route(name).BuildOobRequest(name);
+  }
+  OobResponse HandleOobRequest(const OobRequest& req) {
+    return route(req.item_name).HandleOobRequest(req);
+  }
+  Status AcceptOobResponse(const OobResponse& resp) {
+    return route(resp.item_name).AcceptOobResponse(resp);
+  }
+
+  // ---------------------------------------------------------------------
+  // Introspection.
+
+  NodeId id() const { return shards_[0]->id(); }
+  size_t num_nodes() const { return shards_[0]->num_nodes(); }
+  size_t num_shards() const { return shards_.size(); }
+  Replica& shard(size_t k) { return *shards_[k]; }
+  const Replica& shard(size_t k) const { return *shards_[k]; }
+
+  /// Component-wise sum of every shard's DBVV — the whole-database version
+  /// vector of §4.1, reconstructed. Touches every shard.
+  VersionVector AggregateDbvv() const;
+
+  /// Sum of every shard's protocol counters. Touches every shard; for an
+  /// atomic aggregate, callers with striped locks must hold them all.
+  ReplicaStats TotalStats() const;
+
+  /// Resets every shard's counters. Touches every shard.
+  void ResetStats();
+
+  /// Total regular items across shards. Touches every shard.
+  size_t TotalItems() const;
+
+  /// Regular copy of an item (nullptr if absent), from its owning shard.
+  const Item* FindItem(std::string_view name) const {
+    return route(name).FindItem(name);
+  }
+
+  /// Per-shard §4.1/log invariants plus the aggregate DBVV consistency
+  /// check (the sum of shard DBVVs must equal the sum of all item IVVs).
+  Status CheckInvariants() const;
+
+  /// Aggregated one-stop summary in the same shape as Replica::DebugString,
+  /// plus the shard count and per-shard item/update distribution.
+  std::string DebugString() const;
+
+ private:
+  Replica& route(std::string_view name) { return *shards_[ShardOf(name)]; }
+  const Replica& route(std::string_view name) const {
+    return *shards_[ShardOf(name)];
+  }
+
+  std::vector<std::unique_ptr<Replica>> owned_;  // empty for views
+  std::vector<Replica*> shards_;                 // always size num_shards
+};
+
+/// Runs one full sharded anti-entropy exchange (all shards, one logical
+/// round trip) pulling from `source` into `recipient`, both in-process,
+/// through the real wire encoding of the per-shard segments. Returns the
+/// number of items copied.
+Result<size_t> PropagateOnceSharded(ShardedReplica& source,
+                                    ShardedReplica& recipient);
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_CORE_SHARDED_REPLICA_H_

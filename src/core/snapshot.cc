@@ -11,7 +11,45 @@ namespace epidemic {
 
 namespace {
 constexpr char kMagic[] = "EPISNAP1";  // 8 bytes, version in the last digit
+constexpr char kShardedMagic[] = "EPISHRD1";  // sharded container format
 constexpr size_t kMagicLen = 8;
+
+Status WriteFileAtomic(const std::string& blob, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + tmp + "' for writing");
+  }
+  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  const bool flushed = (std::fflush(f) == 0);
+  std::fclose(f);
+  if (written != blob.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename snapshot into '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileFully(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no snapshot at '" + path + "'");
+  }
+  std::string blob;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    blob.append(buf, n);
+  }
+  const bool read_error = (std::ferror(f) != 0);
+  std::fclose(f);
+  if (read_error) return Status::IOError("error reading '" + path + "'");
+  return blob;
+}
 }  // namespace
 
 /// Friend of Replica; does the actual state walking.
@@ -205,42 +243,102 @@ Result<std::unique_ptr<Replica>> DecodeSnapshot(std::string_view blob,
 }
 
 Status SaveSnapshot(const Replica& replica, const std::string& path) {
-  const std::string blob = EncodeSnapshot(replica);
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open '" + tmp + "' for writing");
-  }
-  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
-  const bool flushed = (std::fflush(f) == 0);
-  std::fclose(f);
-  if (written != blob.size() || !flushed) {
-    std::remove(tmp.c_str());
-    return Status::IOError("short write to '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename snapshot into '" + path + "'");
-  }
-  return Status::OK();
+  return WriteFileAtomic(EncodeSnapshot(replica), path);
 }
 
 Result<std::unique_ptr<Replica>> LoadSnapshot(const std::string& path,
                                               ConflictListener* listener) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("no snapshot at '" + path + "'");
+  auto blob = ReadFileFully(path);
+  if (!blob.ok()) return blob.status();
+  return DecodeSnapshot(*blob, listener);
+}
+
+std::string EncodeShardedSnapshot(const ShardedReplica& replica) {
+  ByteWriter w;
+  w.PutBytes(kShardedMagic, kMagicLen);
+  w.PutVarint64(replica.num_shards());
+  for (size_t k = 0; k < replica.num_shards(); ++k) {
+    w.PutString(EncodeSnapshot(replica.shard(k)));
   }
-  std::string blob;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    blob.append(buf, n);
+  std::string body = w.Release();
+  ByteWriter out;
+  out.PutBytes(body.data(), body.size());
+  out.PutFixed32(Crc32c(body));
+  return out.Release();
+}
+
+Result<std::unique_ptr<ShardedReplica>> DecodeShardedSnapshot(
+    std::string_view blob, ConflictListener* listener) {
+  if (blob.size() < kMagicLen + 4 ||
+      blob.substr(0, kMagicLen) !=
+          std::string_view(kShardedMagic, kMagicLen)) {
+    return Status::Corruption("not a sharded epidemic snapshot (bad magic)");
   }
-  const bool read_error = (std::ferror(f) != 0);
-  std::fclose(f);
-  if (read_error) return Status::IOError("error reading '" + path + "'");
-  return DecodeSnapshot(blob, listener);
+  const std::string_view body = blob.substr(0, blob.size() - 4);
+  uint32_t stored_crc;
+  {
+    ByteReader crc_reader(blob.substr(blob.size() - 4));
+    auto crc = crc_reader.GetFixed32();
+    if (!crc.ok()) return crc.status();
+    stored_crc = *crc;
+  }
+  if (Crc32c(body) != stored_crc) {
+    return Status::Corruption("sharded snapshot checksum mismatch");
+  }
+  ByteReader reader(body.substr(kMagicLen));
+
+  auto num_shards = reader.GetVarint64();
+  if (!num_shards.ok()) return num_shards.status();
+  if (*num_shards == 0 || *num_shards > (1u << 16)) {
+    return Status::Corruption("implausible shard count");
+  }
+  std::vector<std::unique_ptr<Replica>> shards;
+  shards.reserve(static_cast<size_t>(*num_shards));
+  for (uint64_t k = 0; k < *num_shards; ++k) {
+    auto shard_blob = reader.GetString();
+    if (!shard_blob.ok()) return shard_blob.status();
+    auto shard = DecodeSnapshot(*shard_blob, listener);
+    if (!shard.ok()) {
+      return Status::Corruption("shard " + std::to_string(k) + ": " +
+                                shard.status().message());
+    }
+    shards.push_back(std::move(*shard));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after sharded snapshot");
+  }
+  if (shards.size() > 1) {
+    for (uint64_t k = 0; k < shards.size(); ++k) {
+      if (shards[k]->id() != shards[0]->id() ||
+          shards[k]->num_nodes() != shards[0]->num_nodes()) {
+        return Status::Corruption("shards disagree on node identity");
+      }
+    }
+  }
+  // Every item must live in the shard the name hash assigns it to —
+  // otherwise the snapshot was taken under a different shard count.
+  for (uint64_t k = 0; k < shards.size(); ++k) {
+    for (const auto& item : shards[k]->items()) {
+      if (ShardedReplica::ShardOf(item->name, shards.size()) != k) {
+        return Status::Internal("item '" + item->name + "' found in shard " +
+                                std::to_string(k) +
+                                " but hashes elsewhere; shard count changed?");
+      }
+    }
+  }
+  return std::make_unique<ShardedReplica>(std::move(shards));
+}
+
+Status SaveShardedSnapshot(const ShardedReplica& replica,
+                           const std::string& path) {
+  return WriteFileAtomic(EncodeShardedSnapshot(replica), path);
+}
+
+Result<std::unique_ptr<ShardedReplica>> LoadShardedSnapshot(
+    const std::string& path, ConflictListener* listener) {
+  auto blob = ReadFileFully(path);
+  if (!blob.ok()) return blob.status();
+  return DecodeShardedSnapshot(*blob, listener);
 }
 
 }  // namespace epidemic

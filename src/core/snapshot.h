@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/replica.h"
+#include "core/sharded_replica.h"
 
 namespace epidemic {
 
@@ -48,6 +49,31 @@ Status SaveSnapshot(const Replica& replica, const std::string& path);
 
 /// Reads `path` and decodes it.
 Result<std::unique_ptr<Replica>> LoadSnapshot(
+    const std::string& path, ConflictListener* listener = nullptr);
+
+// -------------------------------------------------------------------------
+// Sharded snapshots: a container (magic "EPISHRD1") holding the shard
+// count followed by one length-prefixed standard EPISNAP1 blob per shard.
+// Each shard blob keeps its own CRC, so per-shard bit rot is still pinned
+// to the shard it hit; the container adds a trailing CRC of its own over
+// the envelope. Shard k's blob restores shard k — the item→shard mapping
+// is implied by the shard count and re-checked on load.
+
+/// Serializes every shard of `replica` into one container blob.
+std::string EncodeShardedSnapshot(const ShardedReplica& replica);
+
+/// Reconstructs a sharded replica from a container blob. Fails with
+/// Corruption on malformed input, and with Internal if any item sits in a
+/// shard `ShardOf` disagrees with (a shard-count mismatch in disguise).
+Result<std::unique_ptr<ShardedReplica>> DecodeShardedSnapshot(
+    std::string_view blob, ConflictListener* listener = nullptr);
+
+/// EncodeShardedSnapshot + atomic write to `path`.
+Status SaveShardedSnapshot(const ShardedReplica& replica,
+                           const std::string& path);
+
+/// Reads `path` and decodes it as a sharded snapshot.
+Result<std::unique_ptr<ShardedReplica>> LoadShardedSnapshot(
     const std::string& path, ConflictListener* listener = nullptr);
 
 }  // namespace epidemic

@@ -107,6 +107,93 @@ Result<PropagationResponse> DecodePropagationResponseBody(ByteReader& r) {
   return m;
 }
 
+void EncodeShardedPropagationRequestBody(ByteWriter& w,
+                                         const ShardedPropagationRequest& m) {
+  w.PutVarint64(m.requester);
+  w.PutVarint64(m.shard_dbvvs.size());
+  for (const VersionVector& vv : m.shard_dbvvs) {
+    EncodeVersionVector(&w, vv);
+  }
+}
+
+void EncodeShardedPropagationResponseBody(
+    ByteWriter& w, const ShardedPropagationResponse& m) {
+  w.PutVarint64(m.num_shards);
+  w.PutVarint64(m.segments.size());
+  for (const ShardedPropagationSegment& seg : m.segments) {
+    w.PutVarint64(seg.shard);
+    w.PutString(seg.body);
+  }
+}
+
+Result<ShardedPropagationRequest> DecodeShardedPropagationRequestBody(
+    ByteReader& r) {
+  ShardedPropagationRequest m;
+  auto requester = r.GetVarint64();
+  if (!requester.ok()) return requester.status();
+  m.requester = static_cast<NodeId>(*requester);
+  auto count = r.GetVarint64();
+  if (!count.ok()) return count.status();
+  if (*count > (1u << 16)) return Status::Corruption("absurd shard count");
+  m.shard_dbvvs.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto vv = DecodeVersionVector(&r);
+    if (!vv.ok()) return vv.status();
+    m.shard_dbvvs.push_back(std::move(*vv));
+  }
+  return m;
+}
+
+Result<ShardedPropagationResponse> DecodeShardedPropagationResponseBody(
+    ByteReader& r) {
+  ShardedPropagationResponse m;
+  auto num_shards = r.GetVarint64();
+  if (!num_shards.ok()) return num_shards.status();
+  if (*num_shards > (1u << 16)) return Status::Corruption("absurd shard count");
+  m.num_shards = static_cast<uint32_t>(*num_shards);
+  auto count = r.GetVarint64();
+  if (!count.ok()) return count.status();
+  if (*count > *num_shards) {
+    return Status::Corruption("more segments than shards");
+  }
+  m.segments.reserve(static_cast<size_t>(*count));
+  uint64_t prev_shard = 0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    ShardedPropagationSegment seg;
+    auto shard = r.GetVarint64();
+    if (!shard.ok()) return shard.status();
+    // Strictly increasing shard indices < num_shards: rejects duplicates
+    // and out-of-range segments before any shard state is touched.
+    if (*shard >= *num_shards || (i > 0 && *shard <= prev_shard)) {
+      return Status::Corruption("segment shard indices not strictly "
+                                "increasing within the shard count");
+    }
+    prev_shard = *shard;
+    seg.shard = static_cast<uint32_t>(*shard);
+    auto body = r.GetString();
+    if (!body.ok()) return body.status();
+    seg.body = std::move(*body);
+    m.segments.push_back(std::move(seg));
+  }
+  return m;
+}
+
+std::string EncodeShardSegmentBody(const PropagationResponse& m) {
+  ByteWriter w;
+  EncodePropagationResponseBody(w, m);
+  return w.Release();
+}
+
+Result<PropagationResponse> DecodeShardSegmentBody(std::string_view body) {
+  ByteReader r(body);
+  auto resp = DecodePropagationResponseBody(r);
+  if (!resp.ok()) return resp.status();
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after shard segment body");
+  }
+  return resp;
+}
+
 Result<OobRequest> DecodeOobRequestBody(ByteReader& r) {
   OobRequest m;
   auto requester = r.GetVarint64();

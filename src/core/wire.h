@@ -17,11 +17,25 @@ void EncodePropagationResponseBody(ByteWriter& w,
                                    const PropagationResponse& m);
 void EncodeOobRequestBody(ByteWriter& w, const OobRequest& m);
 void EncodeOobResponseBody(ByteWriter& w, const OobResponse& m);
+void EncodeShardedPropagationRequestBody(ByteWriter& w,
+                                         const ShardedPropagationRequest& m);
+void EncodeShardedPropagationResponseBody(ByteWriter& w,
+                                          const ShardedPropagationResponse& m);
 
 Result<PropagationRequest> DecodePropagationRequestBody(ByteReader& r);
 Result<PropagationResponse> DecodePropagationResponseBody(ByteReader& r);
 Result<OobRequest> DecodeOobRequestBody(ByteReader& r);
 Result<OobResponse> DecodeOobResponseBody(ByteReader& r);
+Result<ShardedPropagationRequest> DecodeShardedPropagationRequestBody(
+    ByteReader& r);
+Result<ShardedPropagationResponse> DecodeShardedPropagationResponseBody(
+    ByteReader& r);
+
+/// Helpers for the opaque per-shard segments of a sharded reply: a segment
+/// body is exactly an encoded PropagationResponse body, produced at the
+/// source and parsed at the recipient under that shard's lock only.
+std::string EncodeShardSegmentBody(const PropagationResponse& m);
+Result<PropagationResponse> DecodeShardSegmentBody(std::string_view body);
 
 }  // namespace epidemic::wire
 

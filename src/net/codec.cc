@@ -63,6 +63,16 @@ void EncodeBody(ByteWriter& w, const ClientSyncRequest& m) {
 
 void EncodeBody(ByteWriter&, const ClientCheckpointRequest&) {}
 
+void EncodeBody(ByteWriter& w, const ShardedPropagationRequest& m) {
+  wire::EncodeShardedPropagationRequestBody(w, m);
+}
+
+void EncodeBody(ByteWriter& w, const ShardedPropagationResponse& m) {
+  wire::EncodeShardedPropagationResponseBody(w, m);
+}
+
+void EncodeBody(ByteWriter&, const ClientResetStatsRequest&) {}
+
 MessageType TagOf(const Message& msg) {
   switch (msg.index()) {
     case 0:
@@ -89,8 +99,14 @@ MessageType TagOf(const Message& msg) {
       return MessageType::kClientScan;
     case 11:
       return MessageType::kClientSync;
-    default:
+    case 12:
       return MessageType::kClientCheckpoint;
+    case 13:
+      return MessageType::kShardedPropagationRequest;
+    case 14:
+      return MessageType::kShardedPropagationResponse;
+    default:
+      return MessageType::kClientResetStats;
   }
 }
 
@@ -251,6 +267,15 @@ Result<Message> Decode(std::string_view frame) {
     }
     case MessageType::kClientCheckpoint:
       result = Message(ClientCheckpointRequest{});
+      break;
+    case MessageType::kShardedPropagationRequest:
+      result = Wrap(wire::DecodeShardedPropagationRequestBody(r));
+      break;
+    case MessageType::kShardedPropagationResponse:
+      result = Wrap(wire::DecodeShardedPropagationResponseBody(r));
+      break;
+    case MessageType::kClientResetStats:
+      result = Message(ClientResetStatsRequest{});
       break;
   }
   if (result.ok() && !r.AtEnd()) {

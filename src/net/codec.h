@@ -34,6 +34,11 @@ struct ClientDeleteRequest {
 /// Asks the server for its DebugString (DBVV, counters, sizes).
 struct ClientStatsRequest {};
 
+/// Atomically reads-and-resets the server's aggregated protocol counters
+/// (all shard locks held for the duration). The reply payload is the
+/// DebugString rendered from the counter snapshot taken at reset time.
+struct ClientResetStatsRequest {};
+
 /// Admin: asks the server to run one anti-entropy pull from `peer` now,
 /// outside its background schedule.
 struct ClientSyncRequest {
@@ -77,9 +82,12 @@ using Message =
                  OobResponse, ClientUpdateRequest, ClientReadRequest,
                  ClientOobFetchRequest, ClientReply, ClientDeleteRequest,
                  ClientStatsRequest, ClientScanRequest, ClientSyncRequest,
-                 ClientCheckpointRequest>;
+                 ClientCheckpointRequest, ShardedPropagationRequest,
+                 ShardedPropagationResponse, ClientResetStatsRequest>;
 
 /// Wire tags; stable across versions, one byte on the wire.
+/// Tags 14-16 are the wire-format v2 additions (sharded anti-entropy and
+/// atomic stats reset); v1 peers reject them as unknown tags.
 enum class MessageType : uint8_t {
   kPropagationRequest = 1,
   kPropagationResponse = 2,
@@ -94,6 +102,9 @@ enum class MessageType : uint8_t {
   kClientScan = 11,
   kClientSync = 12,
   kClientCheckpoint = 13,
+  kShardedPropagationRequest = 14,
+  kShardedPropagationResponse = 15,
+  kClientResetStats = 16,
 };
 
 /// Serializes any protocol message into a self-describing byte string

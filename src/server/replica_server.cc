@@ -1,9 +1,11 @@
 #include "server/replica_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "common/logging.h"
+#include "core/wire.h"
 #include "net/codec.h"
 
 namespace epidemic::server {
@@ -38,14 +40,21 @@ ReplicaServer::ReplicaServer(NodeId id, size_t num_nodes,
     : id_(id),
       transport_(transport),
       options_(std::move(options)),
-      memory_(std::make_unique<Replica>(id, num_nodes, &listener_)) {}
+      memory_(std::make_unique<ShardedReplica>(
+          id, num_nodes, options_.num_shards, &listener_)),
+      pool_(options_.ae_workers) {
+  shard_mu_ = std::make_unique<std::mutex[]>(memory_->num_shards());
+}
 
-ReplicaServer::ReplicaServer(std::unique_ptr<JournaledReplica> durable,
+ReplicaServer::ReplicaServer(std::unique_ptr<JournaledShardedReplica> durable,
                              net::Transport* transport, Options options)
-    : id_(durable->replica().id()),
+    : id_(durable->view().id()),
       transport_(transport),
       options_(std::move(options)),
-      durable_(std::move(durable)) {}
+      durable_(std::move(durable)),
+      pool_(options_.ae_workers) {
+  shard_mu_ = std::make_unique<std::mutex[]>(durable_->num_shards());
+}
 
 ReplicaServer::~ReplicaServer() { Stop(); }
 
@@ -106,18 +115,158 @@ void ReplicaServer::AntiEntropyLoop() {
   }
 }
 
+void ReplicaServer::RunStriped(
+    std::vector<std::pair<size_t, std::function<void()>>> work) {
+  const size_t n = work.size();
+  if (n == 0) return;
+  if (n == 1) {
+    std::lock_guard<std::mutex> lock(shard_mutex(work[0].first));
+    work[0].second();
+    return;
+  }
+  // One claim flag per entry; the shard mutex makes the claim + run
+  // exclusive, the flag makes it exactly-once.
+  auto claimed = std::make_unique<std::atomic<bool>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    claimed[i].store(false, std::memory_order_relaxed);
+  }
+
+  auto participant = [this, &work, &claimed, n] {
+    for (;;) {
+      bool any_unclaimed = false;
+      bool progressed = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (claimed[i].load(std::memory_order_acquire)) continue;
+        any_unclaimed = true;
+        std::unique_lock<std::mutex> lock(shard_mutex(work[i].first),
+                                          std::try_to_lock);
+        if (!lock.owns_lock()) continue;
+        if (claimed[i].exchange(true, std::memory_order_acq_rel)) continue;
+        work[i].second();
+        progressed = true;
+      }
+      if (!any_unclaimed) return;
+      if (progressed) continue;
+      // Every unclaimed shard is currently held (by a writer or another
+      // participant): block on the first one so the batch always advances.
+      for (size_t i = 0; i < n; ++i) {
+        if (claimed[i].load(std::memory_order_acquire)) continue;
+        std::unique_lock<std::mutex> lock(shard_mutex(work[i].first));
+        if (claimed[i].exchange(true, std::memory_order_acq_rel)) continue;
+        work[i].second();
+        break;
+      }
+    }
+  };
+
+  const size_t participants = std::min(pool_.threads() + 1, n);
+  if (participants <= 1) {
+    participant();
+    return;
+  }
+  std::vector<std::function<void()>> tasks(participants, participant);
+  pool_.Run(std::move(tasks));
+}
+
+ShardedPropagationResponse ReplicaServer::ServeShardedPropagation(
+    const ShardedPropagationRequest& req) {
+  ShardedReplica& rep = sharded();
+  const size_t num_shards = rep.num_shards();
+  ShardedPropagationResponse resp;
+  resp.num_shards = static_cast<uint32_t>(num_shards);
+  if (req.shard_dbvvs.size() != num_shards) {
+    // Topology mismatch: reply "current" carrying our shard count so the
+    // requester rejects it instead of applying garbage.
+    return resp;
+  }
+  // Each shard builds and encodes its reply under only its own lock; the
+  // per-shard bodies are then stitched together serially.
+  std::vector<std::string> bodies(num_shards);
+  std::vector<char> has_body(num_shards, 0);
+  std::vector<std::pair<size_t, std::function<void()>>> work;
+  work.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    work.emplace_back(k, [&rep, &req, &bodies, &has_body, k] {
+      PropagationResponse shard_resp = rep.HandleShardPropagation(
+          k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
+      if (shard_resp.you_are_current) return;
+      bodies[k] = wire::EncodeShardSegmentBody(shard_resp);
+      has_body[k] = 1;
+    });
+  }
+  RunStriped(std::move(work));
+  for (size_t k = 0; k < num_shards; ++k) {
+    if (has_body[k] != 0) {
+      resp.segments.push_back(ShardedPropagationSegment{
+          static_cast<uint32_t>(k), std::move(bodies[k])});
+    }
+  }
+  return resp;
+}
+
+Status ReplicaServer::AcceptShardedPropagation(
+    const ShardedPropagationResponse& resp) {
+  ShardedReplica& rep = sharded();
+  if (resp.num_shards != rep.num_shards()) {
+    return Status::InvalidArgument(
+        "peer runs " + std::to_string(resp.num_shards) + " shards, we run " +
+        std::to_string(rep.num_shards()));
+  }
+  for (const ShardedPropagationSegment& seg : resp.segments) {
+    if (seg.shard >= rep.num_shards()) {
+      return Status::InvalidArgument("segment shard out of range");
+    }
+  }
+  // Each segment decodes and applies under only its shard's lock; the
+  // segments name distinct shards (the codec enforces strictly increasing
+  // indices), so the entries share nothing but the scheduler.
+  std::vector<Status> statuses(resp.segments.size());
+  std::vector<std::pair<size_t, std::function<void()>>> work;
+  work.reserve(resp.segments.size());
+  for (size_t i = 0; i < resp.segments.size(); ++i) {
+    const ShardedPropagationSegment& seg = resp.segments[i];
+    work.emplace_back(seg.shard, [this, &rep, &seg, &statuses, i] {
+      Result<PropagationResponse> decoded =
+          wire::DecodeShardSegmentBody(seg.body);
+      if (!decoded.ok()) {
+        statuses[i] = decoded.status();
+        return;
+      }
+      statuses[i] = durable_ != nullptr
+                        ? durable_->AcceptShardPropagation(seg.shard, *decoded)
+                        : rep.AcceptShardPropagation(seg.shard, *decoded);
+    });
+  }
+  RunStriped(std::move(work));
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 std::string ReplicaServer::HandleRequest(std::string_view request) {
   Result<Message> decoded = net::Decode(request);
   if (!decoded.ok()) return EncodeStatusReply(decoded.status());
   Message& msg = *decoded;
 
+  if (auto* sharded_req = std::get_if<ShardedPropagationRequest>(&msg)) {
+    return net::Encode(Message(ServeShardedPropagation(*sharded_req)));
+  }
   if (auto* prop_req = std::get_if<PropagationRequest>(&msg)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return net::Encode(Message(rep().HandlePropagationRequest(*prop_req)));
+    // Legacy whole-database handshake (wire v1): only meaningful against a
+    // single-shard server, where shard 0 *is* the database.
+    if (sharded().num_shards() != 1) {
+      return EncodeStatusReply(Status::InvalidArgument(
+          "server is sharded; use the sharded propagation handshake"));
+    }
+    std::lock_guard<std::mutex> lock(shard_mutex(0));
+    return net::Encode(
+        Message(sharded().HandleShardPropagation(0, *prop_req)));
   }
   if (auto* oob_req = std::get_if<OobRequest>(&msg)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return net::Encode(Message(rep().HandleOobRequest(*oob_req)));
+    const size_t k = sharded().ShardOf(oob_req->item_name);
+    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    return net::Encode(Message(sharded().HandleOobRequest(*oob_req)));
   }
   if (auto* update = std::get_if<ClientUpdateRequest>(&msg)) {
     return EncodeStatusReply(Update(update->item_name, update->value));
@@ -132,6 +281,20 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
   }
   if (std::get_if<net::ClientStatsRequest>(&msg) != nullptr) {
     return EncodeStatusReply(Status::OK(), Stats());
+  }
+  if (std::get_if<net::ClientResetStatsRequest>(&msg) != nullptr) {
+    // Snapshot the summary and zero the counters in one critical section
+    // over all shards, so no concurrent operation falls between the two.
+    std::string summary;
+    for (size_t k = 0; k < sharded().num_shards(); ++k) {
+      shard_mutex(k).lock();
+    }
+    summary = sharded().DebugString();
+    sharded().ResetStats();
+    for (size_t k = sharded().num_shards(); k > 0; --k) {
+      shard_mutex(k - 1).unlock();
+    }
+    return EncodeStatusReply(Status::OK(), std::move(summary));
   }
   if (auto* scan = std::get_if<net::ClientScanRequest>(&msg)) {
     auto items = Scan(scan->prefix, static_cast<size_t>(scan->limit));
@@ -158,60 +321,123 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
 }
 
 Status ReplicaServer::Update(std::string_view item, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const size_t k = sharded().ShardOf(item);
+  std::lock_guard<std::mutex> lock(shard_mutex(k));
   if (durable_ != nullptr) return durable_->Update(item, value);
   return memory_->Update(item, value);
 }
 
 Status ReplicaServer::Delete(std::string_view item) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const size_t k = sharded().ShardOf(item);
+  std::lock_guard<std::mutex> lock(shard_mutex(k));
   if (durable_ != nullptr) return durable_->Delete(item);
   return memory_->Delete(item);
 }
 
 Result<std::string> ReplicaServer::Read(std::string_view item) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rep().Read(item);
+  const size_t k = sharded().ShardOf(item);
+  std::lock_guard<std::mutex> lock(shard_mutex(k));
+  return sharded().Read(item);
+}
+
+Status ReplicaServer::ResolveConflict(std::string_view item,
+                                      const VersionVector& remote_vv,
+                                      std::string_view value) {
+  const size_t k = sharded().ShardOf(item);
+  std::lock_guard<std::mutex> lock(shard_mutex(k));
+  if (durable_ != nullptr) {
+    return durable_->ResolveConflict(item, remote_vv, value);
+  }
+  return memory_->ResolveConflict(item, remote_vv, value);
 }
 
 std::vector<std::pair<std::string, std::string>> ReplicaServer::Scan(
     std::string_view prefix, size_t limit) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rep().Scan(prefix, limit);
+  // One shard at a time: a scan is a convenience listing, not a consistent
+  // whole-database snapshot, so it does not stall writers on all shards.
+  std::vector<std::pair<std::string, std::string>> out;
+  const ShardedReplica& rep = sharded();
+  for (size_t k = 0; k < rep.num_shards(); ++k) {
+    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    auto part = rep.shard(k).Scan(prefix, /*limit=*/0);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(out.begin(), out.end());
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
 }
 
 std::string ReplicaServer::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rep().DebugString();
+  const ShardedReplica& rep = sharded();
+  for (size_t k = 0; k < rep.num_shards(); ++k) shard_mutex(k).lock();
+  std::string out = rep.DebugString();
+  for (size_t k = rep.num_shards(); k > 0; --k) shard_mutex(k - 1).unlock();
+  return out;
+}
+
+ReplicaStats ReplicaServer::TotalStats(bool reset) {
+  ShardedReplica& rep = sharded();
+  for (size_t k = 0; k < rep.num_shards(); ++k) shard_mutex(k).lock();
+  ReplicaStats total = rep.TotalStats();
+  if (reset) rep.ResetStats();
+  for (size_t k = rep.num_shards(); k > 0; --k) shard_mutex(k - 1).unlock();
+  return total;
 }
 
 Status ReplicaServer::PullFrom(NodeId peer) {
-  // Build the DBVV handshake under the lock, release it for the RPC, and
-  // re-acquire to merge the response.
-  PropagationRequest req;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    req = rep().BuildPropagationRequest();
+  // Build the per-shard DBVV handshake taking one shard lock at a time,
+  // release everything for the RPC, and merge the response per shard.
+  // Shards mutated between build and accept simply make the peer ship a
+  // little extra; AcceptPropagation is idempotent about duplicates.
+  ShardedReplica& rep = sharded();
+  const size_t num_shards = rep.num_shards();
+  ShardedPropagationRequest req;
+  req.requester = id_;
+  req.shard_dbvvs.resize(num_shards);
+  // Snapshot each shard's DBVV, free shards first (try_lock) so a shard
+  // held by a writer doesn't stall the sweep; block only on the stragglers.
+  std::vector<char> got(num_shards, 0);
+  size_t remaining = num_shards;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (size_t k = 0; k < num_shards; ++k) {
+      if (got[k] != 0) continue;
+      std::unique_lock<std::mutex> lock(shard_mutex(k), std::try_to_lock);
+      if (!lock.owns_lock()) continue;
+      req.shard_dbvvs[k] = rep.shard(k).dbvv();
+      got[k] = 1;
+      --remaining;
+      progressed = true;
+    }
+    if (progressed) continue;
+    for (size_t k = 0; k < num_shards; ++k) {
+      if (got[k] != 0) continue;
+      std::lock_guard<std::mutex> lock(shard_mutex(k));
+      req.shard_dbvvs[k] = rep.shard(k).dbvv();
+      got[k] = 1;
+      --remaining;
+      break;
+    }
   }
   Result<std::string> wire =
       transport_->Call(peer, net::Encode(Message(std::move(req))));
   if (!wire.ok()) return wire.status();
   Result<Message> decoded = net::Decode(*wire);
   if (!decoded.ok()) return decoded.status();
-  auto* resp = std::get_if<PropagationResponse>(&*decoded);
+  auto* resp = std::get_if<ShardedPropagationResponse>(&*decoded);
   if (resp == nullptr) {
     return Status::Corruption("peer sent a non-propagation reply");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (durable_ != nullptr) return durable_->AcceptPropagation(*resp);
-  return memory_->AcceptPropagation(*resp);
+  return AcceptShardedPropagation(*resp);
 }
 
 Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
+  const size_t k = sharded().ShardOf(item);
   OobRequest req;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    req = rep().BuildOobRequest(item);
+    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    req = sharded().BuildOobRequest(item);
   }
   Result<std::string> wire =
       transport_->Call(peer, net::Encode(Message(std::move(req))));
@@ -222,28 +448,42 @@ Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
   if (resp == nullptr) {
     return Status::Corruption("peer sent a non-OOB reply");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(shard_mutex(k));
   if (durable_ != nullptr) return durable_->AcceptOobResponse(*resp);
   return memory_->AcceptOobResponse(*resp);
 }
 
 void ReplicaServer::WithReplica(
-    const std::function<void(const Replica&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  fn(rep());
+    const std::function<void(const ShardedReplica&)>& fn) const {
+  const ShardedReplica& rep = sharded();
+  for (size_t k = 0; k < rep.num_shards(); ++k) shard_mutex(k).lock();
+  fn(rep);
+  for (size_t k = rep.num_shards(); k > 0; --k) shard_mutex(k - 1).unlock();
 }
 
 Status ReplicaServer::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
   if (durable_ == nullptr) {
     return Status::FailedPrecondition("server runs in-memory");
   }
-  return durable_->Checkpoint();
+  // Shard by shard: each checkpoint is internally consistent (it is one
+  // shard's whole protocol state), so no global barrier is needed.
+  Status first_error = Status::OK();
+  for (size_t k = 0; k < durable_->num_shards(); ++k) {
+    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    Status s = durable_->CheckpointShard(k);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
 }
 
 uint64_t ReplicaServer::conflicts_detected() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rep().stats().conflicts_detected;
+  const ShardedReplica& rep = sharded();
+  uint64_t total = 0;
+  for (size_t k = 0; k < rep.num_shards(); ++k) {
+    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    total += rep.shard(k).stats().conflicts_detected;
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +540,11 @@ Result<std::vector<std::pair<std::string, std::string>>> ReplicaClient::Scan(
 Result<std::string> ReplicaClient::Stats() {
   return CallForReply(transport_, server_,
                       Message(net::ClientStatsRequest{}));
+}
+
+Result<std::string> ReplicaClient::ResetStats() {
+  return CallForReply(transport_, server_,
+                      Message(net::ClientResetStatsRequest{}));
 }
 
 Status ReplicaClient::TriggerSync(NodeId peer) {

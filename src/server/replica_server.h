@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -11,22 +12,55 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/worker_pool.h"
 #include "core/conflict.h"
 #include "core/journal.h"
 #include "core/replica.h"
+#include "core/sharded_replica.h"
 #include "net/transport.h"
 
 namespace epidemic::server {
 
-/// A deployable replica node: wraps a core::Replica behind a mutex, serves
-/// protocol and client RPCs as a net::RequestHandler, and (optionally) runs
-/// a background anti-entropy thread that periodically pulls updates from
-/// its peers in round-robin order — the "separate activity" of the epidemic
-/// model (§1).
+/// Thread-safe conflict listener: shards report conflicts concurrently, so
+/// the server records them under a private mutex and lets callers drain.
+class LockedConflictListener : public ConflictListener {
+ public:
+  void OnConflict(const ConflictEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+
+  /// Removes and returns everything recorded so far.
+  std::vector<ConflictEvent> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::exchange(events_, {});
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ConflictEvent> events_;
+};
+
+/// A deployable replica node: wraps a core::ShardedReplica behind striped
+/// per-shard locks, serves protocol and client RPCs as a
+/// net::RequestHandler, and (optionally) runs a background anti-entropy
+/// thread that periodically pulls updates from its peers in round-robin
+/// order — the "separate activity" of the epidemic model (§1).
 ///
-/// Locking: the replica mutex is never held across a transport call, so two
-/// servers pulling from each other cannot deadlock; an anti-entropy round
-/// is build-request (locked) → RPC (unlocked) → accept (locked).
+/// Locking: one mutex per shard. User operations and single-shard protocol
+/// steps take exactly their shard's lock, so operations on different shards
+/// never contend. Whole-database operations (stats, WithReplica) take every
+/// lock in index order; everything else takes at most one at a time, so the
+/// lock graph is acyclic. No lock is ever held across a transport call, so
+/// two servers pulling from each other cannot deadlock; an anti-entropy
+/// round is build-handshake (locked per shard) → RPC (unlocked) →
+/// per-shard accept (each under its own lock, in parallel on the worker
+/// pool when `ae_workers > 0`).
 class ReplicaServer : public net::RequestHandler {
  public:
   struct Options {
@@ -42,16 +76,28 @@ class ReplicaServer : public net::RequestHandler {
     /// this often, piggybacked on the anti-entropy thread. 0 = only on
     /// explicit Checkpoint() calls.
     TimeMicros checkpoint_interval_micros = 0;
+
+    /// Shard count for the in-memory constructor (ignored by the durable
+    /// one, where JournaledShardedReplica::Open fixes it). Every node of a
+    /// cluster must agree.
+    size_t num_shards = ShardedReplica::kDefaultShards;
+
+    /// Extra worker threads for per-shard anti-entropy processing; 0 means
+    /// shards are processed serially on the calling thread.
+    size_t ae_workers = 0;
   };
 
   /// In-memory server. `transport` must outlive the server.
   ReplicaServer(NodeId id, size_t num_nodes, net::Transport* transport,
                 Options options);
 
-  /// Durable server over a recovered journaled replica (core/journal.h):
-  /// every mutating input is journaled, and `Checkpoint()` snapshots +
-  /// truncates. Create the JournaledReplica with JournaledReplica::Open.
-  ReplicaServer(std::unique_ptr<JournaledReplica> durable,
+  /// Durable server over recovered journaled shards (core/journal.h):
+  /// every mutating input is journaled to its shard, and `Checkpoint()`
+  /// snapshots + truncates per shard. Create the state with
+  /// JournaledShardedReplica::Open. Conflicts flow through the listener
+  /// given to Open (pass a LockedConflictListener you own if you need
+  /// them); this server's TakeConflicts sees only in-memory-mode events.
+  ReplicaServer(std::unique_ptr<JournaledShardedReplica> durable,
                 net::Transport* transport, Options options);
 
   ~ReplicaServer() override;
@@ -79,45 +125,77 @@ class ReplicaServer : public net::RequestHandler {
   Status Update(std::string_view item, std::string_view value);
   Status Delete(std::string_view item);
   Result<std::string> Read(std::string_view item);
+  Status ResolveConflict(std::string_view item, const VersionVector& remote_vv,
+                         std::string_view value);
   std::vector<std::pair<std::string, std::string>> Scan(
       std::string_view prefix, size_t limit = 0) const;
   std::string Stats() const;
 
-  /// One anti-entropy exchange pulling from `peer` over the transport.
+  /// Atomic read of the aggregated protocol counters (all shard locks
+  /// held); optionally resets them in the same critical section.
+  ReplicaStats TotalStats(bool reset = false);
+
+  /// One anti-entropy exchange pulling from `peer` over the transport —
+  /// all shards in one round trip, unchanged shards skipped by the peer.
   Status PullFrom(NodeId peer);
 
   /// Out-of-bound fetch of `item` from `peer` over the transport (§5.2).
   Status OobFetch(NodeId peer, std::string_view item);
 
-  /// Runs `fn` with the replica locked — for inspection in tests/examples.
-  void WithReplica(const std::function<void(const Replica&)>& fn) const;
+  /// Runs `fn` with every shard locked (a consistent whole-database view)
+  /// — for inspection in tests/examples.
+  void WithReplica(const std::function<void(const ShardedReplica&)>& fn) const;
 
-  /// Durable servers only: snapshot + journal truncation. For in-memory
-  /// servers returns FailedPrecondition.
+  /// Drains conflicts recorded since the last call.
+  std::vector<ConflictEvent> TakeConflicts() { return listener_.Take(); }
+
+  /// Durable servers only: snapshot + journal truncation, shard by shard.
+  /// For in-memory servers returns FailedPrecondition.
   Status Checkpoint();
 
   bool is_durable() const { return durable_ != nullptr; }
 
   NodeId id() const { return id_; }
+  size_t num_shards() const { return sharded().num_shards(); }
   uint64_t conflicts_detected() const;
 
  private:
   void AntiEntropyLoop();
 
-  /// The underlying replica, durable or in-memory. Callers hold mu_.
-  Replica& rep() { return durable_ ? durable_->replica() : *memory_; }
-  const Replica& rep() const {
-    return durable_ ? durable_->replica() : *memory_;
+  /// The sharded state, durable or in-memory. Per-shard access requires
+  /// that shard's lock in shard_mu_.
+  ShardedReplica& sharded() { return durable_ ? durable_->view() : *memory_; }
+  const ShardedReplica& sharded() const {
+    return durable_ ? durable_->view() : *memory_;
   }
+
+  std::mutex& shard_mutex(size_t k) const { return shard_mu_[k]; }
+
+  /// Serves a sharded handshake: every shard processed under its own lock,
+  /// in parallel on the pool.
+  ShardedPropagationResponse ServeShardedPropagation(
+      const ShardedPropagationRequest& req);
+
+  /// Applies a sharded response: every segment decoded and accepted under
+  /// its shard's lock, in parallel on the pool (journaled when durable).
+  Status AcceptShardedPropagation(const ShardedPropagationResponse& resp);
+
+  /// Runs each (shard, fn) entry exactly once with that shard's lock held,
+  /// on the calling thread plus the worker pool. Entries must name
+  /// distinct shards. Shards are claimed opportunistically — free
+  /// (try_lock) shards first, blocking only when every unclaimed shard is
+  /// writer-held — so one busy shard never stalls the rest of the batch.
+  void RunStriped(std::vector<std::pair<size_t, std::function<void()>>> work);
 
   NodeId id_;
   net::Transport* transport_;
   Options options_;
 
-  mutable std::mutex mu_;
-  RecordingConflictListener listener_;
-  std::unique_ptr<Replica> memory_;             // in-memory mode
-  std::unique_ptr<JournaledReplica> durable_;   // durable mode
+  LockedConflictListener listener_;
+  std::unique_ptr<ShardedReplica> memory_;              // in-memory mode
+  std::unique_ptr<JournaledShardedReplica> durable_;    // durable mode
+  mutable std::unique_ptr<std::mutex[]> shard_mu_;      // one per shard
+  mutable WorkerPool pool_;
 
   std::mutex thread_mu_;
   std::condition_variable cv_;
@@ -143,6 +221,10 @@ class ReplicaClient {
 
   /// Fetches the server's one-line status summary.
   Result<std::string> Stats();
+
+  /// Atomically reads-and-resets the server's counters; returns the
+  /// summary rendered at the moment of the reset.
+  Result<std::string> ResetStats();
 
   /// Admin: makes the server pull from `peer` right now.
   Status TriggerSync(NodeId peer);

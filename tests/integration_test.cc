@@ -203,14 +203,14 @@ TEST(ScenarioTest, ServedClusterMixedTraffic) {
   }
   // All replicas structurally sound and identical.
   VersionVector dbvv0;
-  servers[0]->WithReplica([&dbvv0](const Replica& r) {
+  servers[0]->WithReplica([&dbvv0](const ShardedReplica& r) {
     EXPECT_TRUE(r.CheckInvariants().ok());
-    dbvv0 = r.dbvv();
+    dbvv0 = r.AggregateDbvv();
   });
   for (NodeId i = 1; i < kNodes; ++i) {
-    servers[i]->WithReplica([&dbvv0](const Replica& r) {
+    servers[i]->WithReplica([&dbvv0](const ShardedReplica& r) {
       EXPECT_TRUE(r.CheckInvariants().ok());
-      EXPECT_EQ(r.dbvv(), dbvv0);
+      EXPECT_EQ(r.AggregateDbvv(), dbvv0);
     });
   }
   for (NodeId i = 0; i < kNodes; ++i) hub.Register(i, nullptr);

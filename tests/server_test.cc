@@ -65,8 +65,8 @@ TEST_F(InProcClusterTest, OobFetchThroughTransport) {
   ASSERT_TRUE(servers_[1]->OobFetch(0, "hot").ok());
   EXPECT_EQ(*servers_[1]->Read("hot"), "fresh");
   // Regular state untouched on node 1 (it was an OOB copy).
-  servers_[1]->WithReplica([](const Replica& r) {
-    EXPECT_EQ(r.dbvv().Total(), 0u);
+  servers_[1]->WithReplica([](const ShardedReplica& r) {
+    EXPECT_EQ(r.AggregateDbvv().Total(), 0u);
     EXPECT_TRUE(r.FindItem("hot")->HasAux());
   });
 }
@@ -195,10 +195,12 @@ TEST(DurableServerTest, SurvivesRestartWithReplicatedState) {
   ASSERT_TRUE(peer.Update("remote", "from-peer").ok());
 
   {
-    auto durable = JournaledReplica::Open(dir, 0, 2);
+    auto durable = JournaledShardedReplica::Open(
+        dir, 0, 2, ShardedReplica::kDefaultShards);
     ASSERT_TRUE(durable.ok());
     ReplicaServer server(std::move(*durable), &transport, {});
     EXPECT_TRUE(server.is_durable());
+    EXPECT_EQ(server.num_shards(), ShardedReplica::kDefaultShards);
     hub.Register(0, &server);
     ASSERT_TRUE(server.Update("local", "mine").ok());
     ASSERT_TRUE(server.PullFrom(1).ok());
@@ -207,7 +209,8 @@ TEST(DurableServerTest, SurvivesRestartWithReplicatedState) {
   }  // crash without checkpoint
 
   {
-    auto recovered = JournaledReplica::Open(dir, 0, 2);
+    auto recovered = JournaledShardedReplica::Open(
+        dir, 0, 2, ShardedReplica::kDefaultShards);
     ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
     ReplicaServer server(std::move(*recovered), &transport, {});
     hub.Register(0, &server);
@@ -220,10 +223,15 @@ TEST(DurableServerTest, SurvivesRestartWithReplicatedState) {
   }
 
   {
-    auto again = JournaledReplica::Open(dir, 0, 2);
+    auto again = JournaledShardedReplica::Open(
+        dir, 0, 2, ShardedReplica::kDefaultShards);
     ASSERT_TRUE(again.ok());
-    EXPECT_EQ(*(*again)->Read("post"), "cp");
-    EXPECT_EQ(*(*again)->Read("local"), "mine");
+    EXPECT_EQ(*(*again)->view().Read("post"), "cp");
+    EXPECT_EQ(*(*again)->view().Read("local"), "mine");
+    // The shard count is pinned: reopening with a different one is refused.
+    EXPECT_TRUE(JournaledShardedReplica::Open(dir, 0, 2, 3)
+                    .status()
+                    .IsInvalidArgument());
   }
   std::filesystem::remove_all(dir);
 }
@@ -234,6 +242,119 @@ TEST(DurableServerTest, InMemoryServerRejectsCheckpoint) {
   ReplicaServer server(0, 2, &transport, {});
   EXPECT_FALSE(server.is_durable());
   EXPECT_TRUE(server.Checkpoint().IsFailedPrecondition());
+}
+
+TEST(ShardedServerTest, MismatchedShardCountsRefuseToSync) {
+  net::InProcHub hub(2);
+  net::InProcTransport transport(&hub);
+  ReplicaServer::Options o4, o8;
+  o4.num_shards = 4;
+  o8.num_shards = 8;
+  ReplicaServer s0(0, 2, &transport, o4);
+  ReplicaServer s1(1, 2, &transport, o8);
+  hub.Register(0, &s0);
+  hub.Register(1, &s1);
+
+  ASSERT_TRUE(s0.Update("x", "v").ok());
+  // The handshake echoes the peer's shard count; the mismatch is rejected
+  // before any state is touched.
+  EXPECT_TRUE(s1.PullFrom(0).IsInvalidArgument());
+  EXPECT_TRUE(s1.Read("x").status().IsNotFound());
+  hub.Register(0, nullptr);
+  hub.Register(1, nullptr);
+}
+
+TEST(ShardedServerTest, ShardedServerRejectsLegacyHandshake) {
+  net::InProcHub hub(2);
+  net::InProcTransport transport(&hub);
+  ReplicaServer::Options opts;
+  opts.num_shards = 4;
+  ReplicaServer s0(0, 2, &transport, opts);
+  hub.Register(0, &s0);
+
+  // A wire-v1 peer sends a whole-database PropagationRequest; a sharded
+  // server cannot answer it meaningfully.
+  PropagationRequest legacy;
+  legacy.requester = 1;
+  legacy.dbvv = VersionVector(2);
+  auto wire = transport.Call(0, net::Encode(net::Message(legacy)));
+  ASSERT_TRUE(wire.ok());
+  auto decoded = net::Decode(*wire);
+  ASSERT_TRUE(decoded.ok());
+  auto* reply = std::get_if<net::ClientReply>(&*decoded);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_NE(reply->code, 0);
+
+  // A single-shard server still serves it (wire-v1 compatibility).
+  ReplicaServer::Options one;
+  one.num_shards = 1;
+  ReplicaServer s1(1, 2, &transport, one);
+  hub.Register(1, &s1);
+  ASSERT_TRUE(s1.Update("y", "w").ok());
+  auto wire1 = transport.Call(1, net::Encode(net::Message(legacy)));
+  ASSERT_TRUE(wire1.ok());
+  auto decoded1 = net::Decode(*wire1);
+  ASSERT_TRUE(decoded1.ok());
+  EXPECT_NE(std::get_if<PropagationResponse>(&*decoded1), nullptr);
+  hub.Register(0, nullptr);
+  hub.Register(1, nullptr);
+}
+
+TEST(ShardedServerTest, StatsResetRpcIsAtomic) {
+  net::InProcHub hub(1);
+  net::InProcTransport transport(&hub);
+  ReplicaServer server(0, 1, &transport, {});
+  hub.Register(0, &server);
+  ReplicaClient client(&transport, 0);
+
+  ASSERT_TRUE(client.Update("a", "1").ok());
+  ASSERT_TRUE(client.Update("b", "2").ok());
+  auto snapshot = client.ResetStats();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_NE(snapshot->find("updates=2+0aux"), std::string::npos) << *snapshot;
+  // Counters were zeroed in the same critical section.
+  auto after = client.Stats();
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->find("updates=0+0aux"), std::string::npos) << *after;
+  EXPECT_EQ(server.TotalStats().updates_regular, 0u);
+  hub.Register(0, nullptr);
+}
+
+TEST(ShardedServerTest, ParallelShardWorkersConverge) {
+  constexpr size_t kNodes = 2;
+  net::InProcHub hub(kNodes);
+  net::InProcTransport transport(&hub);
+  ReplicaServer::Options opts;
+  opts.num_shards = 8;
+  opts.ae_workers = 3;  // per-shard serve/accept run on a pool
+  ReplicaServer s0(0, kNodes, &transport, opts);
+  ReplicaServer s1(1, kNodes, &transport, opts);
+  hub.Register(0, &s0);
+  hub.Register(1, &s1);
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        s0.Update("item-" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(s1.PullFrom(0).ok());
+  for (int i = 0; i < 100; ++i) {
+    auto v = s1.Read("item-" + std::to_string(i));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+  }
+  s0.WithReplica([](const ShardedReplica& r) {
+    EXPECT_TRUE(r.CheckInvariants().ok());
+  });
+  s1.WithReplica([&s0](const ShardedReplica& r1) {
+    EXPECT_TRUE(r1.CheckInvariants().ok());
+    s0.WithReplica([&r1](const ShardedReplica& r0) {
+      EXPECT_EQ(r0.AggregateDbvv(), r1.AggregateDbvv());
+    });
+  });
+  // A second pull is a no-op round: every shard replies "you are current".
+  ASSERT_TRUE(s1.PullFrom(0).ok());
+  hub.Register(0, nullptr);
+  hub.Register(1, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -266,9 +387,9 @@ TEST(TcpClusterTest, EndToEndReplicationOverSockets) {
 
   // Identical replicas: another pull is a no-op and leaves state equal.
   ASSERT_TRUE(s1.PullFrom(0).ok());
-  s0.WithReplica([&s1](const Replica& r0) {
-    s1.WithReplica([&r0](const Replica& r1) {
-      EXPECT_EQ(r0.dbvv(), r1.dbvv());
+  s0.WithReplica([&s1](const ShardedReplica& r0) {
+    s1.WithReplica([&r0](const ShardedReplica& r1) {
+      EXPECT_EQ(r0.AggregateDbvv(), r1.AggregateDbvv());
     });
   });
 

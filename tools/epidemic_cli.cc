@@ -28,6 +28,7 @@ void Usage(const char* argv0) {
                "  oobget <peer-id> <item>\n"
                "  scan [prefix]\n"
                "  stats\n"
+               "  stats-reset         # read counters and zero them atomically\n"
                "  sync <peer-id>      # pull from peer now\n"
                "  checkpoint          # snapshot + truncate journal\n",
                argv0);
@@ -128,6 +129,16 @@ int main(int argc, char** argv) {
     auto stats = client.Stats();
     if (!stats.ok()) {
       std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", stats->c_str());
+    return 0;
+  }
+  if (command == "stats-reset") {
+    auto stats = client.ResetStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats-reset failed: %s\n",
                    stats.status().ToString().c_str());
       return 1;
     }

@@ -5,6 +5,7 @@
 //
 //   epidemicd --id=0 --nodes=3 --port=7000
 //             --peer=1:7001 --peer=2:7002 --ae-interval-ms=500
+//             [--shards=16] [--ae-workers=4]
 //             [--data-dir=/var/lib/epidemic/node0]
 //
 // With --data-dir the node is durable: all inputs are write-ahead
@@ -35,6 +36,8 @@ struct Options {
   int nodes = -1;
   int port = 0;
   long ae_interval_ms = 500;
+  int shards = 16;      // every node of a cluster must agree
+  int ae_workers = 0;   // extra threads for per-shard anti-entropy work
   std::string data_dir;  // empty = in-memory
   std::vector<std::pair<int, int>> peers;  // (id, port)
 };
@@ -43,6 +46,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --id=<node id> --nodes=<count> --port=<port>\n"
                "          [--peer=<id>:<port>]... [--ae-interval-ms=<ms>]\n"
+               "          [--shards=<count>] [--ae-workers=<threads>]\n"
                "          [--data-dir=<dir>]\n",
                argv0);
 }
@@ -58,6 +62,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->port = std::atoi(arg + 7);
     } else if (std::strncmp(arg, "--ae-interval-ms=", 17) == 0) {
       opts->ae_interval_ms = std::atol(arg + 17);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      opts->shards = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--ae-workers=", 13) == 0) {
+      opts->ae_workers = std::atoi(arg + 13);
     } else if (std::strncmp(arg, "--data-dir=", 11) == 0) {
       opts->data_dir = arg + 11;
     } else if (std::strncmp(arg, "--peer=", 7) == 0) {
@@ -75,6 +83,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
   }
   if (opts->id < 0 || opts->nodes < 2 || opts->id >= opts->nodes) {
     std::fprintf(stderr, "--id and --nodes are required (id < nodes)\n");
+    return false;
+  }
+  if (opts->shards < 1 || opts->ae_workers < 0) {
+    std::fprintf(stderr, "--shards must be >= 1, --ae-workers >= 0\n");
     return false;
   }
   return true;
@@ -101,6 +113,8 @@ int main(int argc, char** argv) {
     server_opts.peers.push_back(static_cast<epidemic::NodeId>(peer_id));
   }
   server_opts.anti_entropy_interval_micros = opts.ae_interval_ms * 1000;
+  server_opts.num_shards = static_cast<size_t>(opts.shards);
+  server_opts.ae_workers = static_cast<size_t>(opts.ae_workers);
 
   std::unique_ptr<epidemic::server::ReplicaServer> server;
   if (opts.data_dir.empty()) {
@@ -108,16 +122,16 @@ int main(int argc, char** argv) {
         static_cast<epidemic::NodeId>(opts.id),
         static_cast<size_t>(opts.nodes), &transport, server_opts);
   } else {
-    auto durable = epidemic::JournaledReplica::Open(
+    auto durable = epidemic::JournaledShardedReplica::Open(
         opts.data_dir, static_cast<epidemic::NodeId>(opts.id),
-        static_cast<size_t>(opts.nodes));
+        static_cast<size_t>(opts.nodes), static_cast<size_t>(opts.shards));
     if (!durable.ok()) {
       std::fprintf(stderr, "cannot open data dir: %s\n",
                    durable.status().ToString().c_str());
       return 1;
     }
-    std::printf("epidemicd: recovered durable state from %s\n",
-                opts.data_dir.c_str());
+    std::printf("epidemicd: recovered durable state from %s (%d shards)\n",
+                opts.data_dir.c_str(), opts.shards);
     server = std::make_unique<epidemic::server::ReplicaServer>(
         std::move(*durable), &transport, server_opts);
   }
