@@ -4,6 +4,8 @@
 #   scripts/check.sh          # plain RelWithDebInfo build in build/
 #   scripts/check.sh --asan   # AddressSanitizer+UBSan build in build-asan/
 #   scripts/check.sh --tsan   # ThreadSanitizer build in build-tsan/
+#   scripts/check.sh --ubsan  # standalone UBSan build in build-ubsan/
+#   scripts/check.sh --tidy   # clang-tidy over the compilation database
 #
 # Extra arguments after the mode are passed to ctest (e.g. -R server).
 set -euo pipefail
@@ -20,6 +22,32 @@ case "$mode" in
     shift
     build_dir=build-tsan
     cmake_flags=(-DEPIDEMIC_TSAN=ON)
+    ;;
+  --ubsan)
+    shift
+    build_dir=build-ubsan
+    cmake_flags=(-DEPIDEMIC_UBSAN=ON)
+    ;;
+  --tidy)
+    shift
+    if ! command -v clang-tidy > /dev/null 2>&1; then
+      echo "error: clang-tidy not found on PATH." >&2
+      echo "Install LLVM/clang tooling, or rely on the CI clang-tidy job." >&2
+      exit 1
+    fi
+    build_dir=build-tidy
+    # Configure only: clang-tidy needs compile_commands.json, not objects.
+    cmake -B "$build_dir" -S . > /dev/null
+    mapfile -t sources < <(find src tools -name '*.cc' | sort)
+    echo "clang-tidy: checking ${#sources[@]} translation units"
+    clang-tidy -p "$build_dir" --quiet "${sources[@]}" "$@"
+    echo "clang-tidy: clean"
+    exit 0
+    ;;
+  --*)
+    echo "error: unknown mode '$mode'" >&2
+    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy] [ctest args]" >&2
+    exit 2
     ;;
   *)
     build_dir=build

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace epidemic {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_log_mutex;
+// NOLINT-PROTOCOL(unguarded-mutex): guards stderr (an external resource the
+// annotations cannot name), keeping concurrent log lines untorn.
+Mutex g_log_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -53,7 +56,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

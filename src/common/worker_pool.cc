@@ -13,7 +13,7 @@ WorkerPool::WorkerPool(size_t threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_ready_.notify_all();
@@ -25,7 +25,7 @@ size_t WorkerPool::DrainBatch() {
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (next_task_ >= tasks_.size()) return done;
       task = std::move(tasks_[next_task_++]);
     }
@@ -38,17 +38,20 @@ void WorkerPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_ || (generation_ != seen_generation &&
-                             next_task_ < tasks_.size());
-      });
+      MutexLock lock(mu_);
+      // Hand-rolled predicate loop (rather than the lambda-predicate wait
+      // overload) so the guarded reads stay inside this function's scope,
+      // where the analysis can see the lock is held.
+      while (!shutdown_ && (generation_ == seen_generation ||
+                            next_task_ >= tasks_.size())) {
+        work_ready_.wait(mu_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
     }
     const size_t done = DrainBatch();
     if (done > 0) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pending_ -= done;
       if (pending_ == 0) batch_done_.notify_all();
     }
@@ -62,9 +65,9 @@ void WorkerPool::Run(std::vector<std::function<void()>> tasks) {
     for (auto& task : tasks) task();
     return;
   }
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(batch_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_ = std::move(tasks);
     next_task_ = 0;
     pending_ = tasks_.size();
@@ -73,15 +76,14 @@ void WorkerPool::Run(std::vector<std::function<void()>> tasks) {
   work_ready_.notify_all();
   // The caller works too, then waits for stragglers.
   const size_t done = DrainBatch();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pending_ -= done;
   if (pending_ == 0) {
     batch_done_.notify_all();
   } else {
-    batch_done_.wait(lock, [&] { return pending_ == 0; });
+    while (pending_ != 0) batch_done_.wait(mu_);
   }
   tasks_.clear();
-  return;
 }
 
 }  // namespace epidemic

@@ -3,10 +3,12 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace epidemic {
 
@@ -34,28 +36,31 @@ class WorkerPool {
   /// Executes every task and returns when all are done. Tasks run in
   /// unspecified order on the pool threads and the calling thread; they
   /// must not throw.
-  void Run(std::vector<std::function<void()>> tasks);
+  void Run(std::vector<std::function<void()>> tasks) EXCLUDES(batch_mu_, mu_);
 
   size_t threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// Claims and runs tasks from the current batch until it is drained.
   /// Returns the number of tasks this thread completed.
-  size_t DrainBatch();
+  size_t DrainBatch() EXCLUDES(mu_);
 
-  std::mutex batch_mu_;  // serializes concurrent Run() callers
+  /// Serializes concurrent Run() callers (one batch in flight at a time).
+  /// NOLINT-PROTOCOL(unguarded-mutex): pure serialization token — held for
+  /// a whole batch, guards no member on its own (mu_ guards the state).
+  Mutex batch_mu_ ACQUIRED_BEFORE(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  std::vector<std::function<void()>> tasks_;
-  size_t next_task_ = 0;  // guarded by mu_
-  size_t pending_ = 0;    // tasks not yet finished, guarded by mu_
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any batch_done_;
+  std::vector<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  size_t next_task_ GUARDED_BY(mu_) = 0;
+  size_t pending_ GUARDED_BY(mu_) = 0;  // tasks not yet finished
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // set in the constructor, then const
 };
 
 }  // namespace epidemic

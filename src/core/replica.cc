@@ -381,6 +381,10 @@ OobResponse Replica::HandleOobRequest(const OobRequest& req) {
   return resp;
 }
 
+// NOLINT-PROTOCOL(unlogged-store-write): the OOB path adopts into the
+// *auxiliary* copy only — §5.2 requires the DBVV, log vector and regular
+// copy untouched so ordering guarantees survive; a later scheduled
+// propagation re-ships the item (footnote 2, §5.1).
 Status Replica::AcceptOobResponse(const OobResponse& resp) {
   if (!resp.found) {
     return Status::NotFound("out-of-bound source has no item '" +

@@ -94,6 +94,10 @@ struct ReplicaStats {
 ///
 /// Thread-compatibility: a Replica is confined to one thread (the server
 /// module serializes access); all methods are non-blocking and never throw.
+/// The class deliberately owns no mutex — the lock that serializes it lives
+/// in the caller (`server::ReplicaServer::shard_mu_[k]` for shard replicas,
+/// `multidb::MultiDbServer::mu_` for per-database ones), where Clang's
+/// `-Wthread-safety` annotations enforce the discipline (DESIGN.md §8).
 class Replica {
  public:
   /// `id` is this node's index in the fixed replica set of `num_nodes`

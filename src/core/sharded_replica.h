@@ -32,7 +32,11 @@ namespace epidemic {
 /// Callers either confine it to one thread or guard each shard with its own
 /// lock (two operations may run concurrently iff they touch different
 /// shards; the routed convenience methods below touch exactly one shard
-/// unless documented otherwise).
+/// unless documented otherwise). The canonical guarded deployment is
+/// `server::ReplicaServer`, whose striped `shard_mu_[k]` locks carry the
+/// `-Wthread-safety` annotations and whose lock-order rule (per-shard ops
+/// take one lock, whole-DB ops take all in index order, never across a
+/// transport call) is recorded in DESIGN.md §8.
 class ShardedReplica {
  public:
   static constexpr size_t kDefaultShards = 16;

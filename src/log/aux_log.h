@@ -41,6 +41,12 @@ struct AuxRecord {
 ///   * Earliest(x) — oldest record for item x — in O(1), and
 ///   * removal of any record (possibly mid-log) in O(1),
 /// via a global doubly-linked list threaded with per-item sublists.
+///
+/// Thread-compatible, not thread-safe: owned by exactly one Replica and
+/// serialized by whatever lock serializes that replica (the owning shard's
+/// `shard_mu_[k]` in the server deployment — see DESIGN.md §8). Its
+/// intrusive pointers must never be observed mid-splice, which is exactly
+/// what the per-shard lock guarantees.
 class AuxLog {
  public:
   AuxLog() = default;

@@ -83,12 +83,12 @@ std::string MultiDbServer::HandleRequest(std::string_view request) {
   }
   const uint8_t kind = static_cast<uint8_t>(request[0]);
   if (kind == kKindSummary) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return EncodeSummary(node_.BuildSummary());
   }
   auto routed = UnwrapRouted(request);
   if (!routed.ok()) return EncodeErrorReply(routed.status());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return HandleRoutedLocked(routed->first, routed->second);
 }
 
@@ -132,30 +132,30 @@ std::string MultiDbServer::HandleRoutedLocked(std::string_view db,
 
 Status MultiDbServer::Update(std::string_view db, std::string_view item,
                              std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return node_.Update(db, item, value);
 }
 
 Status MultiDbServer::Delete(std::string_view db, std::string_view item) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return node_.Delete(db, item);
 }
 
 Result<std::string> MultiDbServer::Read(std::string_view db,
                                         std::string_view item) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return node_.Read(db, item);
 }
 
 std::vector<MultiDbNode::DbSummary> MultiDbServer::BuildSummary() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return node_.BuildSummary();
 }
 
 Status MultiDbServer::PullFrom(NodeId peer, std::string_view db) {
   PropagationRequest req;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     req = node_.OpenDatabase(db).BuildPropagationRequest();
   }
   auto wire = transport_->Call(
@@ -167,7 +167,7 @@ Status MultiDbServer::PullFrom(NodeId peer, std::string_view db) {
   if (resp == nullptr) {
     return Status::Corruption("peer sent a non-propagation reply");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return node_.OpenDatabase(db).AcceptPropagation(*resp);
 }
 
@@ -181,7 +181,7 @@ Result<size_t> MultiDbServer::PullAllFrom(NodeId peer) {
   // holding the lock across the pulls.
   std::vector<std::string> lagging;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& entry : *summary) {
       const VersionVector& mine = node_.OpenDatabase(entry.db).dbvv();
       if (!VersionVector::DominatesOrEqual(mine, entry.dbvv)) {

@@ -1,12 +1,12 @@
 #ifndef EPIDEMIC_MULTIDB_MULTI_DB_SERVER_H_
 #define EPIDEMIC_MULTIDB_MULTI_DB_SERVER_H_
 
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "multidb/multi_db_node.h"
 #include "net/transport.h"
 
@@ -44,35 +44,37 @@ class MultiDbServer : public net::RequestHandler {
 
   // -------------------------------------------------------------------
   // RPC server side.
-  std::string HandleRequest(std::string_view request) override;
+  std::string HandleRequest(std::string_view request) override
+      EXCLUDES(mu_);
 
   // -------------------------------------------------------------------
   // Local (thread-safe) API.
 
   Status Update(std::string_view db, std::string_view item,
-                std::string_view value);
-  Status Delete(std::string_view db, std::string_view item);
-  Result<std::string> Read(std::string_view db, std::string_view item);
+                std::string_view value) EXCLUDES(mu_);
+  Status Delete(std::string_view db, std::string_view item) EXCLUDES(mu_);
+  Result<std::string> Read(std::string_view db, std::string_view item)
+      EXCLUDES(mu_);
 
-  std::vector<MultiDbNode::DbSummary> BuildSummary() const;
+  std::vector<MultiDbNode::DbSummary> BuildSummary() const EXCLUDES(mu_);
 
   /// One anti-entropy exchange for one database, over the transport.
-  Status PullFrom(NodeId peer, std::string_view db);
+  Status PullFrom(NodeId peer, std::string_view db) EXCLUDES(mu_);
 
   /// Fetches the peer's summary, then pulls every database this node lags
   /// on. Returns the number of databases that transferred items.
-  Result<size_t> PullAllFrom(NodeId peer);
+  Result<size_t> PullAllFrom(NodeId peer) EXCLUDES(mu_);
 
   NodeId id() const { return id_; }
 
  private:
-  std::string HandleRoutedLocked(std::string_view db,
-                                 std::string_view inner);
+  std::string HandleRoutedLocked(std::string_view db, std::string_view inner)
+      REQUIRES(mu_);
 
   NodeId id_;
   net::Transport* transport_;
-  mutable std::mutex mu_;
-  MultiDbNode node_;
+  mutable Mutex mu_;
+  MultiDbNode node_ GUARDED_BY(mu_);
 };
 
 }  // namespace epidemic::multidb

@@ -10,17 +10,17 @@ InProcHub::InProcHub(size_t num_nodes) {
 }
 
 void InProcHub::Register(NodeId id, RequestHandler* handler) {
-  std::lock_guard<std::mutex> lock(slots_[id]->mu);
+  MutexLock lock(slots_[id]->mu);
   slots_[id]->handler = handler;
 }
 
 void InProcHub::SetNodeUp(NodeId id, bool up) {
-  std::lock_guard<std::mutex> lock(slots_[id]->mu);
+  MutexLock lock(slots_[id]->mu);
   slots_[id]->up = up;
 }
 
 bool InProcHub::IsNodeUp(NodeId id) const {
-  std::lock_guard<std::mutex> lock(slots_[id]->mu);
+  MutexLock lock(slots_[id]->mu);
   return slots_[id]->up;
 }
 
@@ -29,7 +29,7 @@ Result<std::string> InProcHub::Call(NodeId dest, std::string_view request) {
     return Status::InvalidArgument("destination node id out of range");
   }
   Slot& slot = *slots_[dest];
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   if (!slot.up) {
     return Status::Unavailable("node " + std::to_string(dest) + " is down");
   }

@@ -2,9 +2,9 @@
 #define EPIDEMIC_NET_INPROC_TRANSPORT_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/transport.h"
 
 namespace epidemic::net {
@@ -31,9 +31,9 @@ class InProcHub {
 
  private:
   struct Slot {
-    mutable std::mutex mu;
-    RequestHandler* handler = nullptr;
-    bool up = true;
+    mutable Mutex mu;
+    RequestHandler* handler GUARDED_BY(mu) = nullptr;
+    bool up GUARDED_BY(mu) = true;
   };
   std::vector<std::unique_ptr<Slot>> slots_;
 };

@@ -139,7 +139,7 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop()
     }
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    MutexLock lock(workers_mu_);
     if (!running_.load()) {
       ::close(fd);
       break;
@@ -166,7 +166,7 @@ void TcpServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    MutexLock lock(workers_mu_);
     workers.swap(workers_);
   }
   for (std::thread& t : workers) {

@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/transport.h"
 
 namespace epidemic::net {
@@ -50,8 +50,8 @@ class TcpServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
-  std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
+  Mutex workers_mu_;
+  std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
 };
 
 /// Transport that maps NodeIds to TCP endpoints and performs one

@@ -43,7 +43,7 @@ ReplicaServer::ReplicaServer(NodeId id, size_t num_nodes,
       memory_(std::make_unique<ShardedReplica>(
           id, num_nodes, options_.num_shards, &listener_)),
       pool_(options_.ae_workers) {
-  shard_mu_ = std::make_unique<std::mutex[]>(memory_->num_shards());
+  shard_mu_ = std::make_unique<Mutex[]>(memory_->num_shards());
 }
 
 ReplicaServer::ReplicaServer(std::unique_ptr<JournaledShardedReplica> durable,
@@ -53,7 +53,7 @@ ReplicaServer::ReplicaServer(std::unique_ptr<JournaledShardedReplica> durable,
       options_(std::move(options)),
       durable_(std::move(durable)),
       pool_(options_.ae_workers) {
-  shard_mu_ = std::make_unique<std::mutex[]>(durable_->num_shards());
+  shard_mu_ = std::make_unique<Mutex[]>(durable_->num_shards());
 }
 
 ReplicaServer::~ReplicaServer() { Stop(); }
@@ -62,7 +62,7 @@ void ReplicaServer::Start() {
   if (options_.anti_entropy_interval_micros <= 0 || options_.peers.empty()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(thread_mu_);
+  MutexLock lock(thread_mu_);
   if (started_) return;
   started_ = true;
   stopping_ = false;
@@ -71,13 +71,13 @@ void ReplicaServer::Start() {
 
 void ReplicaServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(thread_mu_);
+    MutexLock lock(thread_mu_);
     if (!started_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   if (ae_thread_.joinable()) ae_thread_.join();
-  std::lock_guard<std::mutex> lock(thread_mu_);
+  MutexLock lock(thread_mu_);
   started_ = false;
 }
 
@@ -86,11 +86,18 @@ void ReplicaServer::AntiEntropyLoop() {
   TimeMicros last_checkpoint = RealClock::Default()->NowMicros();
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(thread_mu_);
-      cv_.wait_for(
-          lock,
-          std::chrono::microseconds(options_.anti_entropy_interval_micros),
-          [this] { return stopping_; });
+      // Hand-rolled deadline loop (not the predicate overload) so the
+      // guarded read of stopping_ stays visible to the analysis.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.anti_entropy_interval_micros);
+      MutexLock lock(thread_mu_);
+      while (!stopping_) {
+        if (cv_.wait_until(thread_mu_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       if (stopping_) return;
     }
     NodeId peer = options_.peers[next_peer];
@@ -120,7 +127,7 @@ void ReplicaServer::RunStriped(
   const size_t n = work.size();
   if (n == 0) return;
   if (n == 1) {
-    std::lock_guard<std::mutex> lock(shard_mutex(work[0].first));
+    MutexLock lock(shard_mutex(work[0].first));
     work[0].second();
     return;
   }
@@ -138,9 +145,8 @@ void ReplicaServer::RunStriped(
       for (size_t i = 0; i < n; ++i) {
         if (claimed[i].load(std::memory_order_acquire)) continue;
         any_unclaimed = true;
-        std::unique_lock<std::mutex> lock(shard_mutex(work[i].first),
-                                          std::try_to_lock);
-        if (!lock.owns_lock()) continue;
+        if (!shard_mutex(work[i].first).try_lock()) continue;
+        MutexLock lock(shard_mutex(work[i].first), kAdoptLock);
         if (claimed[i].exchange(true, std::memory_order_acq_rel)) continue;
         work[i].second();
         progressed = true;
@@ -151,7 +157,7 @@ void ReplicaServer::RunStriped(
       // participant): block on the first one so the batch always advances.
       for (size_t i = 0; i < n; ++i) {
         if (claimed[i].load(std::memory_order_acquire)) continue;
-        std::unique_lock<std::mutex> lock(shard_mutex(work[i].first));
+        MutexLock lock(shard_mutex(work[i].first));
         if (claimed[i].exchange(true, std::memory_order_acq_rel)) continue;
         work[i].second();
         break;
@@ -259,13 +265,13 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
       return EncodeStatusReply(Status::InvalidArgument(
           "server is sharded; use the sharded propagation handshake"));
     }
-    std::lock_guard<std::mutex> lock(shard_mutex(0));
+    MutexLock lock(shard_mutex(0));
     return net::Encode(
         Message(sharded().HandleShardPropagation(0, *prop_req)));
   }
   if (auto* oob_req = std::get_if<OobRequest>(&msg)) {
     const size_t k = sharded().ShardOf(oob_req->item_name);
-    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    MutexLock lock(shard_mutex(k));
     return net::Encode(Message(sharded().HandleOobRequest(*oob_req)));
   }
   if (auto* update = std::get_if<ClientUpdateRequest>(&msg)) {
@@ -286,13 +292,10 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
     // Snapshot the summary and zero the counters in one critical section
     // over all shards, so no concurrent operation falls between the two.
     std::string summary;
-    for (size_t k = 0; k < sharded().num_shards(); ++k) {
-      shard_mutex(k).lock();
-    }
-    summary = sharded().DebugString();
-    sharded().ResetStats();
-    for (size_t k = sharded().num_shards(); k > 0; --k) {
-      shard_mutex(k - 1).unlock();
+    {
+      AllShardsLock lock(*this);
+      summary = sharded().DebugString();
+      sharded().ResetStats();
     }
     return EncodeStatusReply(Status::OK(), std::move(summary));
   }
@@ -322,21 +325,21 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
 
 Status ReplicaServer::Update(std::string_view item, std::string_view value) {
   const size_t k = sharded().ShardOf(item);
-  std::lock_guard<std::mutex> lock(shard_mutex(k));
+  MutexLock lock(shard_mutex(k));
   if (durable_ != nullptr) return durable_->Update(item, value);
   return memory_->Update(item, value);
 }
 
 Status ReplicaServer::Delete(std::string_view item) {
   const size_t k = sharded().ShardOf(item);
-  std::lock_guard<std::mutex> lock(shard_mutex(k));
+  MutexLock lock(shard_mutex(k));
   if (durable_ != nullptr) return durable_->Delete(item);
   return memory_->Delete(item);
 }
 
 Result<std::string> ReplicaServer::Read(std::string_view item) {
   const size_t k = sharded().ShardOf(item);
-  std::lock_guard<std::mutex> lock(shard_mutex(k));
+  MutexLock lock(shard_mutex(k));
   return sharded().Read(item);
 }
 
@@ -344,7 +347,7 @@ Status ReplicaServer::ResolveConflict(std::string_view item,
                                       const VersionVector& remote_vv,
                                       std::string_view value) {
   const size_t k = sharded().ShardOf(item);
-  std::lock_guard<std::mutex> lock(shard_mutex(k));
+  MutexLock lock(shard_mutex(k));
   if (durable_ != nullptr) {
     return durable_->ResolveConflict(item, remote_vv, value);
   }
@@ -358,7 +361,7 @@ std::vector<std::pair<std::string, std::string>> ReplicaServer::Scan(
   std::vector<std::pair<std::string, std::string>> out;
   const ShardedReplica& rep = sharded();
   for (size_t k = 0; k < rep.num_shards(); ++k) {
-    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    MutexLock lock(shard_mutex(k));
     auto part = rep.shard(k).Scan(prefix, /*limit=*/0);
     out.insert(out.end(), std::make_move_iterator(part.begin()),
                std::make_move_iterator(part.end()));
@@ -370,18 +373,15 @@ std::vector<std::pair<std::string, std::string>> ReplicaServer::Scan(
 
 std::string ReplicaServer::Stats() const {
   const ShardedReplica& rep = sharded();
-  for (size_t k = 0; k < rep.num_shards(); ++k) shard_mutex(k).lock();
-  std::string out = rep.DebugString();
-  for (size_t k = rep.num_shards(); k > 0; --k) shard_mutex(k - 1).unlock();
-  return out;
+  AllShardsLock lock(*this);
+  return rep.DebugString();
 }
 
 ReplicaStats ReplicaServer::TotalStats(bool reset) {
   ShardedReplica& rep = sharded();
-  for (size_t k = 0; k < rep.num_shards(); ++k) shard_mutex(k).lock();
+  AllShardsLock lock(*this);
   ReplicaStats total = rep.TotalStats();
   if (reset) rep.ResetStats();
-  for (size_t k = rep.num_shards(); k > 0; --k) shard_mutex(k - 1).unlock();
   return total;
 }
 
@@ -403,8 +403,8 @@ Status ReplicaServer::PullFrom(NodeId peer) {
     bool progressed = false;
     for (size_t k = 0; k < num_shards; ++k) {
       if (got[k] != 0) continue;
-      std::unique_lock<std::mutex> lock(shard_mutex(k), std::try_to_lock);
-      if (!lock.owns_lock()) continue;
+      if (!shard_mutex(k).try_lock()) continue;
+      MutexLock lock(shard_mutex(k), kAdoptLock);
       req.shard_dbvvs[k] = rep.shard(k).dbvv();
       got[k] = 1;
       --remaining;
@@ -413,7 +413,7 @@ Status ReplicaServer::PullFrom(NodeId peer) {
     if (progressed) continue;
     for (size_t k = 0; k < num_shards; ++k) {
       if (got[k] != 0) continue;
-      std::lock_guard<std::mutex> lock(shard_mutex(k));
+      MutexLock lock(shard_mutex(k));
       req.shard_dbvvs[k] = rep.shard(k).dbvv();
       got[k] = 1;
       --remaining;
@@ -436,7 +436,7 @@ Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
   const size_t k = sharded().ShardOf(item);
   OobRequest req;
   {
-    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    MutexLock lock(shard_mutex(k));
     req = sharded().BuildOobRequest(item);
   }
   Result<std::string> wire =
@@ -448,7 +448,7 @@ Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
   if (resp == nullptr) {
     return Status::Corruption("peer sent a non-OOB reply");
   }
-  std::lock_guard<std::mutex> lock(shard_mutex(k));
+  MutexLock lock(shard_mutex(k));
   if (durable_ != nullptr) return durable_->AcceptOobResponse(*resp);
   return memory_->AcceptOobResponse(*resp);
 }
@@ -456,9 +456,8 @@ Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
 void ReplicaServer::WithReplica(
     const std::function<void(const ShardedReplica&)>& fn) const {
   const ShardedReplica& rep = sharded();
-  for (size_t k = 0; k < rep.num_shards(); ++k) shard_mutex(k).lock();
+  AllShardsLock lock(*this);
   fn(rep);
-  for (size_t k = rep.num_shards(); k > 0; --k) shard_mutex(k - 1).unlock();
 }
 
 Status ReplicaServer::Checkpoint() {
@@ -469,7 +468,7 @@ Status ReplicaServer::Checkpoint() {
   // shard's whole protocol state), so no global barrier is needed.
   Status first_error = Status::OK();
   for (size_t k = 0; k < durable_->num_shards(); ++k) {
-    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    MutexLock lock(shard_mutex(k));
     Status s = durable_->CheckpointShard(k);
     if (!s.ok() && first_error.ok()) first_error = s;
   }
@@ -480,7 +479,7 @@ uint64_t ReplicaServer::conflicts_detected() const {
   const ShardedReplica& rep = sharded();
   uint64_t total = 0;
   for (size_t k = 0; k < rep.num_shards(); ++k) {
-    std::lock_guard<std::mutex> lock(shard_mutex(k));
+    MutexLock lock(shard_mutex(k));
     total += rep.shard(k).stats().conflicts_detected;
   }
   return total;

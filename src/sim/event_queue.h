@@ -15,6 +15,11 @@ namespace epidemic::sim {
 /// Events at equal timestamps run in scheduling order (a strictly
 /// increasing tiebreaker), so runs are fully deterministic. Callbacks may
 /// schedule further events.
+///
+/// Deliberately mutex-free: determinism is the point of the simulator, so
+/// the queue must stay confined to one thread. Never hand it to the
+/// annotated multi-threaded server layer (thread_annotations.h) — drive
+/// real servers with their own anti-entropy threads instead.
 class EventQueue {
  public:
   using Callback = std::function<void()>;

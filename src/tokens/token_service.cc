@@ -215,7 +215,7 @@ Status TokenService::Release(net::Transport& transport,
 }
 
 std::string TokenServiceHandler::HandleRequest(std::string_view request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Token frames are self-tagged; try request, then release.
   if (auto req = DecodeTokenRequest(request); req.ok()) {
     return EncodeTokenReply(service_->HandleRequest(*req));

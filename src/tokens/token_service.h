@@ -2,13 +2,13 @@
 #define EPIDEMIC_TOKENS_TOKEN_SERVICE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "net/transport.h"
@@ -130,11 +130,12 @@ class TokenServiceHandler : public net::RequestHandler {
  public:
   explicit TokenServiceHandler(TokenService* service) : service_(service) {}
 
-  std::string HandleRequest(std::string_view request) override;
+  std::string HandleRequest(std::string_view request) override
+      EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  TokenService* service_;
+  Mutex mu_;
+  TokenService* const service_ PT_GUARDED_BY(mu_);
 };
 
 }  // namespace epidemic::tokens

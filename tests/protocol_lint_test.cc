@@ -1,0 +1,87 @@
+// Tests for tools/protocol_lint.py — the lint that guards the wire-tag,
+// store-mutation and mutex-annotation discipline. Shells out to python3;
+// skipped (not failed) on hosts without a python3 interpreter.
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+#ifndef EPI_SOURCE_DIR
+#error "EPI_SOURCE_DIR must be defined by the build"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+RunResult RunLint(const std::string& args) {
+  const std::string cmd =
+      "python3 " + std::string(EPI_SOURCE_DIR) + "/tools/protocol_lint.py " +
+      args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+bool HavePython3() {
+  return std::system("python3 -c 'pass' > /dev/null 2>&1") == 0;
+}
+
+class ProtocolLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!HavePython3()) GTEST_SKIP() << "python3 not available on this host";
+  }
+};
+
+// The checked-in tree must be clean: every mutex annotated or waived,
+// wire tags unique, docs referencing only real tags.
+TEST_F(ProtocolLintTest, RepositoryIsClean) {
+  const RunResult result = RunLint("");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+// The seeded fixtures must trip the lint, and the report must name both
+// rules so a reader can find the discipline being enforced.
+TEST_F(ProtocolLintTest, FixturesAreReported) {
+  const std::string fixtures =
+      std::string(EPI_SOURCE_DIR) + "/tests/testdata/lint/bad_codec.h " +
+      std::string(EPI_SOURCE_DIR) + "/tests/testdata/lint/bad_mutex.h";
+  const RunResult result = RunLint(fixtures);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("wire-tag-duplicate"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("unguarded-mutex"), std::string::npos)
+      << result.output;
+  // The duplicate tag is attributed to the entry that reused the value.
+  EXPECT_NE(result.output.find("kOobRequestV2"), std::string::npos)
+      << result.output;
+  // Both the raw std::mutex and the orphan Mutex are reported.
+  EXPECT_NE(result.output.find("raw std::mutex"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("orphan_mu_"), std::string::npos)
+      << result.output;
+}
+
+// Pointing the lint at a nonexistent file is a usage error (exit 2),
+// distinct from "violations found" (exit 1).
+TEST_F(ProtocolLintTest, MissingFileIsUsageError) {
+  const RunResult result = RunLint("tests/testdata/lint/no_such_file.h");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+}  // namespace

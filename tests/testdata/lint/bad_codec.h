@@ -1,0 +1,20 @@
+// Lint fixture: a wire enum that reuses tag 3. protocol_lint.py must
+// report wire-tag-duplicate for kOobRequestV2. Never include this file.
+#ifndef EPIDEMIC_TESTS_TESTDATA_LINT_BAD_CODEC_H_
+#define EPIDEMIC_TESTS_TESTDATA_LINT_BAD_CODEC_H_
+
+#include <cstdint>
+
+namespace epidemic::lint_fixture {
+
+enum class MessageType : uint8_t {
+  kPropagationRequest = 1,
+  kPropagationResponse = 2,
+  kOobRequest = 3,
+  kOobRequestV2 = 3,  // duplicate: reuses an existing wire tag
+  kOobResponse = 4,
+};
+
+}  // namespace epidemic::lint_fixture
+
+#endif  // EPIDEMIC_TESTS_TESTDATA_LINT_BAD_CODEC_H_

@@ -1,0 +1,29 @@
+// Lint fixture: locking that dodges the thread-safety annotations.
+// protocol_lint.py must report unguarded-mutex twice — once for the raw
+// std::mutex, once for the annotated Mutex that guards nothing. Never
+// include this file.
+#ifndef EPIDEMIC_TESTS_TESTDATA_LINT_BAD_MUTEX_H_
+#define EPIDEMIC_TESTS_TESTDATA_LINT_BAD_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace epidemic::lint_fixture {
+
+class BadServer {
+ public:
+  int Get() const {
+    std::lock_guard<std::mutex> lock(raw_mu_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex raw_mu_;  // raw std::mutex: invisible to -Wthread-safety
+  Mutex orphan_mu_;            // annotated mutex, but nothing says GUARDED_BY it
+  int value_ = 0;
+};
+
+}  // namespace epidemic::lint_fixture
+
+#endif  // EPIDEMIC_TESTS_TESTDATA_LINT_BAD_MUTEX_H_

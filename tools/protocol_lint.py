@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""Protocol-level lint for the epidemic tree.
+
+Catches hazards the compiler (even with -Wthread-safety) cannot see:
+
+  wire-tag-duplicate    two entries of a wire enum share a numeric tag
+                        (src/net/codec.h, src/core/wire.h)
+  unlogged-store-write  a mutation path in core/replica.cc obtains a
+                        mutable item (store_.GetOrCreate) without a paired
+                        AddLogRecord / DBVV bump in the same function
+  doc-unknown-tag       docs/PROTOCOL.md, EXPERIMENTS.md or DESIGN.md
+                        reference a wire tag number that does not exist in
+                        net::MessageType
+  unguarded-mutex       a raw std::mutex declaration (must use the
+                        annotated epidemic::Mutex), or an epidemic::Mutex
+                        member no GUARDED_BY/PT_GUARDED_BY/REQUIRES names
+
+A finding can be waived with a same-function (unlogged-store-write) or
+nearby-line comment:
+
+    // NOLINT-PROTOCOL(<rule>): <reason>
+
+The reason is mandatory: waivers are how exceptions to the protocol
+discipline get documented.
+
+Usage:
+    protocol_lint.py                 # lint the whole repository
+    protocol_lint.py FILE [FILE...]  # lint specific files (fixture/test
+                                     # mode: wire-tag + mutex rules only)
+
+Exit status: 0 when clean, 1 when any violation is reported, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+WAIVER_RE = re.compile(r"NOLINT-PROTOCOL\((?P<rules>[\w,\s-]+)\)\s*:\s*\S")
+
+# Declaration of a raw standard mutex (any flavour). Template usages such
+# as std::lock_guard<std::mutex> also match on purpose: they imply a raw
+# mutex somewhere and bypass the annotated epidemic::Mutex.
+STD_MUTEX_RE = re.compile(r"\bstd::(?:recursive_|shared_|timed_)*mutex\b")
+
+# Declaration of an annotated mutex member/global:
+#   Mutex mu_;   mutable Mutex mu;   epidemic::Mutex g_mu;
+# and the striped-array form: std::unique_ptr<Mutex[]> shard_mu_;
+EPI_MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:epidemic::)?Mutex\s+(?P<name>\w+)"
+    r"(?:\s+\w+\([^;]*\))?\s*(?:;|=|\{)"  # optional ACQUIRED_BEFORE(...) etc.
+)
+EPI_MUTEX_ARRAY_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std::unique_ptr<(?:epidemic::)?Mutex\[\]>\s+"
+    r"(?P<name>\w+)\s*;"
+)
+
+ENUM_HEAD_RE = re.compile(r"^\s*enum\s+(?:class\s+|struct\s+)?(?P<name>\w+)")
+ENUM_ENTRY_RE = re.compile(r"^\s*(?P<entry>k\w+)\s*(?:=\s*(?P<value>\d+))?\s*,?")
+
+# "tag 14", "tags 14/15/16", "Tags 14-16", "tags 14–16" (en dash).
+DOC_TAG_RE = re.compile(r"\btags?\s+(?P<spec>\d+(?:\s*[-–—/,]\s*\d+)*)", re.I)
+
+FUNC_DEF_RE = re.compile(r"^[\w:<>,&*~\s]+\b(?P<name>\w+)::(?P<method>\w+)\s*\(")
+
+MUTATING_STORE_RE = re.compile(r"\bstore_\.GetOrCreate\s*\(")
+BOOKKEEPING_RE = re.compile(
+    r"\bAddLogRecord\s*\(|\bdbvv_\.(?:Increment|AddDelta)\s*\("
+)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[str] = []
+
+    def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        try:
+            shown = path.relative_to(self.root)
+        except ValueError:
+            shown = path
+        self.findings.append(f"{shown}:{line}: [{rule}] {message}")
+
+    # -- waivers ----------------------------------------------------------
+
+    @staticmethod
+    def waived(lines: list[str], idx: int, rule: str) -> bool:
+        """True if line idx (0-based) or the contiguous comment block right
+        above it carries a NOLINT-PROTOCOL waiver naming `rule`."""
+        probe = idx
+        while probe >= 0:
+            m = WAIVER_RE.search(lines[probe])
+            if m:
+                return rule in [r.strip() for r in m.group("rules").split(",")]
+            if probe < idx and not lines[probe].lstrip().startswith("//"):
+                return False
+            probe -= 1
+        return False
+
+    # -- rule: wire-tag-duplicate ----------------------------------------
+
+    def check_wire_tags(self, path: Path) -> dict[str, set[int]]:
+        """Reports duplicated tag values; returns {enum name: {values}}."""
+        enums: dict[str, set[int]] = {}
+        if not path.exists():
+            return enums
+        lines = path.read_text().splitlines()
+        current = None
+        seen: dict[int, str] = {}
+        next_implicit = 0
+        for i, line in enumerate(lines):
+            head = ENUM_HEAD_RE.match(line)
+            if head:
+                current = head.group("name")
+                enums[current] = set()
+                seen = {}
+                next_implicit = 0
+                continue
+            if current is None:
+                continue
+            if "}" in line:
+                current = None
+                continue
+            entry = ENUM_ENTRY_RE.match(line)
+            if not entry:
+                continue
+            value = (
+                int(entry.group("value"))
+                if entry.group("value") is not None
+                else next_implicit
+            )
+            next_implicit = value + 1
+            name = entry.group("entry")
+            if value in seen and not self.waived(lines, i, "wire-tag-duplicate"):
+                self.report(
+                    path, i + 1, "wire-tag-duplicate",
+                    f"{current}::{name} reuses tag {value} already taken by "
+                    f"{seen[value]} — wire tags are append-only and must be "
+                    "unique (CONTRIBUTING.md)",
+                )
+            seen.setdefault(value, name)
+            enums[current].add(value)
+        return enums
+
+    # -- rule: unlogged-store-write --------------------------------------
+
+    def check_store_mutations(self, path: Path) -> None:
+        if not path.exists():
+            return
+        text = path.read_text()
+        lines = text.splitlines()
+        # Walk top-level function definitions by brace matching.
+        i = 0
+        while i < len(lines):
+            m = FUNC_DEF_RE.match(lines[i])
+            if not m:
+                i += 1
+                continue
+            # Find the opening brace of the body, then its matching close.
+            depth = 0
+            start = i
+            opened = False
+            j = i
+            while j < len(lines):
+                depth += lines[j].count("{") - lines[j].count("}")
+                if "{" in lines[j]:
+                    opened = True
+                if opened and depth == 0:
+                    break
+                j += 1
+            body = "\n".join(lines[start : j + 1])
+            func = f"{m.group('name')}::{m.group('method')}"
+            if MUTATING_STORE_RE.search(body):
+                in_body = re.search(
+                    r"NOLINT-PROTOCOL\([^)]*unlogged-store-write[^)]*\)\s*:\s*\S",
+                    body,
+                )
+                if (not BOOKKEEPING_RE.search(body) and not in_body
+                        and not self.waived(lines, start,
+                                            "unlogged-store-write")):
+                    self.report(
+                        path, start + 1, "unlogged-store-write",
+                        f"{func} mutates the item store "
+                        "(store_.GetOrCreate) without a paired AddLogRecord "
+                        "or DBVV bump — the §4.1 invariant "
+                        "V_i[l] == Σ_x v_i(x)[l] breaks if the copy changes "
+                        "without bookkeeping",
+                    )
+            i = j + 1
+
+    # -- rule: doc-unknown-tag -------------------------------------------
+
+    def check_doc_tags(self, doc: Path, known: set[int]) -> None:
+        if not doc.exists():
+            return
+        for i, line in enumerate(doc.read_text().splitlines()):
+            for m in DOC_TAG_RE.finditer(line):
+                spec = m.group("spec")
+                nums = [int(x) for x in re.split(r"[-–—/,]", spec) if x.strip()]
+                referenced: set[int] = set()
+                if len(nums) == 2 and ("-" in spec or "–" in spec or "—" in spec):
+                    referenced.update(range(nums[0], nums[1] + 1))
+                else:
+                    referenced.update(nums)
+                for tag in sorted(referenced):
+                    if tag not in known:
+                        self.report(
+                            doc, i + 1, "doc-unknown-tag",
+                            f"references wire tag {tag}, which does not "
+                            "exist in net::MessageType — fix the doc or add "
+                            "the tag",
+                        )
+
+    # -- rule: unguarded-mutex -------------------------------------------
+
+    def check_mutexes(self, path: Path) -> None:
+        if not path.exists():
+            return
+        text = path.read_text()
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            if STD_MUTEX_RE.search(code):
+                if not self.waived(lines, i, "unguarded-mutex"):
+                    self.report(
+                        path, i + 1, "unguarded-mutex",
+                        "raw std::mutex — use the annotated epidemic::Mutex "
+                        "and MutexLock from common/thread_annotations.h so "
+                        "-Wthread-safety can check the lock discipline",
+                    )
+                continue
+            decl = EPI_MUTEX_DECL_RE.match(code) or EPI_MUTEX_ARRAY_DECL_RE.match(
+                code
+            )
+            if decl:
+                name = decl.group("name")
+                guarded = re.search(
+                    r"\b(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) + r"\b",
+                    text,
+                ) or re.search(
+                    r"\bREQUIRES(?:_SHARED)?\(\s*" + re.escape(name) + r"\b",
+                    text,
+                )
+                if not guarded and not self.waived(lines, i, "unguarded-mutex"):
+                    self.report(
+                        path, i + 1, "unguarded-mutex",
+                        f"mutex '{name}' guards nothing: no GUARDED_BY/"
+                        "PT_GUARDED_BY/REQUIRES in this file names it — "
+                        "annotate what it protects, or waive with "
+                        "NOLINT-PROTOCOL(unguarded-mutex): <reason>",
+                    )
+
+    # -- drivers ----------------------------------------------------------
+
+    def lint_repo(self) -> None:
+        codec = self.root / "src" / "net" / "codec.h"
+        wire = self.root / "src" / "core" / "wire.h"
+        enums = self.check_wire_tags(codec)
+        self.check_wire_tags(wire)
+        known = enums.get("MessageType", set())
+        self.check_store_mutations(self.root / "src" / "core" / "replica.cc")
+        for doc in ("docs/PROTOCOL.md", "EXPERIMENTS.md", "DESIGN.md"):
+            self.check_doc_tags(self.root / doc, known)
+        skip = self.root / "src" / "common" / "thread_annotations.h"
+        for path in sorted((self.root / "src").rglob("*.h")) + sorted(
+            (self.root / "src").rglob("*.cc")
+        ):
+            if path == skip:
+                continue
+            self.check_mutexes(path)
+
+    def lint_files(self, files: list[Path]) -> None:
+        for path in files:
+            if not path.exists():
+                print(f"error: no such file: {path}", file=sys.stderr)
+                sys.exit(2)
+            self.check_wire_tags(path)
+            if path.suffix in (".h", ".cc"):
+                self.check_mutexes(path)
+            if path.name == "replica.cc":
+                self.check_store_mutations(path)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="specific files to lint instead of the whole repository",
+    )
+    args = parser.parse_args()
+
+    linter = Linter(args.root.resolve())
+    if args.files:
+        linter.lint_files(args.files)
+    else:
+        linter.lint_repo()
+
+    for finding in linter.findings:
+        print(finding)
+    if linter.findings:
+        print(f"protocol_lint: {len(linter.findings)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
