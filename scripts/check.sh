@@ -6,8 +6,10 @@
 #   scripts/check.sh --tsan   # ThreadSanitizer build in build-tsan/
 #   scripts/check.sh --ubsan  # standalone UBSan build in build-ubsan/
 #   scripts/check.sh --tidy   # clang-tidy over the compilation database
+#   scripts/check.sh --model  # build + exhaustive epicheck model runs
 #
-# Extra arguments after the mode are passed to ctest (e.g. -R server).
+# Extra arguments after the mode are passed to ctest (e.g. -R server);
+# after --model they are passed to every epicheck invocation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,9 +46,25 @@ case "$mode" in
     echo "clang-tidy: clean"
     exit 0
     ;;
+  --model)
+    shift
+    build_dir=build
+    cmake -B "$build_dir" -S . > /dev/null
+    cmake --build "$build_dir" -j"$(nproc)" --target epicheck epicheck_test
+    # The two reference configurations from DESIGN.md §9: every interleaving
+    # of the action alphabet up to the stated depth, against the real
+    # replica code. Then the ctest leg replays the checked-in trace
+    # fixtures (seeded defects must still reproduce, clean traces must
+    # still pass).
+    "$build_dir"/tools/epicheck --nodes 2 --items 2 --depth 8 "$@"
+    "$build_dir"/tools/epicheck --nodes 3 --items 2 --depth 6 "$@"
+    "$build_dir"/tools/epicheck --nodes 2 --items 2 --depth 6 --shards 2 "$@"
+    ctest --test-dir "$build_dir" --output-on-failure -R epicheck
+    exit 0
+    ;;
   --*)
     echo "error: unknown mode '$mode'" >&2
-    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy] [ctest args]" >&2
+    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy|--model] [ctest args]" >&2
     exit 2
     ;;
   *)

@@ -65,6 +65,10 @@ class ProtocolNode {
     return Status::NotSupported("protocol has no out-of-bound copying");
   }
 
+  /// Structural self-check of the node's replica state (§4.1/§5.2 for the
+  /// paper's protocol). Baselines without internal invariants report OK.
+  virtual Status CheckInvariants() const { return Status::OK(); }
+
   virtual const SyncStats& sync_stats() const = 0;
   virtual void ResetSyncStats() = 0;
 

@@ -42,6 +42,8 @@ class ShardedEpidemicNode : public ProtocolNode {
   /// Out-of-bound fetch of `item` from `peer` (§5.2), routed to its shard.
   Status OobFetch(ProtocolNode& peer, std::string_view item) override;
 
+  Status CheckInvariants() const override { return replica_.CheckInvariants(); }
+
   const SyncStats& sync_stats() const override { return sync_stats_; }
   void ResetSyncStats() override { sync_stats_ = SyncStats{}; }
 

@@ -1,0 +1,75 @@
+#ifndef EPIDEMIC_CHECK_CHECKER_H_
+#define EPIDEMIC_CHECK_CHECKER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/action.h"
+#include "check/world.h"
+
+namespace epidemic::check {
+
+/// What to explore and how far.
+struct CheckerConfig {
+  WorldConfig world;
+  /// Maximum schedule length (actions along one DFS path).
+  size_t max_depth = 8;
+  /// Alphabet toggles: kUpdate/kSync are always on (without them nothing
+  /// happens); the rest can be disabled to shrink the space.
+  bool with_oob = true;
+  bool with_pump = true;
+  bool with_crash = true;
+};
+
+/// A property failure: what broke, and the schedule that reaches it from
+/// the initial (all-empty) state. For transition violations the last action
+/// of `trace` is the offending one; for quiescence violations the final
+/// *state* fails and `trace` is the path to it.
+struct ViolationInfo {
+  std::string description;
+  std::vector<Action> trace;
+};
+
+struct CheckReport {
+  /// Unique states discovered (after canonical-state deduplication),
+  /// including the initial state.
+  uint64_t states_explored = 0;
+  /// Transitions executed (each runs the full per-transition oracle).
+  uint64_t transitions = 0;
+  /// Transitions that landed on an already-explored state.
+  uint64_t dedup_hits = 0;
+  /// First violation found, if any (DFS order — deterministic).
+  std::optional<ViolationInfo> violation;
+};
+
+/// Bounded exhaustive DFS over all schedules up to `max_depth`, driving the
+/// real replica code. After every transition the oracle asserts:
+///   * every node's Replica::CheckInvariants (§4.1 + logs + §5.2 aux),
+///   * per-node DBVV monotonicity and per-item IVV monotonicity (an adopted
+///     copy is never dominated by what it replaced),
+///   * every conflict event fired names genuinely concurrent IVVs.
+/// At every newly discovered state it additionally runs the quiescence
+/// oracle: sync/pump closure must reach a fixpoint where all replicas are
+/// identical, or where every divergent item had a conflict reported
+/// (the paper's "conflicts are detected, nothing is silently lost").
+/// Stops at the first violation.
+CheckReport RunCheck(const CheckerConfig& config);
+
+/// Replays one explicit schedule with the same per-transition oracle, then
+/// runs the quiescence oracle on the final state. Used by --replay and by
+/// the minimizer; infrastructure failures (malformed actions, snapshot
+/// decode errors) are reported as violations too.
+CheckReport ReplayTrace(const WorldConfig& config,
+                        const std::vector<Action>& actions);
+
+/// Greedy delta-debugging: repeatedly drops single actions while the
+/// shrunken schedule still produces *a* violation under ReplayTrace.
+/// `trace` must already violate; returns the 1-minimal schedule.
+std::vector<Action> MinimizeTrace(const WorldConfig& config,
+                                  std::vector<Action> trace);
+
+}  // namespace epidemic::check
+
+#endif  // EPIDEMIC_CHECK_CHECKER_H_

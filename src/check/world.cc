@@ -1,0 +1,295 @@
+#include "check/world.h"
+
+#include <utility>
+
+#include "core/snapshot.h"
+
+namespace epidemic::check {
+
+Result<Mutation> ParseMutation(std::string_view name) {
+  if (name == "none") return Mutation::kNone;
+  if (name == "amnesia") return Mutation::kAmnesia;
+  if (name == "mute-conflicts") return Mutation::kMuteConflicts;
+  if (name == "tamper-ivv") return Mutation::kTamperIvv;
+  return Status::InvalidArgument(
+      "unknown mutation '" + std::string(name) +
+      "' (valid: none, amnesia, mute-conflicts, tamper-ivv)");
+}
+
+std::string_view MutationName(Mutation mutation) {
+  switch (mutation) {
+    case Mutation::kNone:
+      return "none";
+    case Mutation::kAmnesia:
+      return "amnesia";
+    case Mutation::kMuteConflicts:
+      return "mute-conflicts";
+    case Mutation::kTamperIvv:
+      return "tamper-ivv";
+  }
+  return "?";
+}
+
+World::World(const WorldConfig& config) : World(config, /*tampered=*/false) {
+  for (size_t i = 0; i < config_.num_nodes; ++i) {
+    auto node = std::make_unique<Node>();
+    NodeId id = static_cast<NodeId>(i);
+    if (config_.num_shards > 1) {
+      node->sharded = std::make_unique<ShardedReplica>(
+          id, config_.num_nodes, config_.num_shards, listener_for(*node));
+    } else {
+      node->plain = std::make_unique<Replica>(id, config_.num_nodes,
+                                              listener_for(*node));
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+World::World(const WorldConfig& config, bool tampered)
+    : config_(config), tampered_(tampered) {}
+
+Result<std::unique_ptr<World>> World::Restore(
+    const WorldConfig& config, const std::vector<std::string>& blobs,
+    bool tampered) {
+  if (blobs.size() != config.num_nodes) {
+    return Status::InvalidArgument("snapshot blob count mismatch");
+  }
+  auto world = std::unique_ptr<World>(new World(config, tampered));
+  for (const std::string& blob : blobs) {
+    auto node = std::make_unique<Node>();
+    if (config.num_shards > 1) {
+      auto replica = DecodeShardedSnapshot(blob, world->listener_for(*node));
+      if (!replica.ok()) return replica.status();
+      node->sharded = std::move(*replica);
+    } else {
+      auto replica = DecodeSnapshot(blob, world->listener_for(*node));
+      if (!replica.ok()) return replica.status();
+      node->plain = std::move(*replica);
+    }
+    world->nodes_.push_back(std::move(node));
+  }
+  return world;
+}
+
+ConflictListener* World::listener_for(Node& node) {
+  // Muting the listener IS the kMuteConflicts defect: conflicts still
+  // happen, nobody hears about them.
+  if (config_.mutation == Mutation::kMuteConflicts) return nullptr;
+  return &node.listener;
+}
+
+Status World::Apply(const Action& action) {
+  const size_t n = nodes_.size();
+  if (action.a >= n) return Status::InvalidArgument("acting node out of range");
+  Node& node = *nodes_[action.a];
+  const std::string name = ItemName(action.item);
+
+  switch (action.kind) {
+    case ActionKind::kUpdate: {
+      if (action.item >= config_.num_items) {
+        return Status::InvalidArgument("item index out of range");
+      }
+      // A fresh, schedule-deterministic value naming the writer and the
+      // version, so the convergence oracle can tell versions apart:
+      // "u<node>.<item>.<total updates reflected + 1>".
+      const Item* item = FindUserItem(action.a, name);
+      UpdateCount version = (item ? item->UserIvv().Total() : 0) + 1;
+      std::string value = "u";
+      value += std::to_string(action.a);
+      value += ".";
+      value += name;
+      value += ".";
+      value += std::to_string(version);
+      return node.plain ? node.plain->Update(name, value)
+                        : node.sharded->Update(name, value);
+    }
+    case ActionKind::kDelete:
+      if (action.item >= config_.num_items) {
+        return Status::InvalidArgument("item index out of range");
+      }
+      return node.plain ? node.plain->Delete(name)
+                        : node.sharded->Delete(name);
+    case ActionKind::kSync:
+      if (action.b >= n || action.b == action.a) {
+        return Status::InvalidArgument("sync peer out of range");
+      }
+      return ApplySync(action.a, action.b);
+    case ActionKind::kOob: {
+      if (action.b >= n || action.b == action.a) {
+        return Status::InvalidArgument("oob peer out of range");
+      }
+      if (action.item >= config_.num_items) {
+        return Status::InvalidArgument("item index out of range");
+      }
+      Node& source = *nodes_[action.b];
+      OobRequest req = node.plain ? node.plain->BuildOobRequest(name)
+                                  : node.sharded->BuildOobRequest(name);
+      OobResponse resp = source.plain
+                             ? source.plain->HandleOobRequest(req)
+                             : source.sharded->HandleOobRequest(req);
+      Status s = node.plain ? node.plain->AcceptOobResponse(resp)
+                            : node.sharded->AcceptOobResponse(resp);
+      // NotFound (source never heard of the item) and Conflict (reported to
+      // the listener) are legal §5.2 outcomes, not protocol errors.
+      if (s.IsNotFound() || s.IsConflict()) return Status::OK();
+      return s;
+    }
+    case ActionKind::kPump:
+      if (node.plain) {
+        node.plain->PumpIntraNode();
+      } else {
+        node.sharded->PumpIntraNode();
+      }
+      return Status::OK();
+    case ActionKind::kCrash:
+      return ApplyCrash(action.a);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status World::ApplySync(size_t recipient, size_t source) {
+  Node& r = *nodes_[recipient];
+  Node& s = *nodes_[source];
+  if (r.plain) {
+    PropagationRequest req = r.plain->BuildPropagationRequest();
+    PropagationResponse resp = s.plain->HandlePropagationRequest(req);
+    if (config_.mutation == Mutation::kTamperIvv && !tampered_ &&
+        !resp.items.empty()) {
+      // Plant one phantom update attributed to the source.
+      resp.items[0].ivv.Increment(static_cast<NodeId>(source));
+      tampered_ = true;
+    }
+    return r.plain->AcceptPropagation(resp);
+  }
+  ShardedPropagationRequest req = r.sharded->BuildPropagationRequest();
+  // HandlePropagationRequest/AcceptPropagation encode and decode the real
+  // per-shard wire segment bodies (tags 14/15), so sharded checking covers
+  // the v2 wire path too.
+  ShardedPropagationResponse resp = s.sharded->HandlePropagationRequest(req);
+  return r.sharded->AcceptPropagation(resp);
+}
+
+Status World::ApplyCrash(size_t index) {
+  Node& node = *nodes_[index];
+  NodeId id = static_cast<NodeId>(index);
+  if (config_.mutation == Mutation::kAmnesia) {
+    // The defect: recovery "finds" no snapshot and rejoins empty.
+    if (node.plain) {
+      node.plain =
+          std::make_unique<Replica>(id, config_.num_nodes, listener_for(node));
+    } else {
+      node.sharded = std::make_unique<ShardedReplica>(
+          id, config_.num_nodes, config_.num_shards, listener_for(node));
+    }
+    return Status::OK();
+  }
+  // Honest crash: lose the process, recover from a snapshot of the current
+  // state (recovery at a checkpoint boundary; replaying a journal suffix on
+  // top is journal_test's concern). Soft state (counters, peer DBVVs) is
+  // legitimately lost.
+  if (node.plain) {
+    std::string blob = EncodeSnapshot(*node.plain);
+    auto restored = DecodeSnapshot(blob, listener_for(node));
+    if (!restored.ok()) return restored.status();
+    node.plain = std::move(*restored);
+  } else {
+    std::string blob = EncodeShardedSnapshot(*node.sharded);
+    auto restored = DecodeShardedSnapshot(blob, listener_for(node));
+    if (!restored.ok()) return restored.status();
+    node.sharded = std::move(*restored);
+  }
+  return Status::OK();
+}
+
+Status World::CheckInvariants() const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = *nodes_[i];
+    Status s = node.plain ? node.plain->CheckInvariants()
+                          : node.sharded->CheckInvariants();
+    if (!s.ok()) {
+      return Status::Internal("node " + std::to_string(i) + ": " +
+                              s.message());
+    }
+  }
+  return Status::OK();
+}
+
+std::string World::NodeCanonicalState(size_t i) const {
+  const Node& node = *nodes_[i];
+  return node.plain ? node.plain->CanonicalState()
+                    : node.sharded->CanonicalState();
+}
+
+std::vector<std::string> World::SnapshotBlobs() const {
+  std::vector<std::string> blobs;
+  blobs.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    blobs.push_back(node->plain ? EncodeSnapshot(*node->plain)
+                                : EncodeShardedSnapshot(*node->sharded));
+  }
+  return blobs;
+}
+
+std::vector<ConflictEvent> World::DrainConflicts() {
+  std::vector<ConflictEvent> events;
+  for (const auto& node : nodes_) {
+    for (const ConflictEvent& e : node->listener.events()) {
+      events.push_back(e);
+    }
+    node->listener.Clear();
+  }
+  return events;
+}
+
+VersionVector World::NodeDbvv(size_t i) const {
+  const Node& node = *nodes_[i];
+  return node.plain ? node.plain->dbvv() : node.sharded->AggregateDbvv();
+}
+
+const Item* World::FindUserItem(size_t index, std::string_view name) const {
+  const Node& node = *nodes_[index];
+  const Item* item = node.plain ? node.plain->FindItem(name)
+                                : node.sharded->FindItem(name);
+  if (item == nullptr) return nullptr;
+  if (item->ivv.Total() == 0 && !item->HasAux()) return nullptr;
+  return item;
+}
+
+World::ItemView World::Observe(size_t index, std::string_view name) const {
+  ItemView view;
+  const Item* item = FindUserItem(index, name);
+  if (item == nullptr) return view;
+  view.present = true;
+  view.value = item->value;
+  view.deleted = item->deleted;
+  view.ivv = item->ivv;
+  view.has_aux = item->HasAux();
+  if (item->HasAux()) {
+    view.aux_value = item->aux->value;
+    view.aux_deleted = item->aux->deleted;
+    view.aux_ivv = item->aux->ivv;
+  }
+  return view;
+}
+
+bool World::NodeHasItem(size_t index, std::string_view name) const {
+  return FindUserItem(index, name) != nullptr;
+}
+
+bool World::NodeHasAux(size_t index) const {
+  const Node& node = *nodes_[index];
+  if (node.plain) {
+    for (const auto& item : node.plain->items()) {
+      if (item->HasAux()) return true;
+    }
+    return false;
+  }
+  for (size_t k = 0; k < node.sharded->num_shards(); ++k) {
+    for (const auto& item : node.sharded->shard(k).items()) {
+      if (item->HasAux()) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace epidemic::check

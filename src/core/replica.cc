@@ -4,7 +4,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/bytes.h"
 #include "common/logging.h"
+#include "vv/vv_codec.h"
 
 namespace epidemic {
 
@@ -325,6 +327,14 @@ Status Replica::AcceptPropagation(const PropagationResponse& resp) {
   return Status::OK();
 }
 
+size_t Replica::PumpIntraNode() {
+  const uint64_t before = stats_.intra_node_ops_applied;
+  for (const auto& item : store_) {
+    if (item->HasAux()) IntraNodePropagation(*item);
+  }
+  return static_cast<size_t>(stats_.intra_node_ops_applied - before);
+}
+
 void Replica::IntraNodePropagation(Item& item) {
   if (!item.HasAux()) return;
 
@@ -355,6 +365,16 @@ void Replica::IntraNodePropagation(Item& item) {
     // The regular copy diverged from the lineage the auxiliary updates were
     // applied on — inconsistent replicas of x exist somewhere (Fig. 4).
     ReportConflict(item, e->vv, ConflictSource::kIntraNode);
+  } else if (VersionVector::Dominates(item.ivv, e->vv)) {
+    // The regular copy overtook the record's pre-image without replaying
+    // it, so the pending auxiliary update was applied on a lineage the
+    // regular copy did not follow and can never replay. The competing
+    // user-visible line is the auxiliary IVV (= e->vv plus this node's
+    // pending increments), by construction concurrent with the regular IVV
+    // here — report it, or the divergence stays silent. Found by epicheck:
+    // update → oob → concurrent updates at origin and on the auxiliary
+    // copy → propagation of the origin's newer regular copy.
+    ReportConflict(item, item.aux->ivv, ConflictSource::kIntraNode);
   }
   // Remaining case: e->vv dominates item.ivv — the regular copy must first
   // receive more updates through normal propagation; try again next round.
@@ -532,15 +552,130 @@ Status Replica::CheckInvariants() const {
   }
 
   // Auxiliary invariant: records in AUX_i only for items that still have an
-  // auxiliary copy.
+  // auxiliary copy, and the whole log preserves append order (the m counter
+  // is the node's auxiliary update sequence).
+  uint64_t prev_m = 0;
   for (const AuxRecord* r = aux_log_.head(); r != nullptr; r = r->next) {
     const Item& item = store_.Get(r->item);
     if (!item.HasAux()) {
       return Status::Internal("aux log record for item '" + item.name +
                               "' which has no auxiliary copy");
     }
+    if (r->m <= prev_m) {
+      return Status::Internal("AUX log not in append order at item '" +
+                              item.name + "'");
+    }
+    prev_m = r->m;
+  }
+
+  // §5.2 auxiliary-structure invariants, per out-of-bound item.
+  for (const auto& item : store_) {
+    if (!item->HasAux()) continue;
+    const VersionVector& aux_ivv = item->aux->ivv;
+    if (aux_ivv.size() != num_nodes_) {
+      return Status::Internal("item '" + item->name +
+                              "' has aux IVV of width " +
+                              std::to_string(aux_ivv.size()));
+    }
+    // The auxiliary copy is never older than the regular copy it shadows:
+    // strictly newer in conflict-free executions, and possibly incomparable
+    // once a concurrent branch has been adopted into the regular copy. The
+    // regular copy dominating (or equalling) the auxiliary one is
+    // impossible — intra-node propagation retires the auxiliary copy the
+    // moment the regular copy catches up.
+    switch (VersionVector::Compare(aux_ivv, item->ivv)) {
+      case VvOrder::kDominates:
+      case VvOrder::kConcurrent:
+        break;
+      case VvOrder::kEqual:
+      case VvOrder::kDominatedBy:
+        return Status::Internal(
+            "auxiliary IVV " + aux_ivv.ToString() + " of item '" +
+            item->name + "' does not exceed the regular IVV " +
+            item->ivv.ToString() + " — the auxiliary copy should have "
+            "retired");
+    }
+    // Redo records for this item replay in origin order: strictly growing
+    // pre-update IVVs (mirrors the regular-log seq check), all strictly
+    // below the current auxiliary IVV they led up to.
+    const AuxRecord* prev = nullptr;
+    for (const AuxRecord* r = aux_log_.Earliest(item->id); r != nullptr;
+         r = r->item_next) {
+      if (r->vv.size() != num_nodes_) {
+        return Status::Internal("aux record for item '" + item->name +
+                                "' has IVV of width " +
+                                std::to_string(r->vv.size()));
+      }
+      if (prev != nullptr && !VersionVector::Dominates(r->vv, prev->vv)) {
+        return Status::Internal("aux log for item '" + item->name +
+                                "' not in origin order");
+      }
+      if (!VersionVector::Dominates(aux_ivv, r->vv)) {
+        return Status::Internal(
+            "aux record pre-IVV " + r->vv.ToString() + " for item '" +
+            item->name + "' is not reflected in the aux IVV " +
+            aux_ivv.ToString());
+      }
+      prev = r;
+    }
   }
   return Status::OK();
+}
+
+std::string Replica::CanonicalState() const {
+  ByteWriter w;
+  EncodeVersionVector(&w, dbvv_);
+
+  // Items sorted by name, so two replicas that created the same items in
+  // different orders (and therefore assigned different ItemIds) still
+  // canonicalize identically. Zero-IVV items without an auxiliary copy are
+  // skipped: such a "fresh replica that has seen no updates" (§3) carries
+  // no value, no tombstone and no log records, so a replica that merely
+  // instantiated the control state (e.g. via a conflicting exchange) is
+  // indistinguishable from one that never heard the name.
+  std::vector<const Item*> sorted;
+  sorted.reserve(store_.size());
+  for (const auto& item : store_) {
+    if (item->ivv.Total() == 0 && !item->HasAux()) continue;
+    sorted.push_back(item.get());
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Item* a, const Item* b) { return a->name < b->name; });
+  w.PutVarint64(sorted.size());
+  for (const Item* item : sorted) {
+    w.PutString(item->name);
+    w.PutString(item->value);
+    w.PutU8(item->deleted ? 1 : 0);
+    EncodeVersionVector(&w, item->ivv);
+    w.PutU8(item->HasAux() ? 1 : 0);
+    if (item->HasAux()) {
+      w.PutString(item->aux->value);
+      w.PutU8(item->aux->deleted ? 1 : 0);
+      EncodeVersionVector(&w, item->aux->ivv);
+    }
+  }
+
+  // Per-origin logs by item name (ids are node-local), in list order —
+  // which the log invariant pins to origin order.
+  for (NodeId k = 0; k < num_nodes_; ++k) {
+    const OriginLog& log = logs_.ForOrigin(k);
+    w.PutVarint64(log.size());
+    for (const LogRecord* rec = log.head(); rec != nullptr; rec = rec->next) {
+      w.PutString(store_.Get(rec->item).name);
+      w.PutVarint64(rec->seq);
+    }
+  }
+
+  // Auxiliary log in append order.
+  w.PutVarint64(aux_log_.size());
+  for (const AuxRecord* rec = aux_log_.head(); rec != nullptr;
+       rec = rec->next) {
+    w.PutString(store_.Get(rec->item).name);
+    EncodeVersionVector(&w, rec->vv);
+    w.PutString(rec->op.new_value);
+    w.PutU8(rec->op.deleted ? 1 : 0);
+  }
+  return w.Release();
 }
 
 Result<size_t> PropagateOnce(Replica& source, Replica& recipient) {

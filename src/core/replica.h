@@ -165,6 +165,18 @@ class Replica {
   /// over the items copied, executed at the recipient.
   Status AcceptPropagation(const PropagationResponse& resp);
 
+  /// Runs the Fig. 4 intra-node propagation loop over every out-of-bound
+  /// item, not just ones copied by the last exchange: replays auxiliary
+  /// redo records whose pre-IVV matches the regular copy and retires
+  /// auxiliary copies the regular copy has caught up with. Each replay is
+  /// an ordinary local update with full §4.1 bookkeeping, so this is legal
+  /// at any point between protocol steps; AcceptPropagation already runs
+  /// the same loop for the items it copies. Returns the number of
+  /// auxiliary operations replayed. Used by the model checker (epicheck)
+  /// as an explicit schedule action and by callers that want auxiliary
+  /// copies retired without waiting for the next exchange.
+  size_t PumpIntraNode();
+
   // ---------------------------------------------------------------------
   // Out-of-bound copying (§5.2).
 
@@ -231,11 +243,25 @@ class Replica {
   };
   StabilityInfo CountStable() const;
 
-  /// Checks the DBVV invariant `V_i[k] == Σ_x ivv_i(x)[k]` (§4.1) and the
+  /// Checks the DBVV invariant `V_i[k] == Σ_x ivv_i(x)[k]` (§4.1), the
   /// log invariants (≤ 1 record per item per component, origin-ordered,
-  /// P(x) back-pointers consistent). Returns OK or Internal with a
-  /// description. Intended for tests; O(n·N).
+  /// P(x) back-pointers consistent), and the §5.2 auxiliary-structure
+  /// invariants (the auxiliary IVV is never dominated by the regular one,
+  /// redo records replay in origin order below the auxiliary IVV, the
+  /// auxiliary log preserves append order). Returns OK or Internal with a
+  /// description. The invariant oracle of the model checker (epicheck) and
+  /// of tests; O(n·N).
   Status CheckInvariants() const;
+
+  /// Deterministic, creation-order-independent serialization of the
+  /// protocol state: DBVV, items sorted by name (value, tombstone, IVV,
+  /// auxiliary copy), per-origin logs as (item name, seq) lists, and the
+  /// auxiliary log in append order. Two replicas have equal canonical
+  /// states iff they are indistinguishable to the protocol. Soft state —
+  /// counters and the stability-tracking peer DBVVs, which influence no
+  /// protocol decision — is deliberately excluded. Used by the model
+  /// checker for state deduplication and convergence comparison.
+  std::string CanonicalState() const;
 
  private:
   /// Shared implementation of Update/Delete (§5.3).

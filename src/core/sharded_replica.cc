@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bytes.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "core/wire.h"
@@ -139,6 +140,12 @@ size_t ShardedReplica::TotalItems() const {
   return n;
 }
 
+size_t ShardedReplica::PumpIntraNode() {
+  size_t applied = 0;
+  for (Replica* shard : shards_) applied += shard->PumpIntraNode();
+  return applied;
+}
+
 Status ShardedReplica::CheckInvariants() const {
   VersionVector ivv_sum(num_nodes());
   for (size_t k = 0; k < shards_.size(); ++k) {
@@ -162,6 +169,13 @@ Status ShardedReplica::CheckInvariants() const {
   return Status::OK();
 }
 
+std::string ShardedReplica::CanonicalState() const {
+  ByteWriter w;
+  w.PutVarint64(shards_.size());
+  for (const Replica* shard : shards_) w.PutString(shard->CanonicalState());
+  return w.Release();
+}
+
 std::string ShardedReplica::DebugString() const {
   size_t tombstones = 0;
   size_t aux_copies = 0;
@@ -178,8 +192,10 @@ std::string ShardedReplica::DebugString() const {
   ReplicaStats stats = TotalStats();
 
   std::string out;
-  out += "replica " + std::to_string(id()) + "/" +
-         std::to_string(num_nodes());
+  out += "replica ";
+  out += std::to_string(id());
+  out += "/";
+  out += std::to_string(num_nodes());
   out += " shards=" + std::to_string(shards_.size());
   out += " dbvv=" + AggregateDbvv().ToString();
   out += " items=" + std::to_string(TotalItems());
@@ -200,7 +216,8 @@ std::string ShardedReplica::DebugString() const {
   out += " intra_node=" + std::to_string(stats.intra_node_ops_applied);
   out += "\nshard items:";
   for (const Replica* shard : shards_) {
-    out += " " + std::to_string(shard->items().size());
+    out += " ";
+    out += std::to_string(shard->items().size());
   }
   return out;
 }

@@ -124,6 +124,11 @@ class ShardedReplica {
     return shards_[shard]->AcceptPropagation(resp);
   }
 
+  /// Runs Replica::PumpIntraNode on every shard (replays pending auxiliary
+  /// redo records, retires caught-up auxiliary copies). Touches every
+  /// shard; returns the total operations replayed.
+  size_t PumpIntraNode();
+
   // ---------------------------------------------------------------------
   // Out-of-bound copying (§5.2), routed by item name.
 
@@ -168,6 +173,12 @@ class ShardedReplica {
   /// Per-shard §4.1/log invariants plus the aggregate DBVV consistency
   /// check (the sum of shard DBVVs must equal the sum of all item IVVs).
   Status CheckInvariants() const;
+
+  /// Deterministic serialization of the protocol state: every shard's
+  /// Replica::CanonicalState in shard-index order (the name → shard map is
+  /// a pure function, so equal states always shard identically). Touches
+  /// every shard. Used by the model checker for state deduplication.
+  std::string CanonicalState() const;
 
   /// Aggregated one-stop summary in the same shape as Replica::DebugString,
   /// plus the shard count and per-shard item/update distribution.

@@ -38,23 +38,43 @@ void OriginLog::FreeAll() {
 }
 
 void OriginLog::AddLogRecord(ItemId item, UpdateCount seq, LogRecord** slot) {
-  // Link the new record at the tail first (paper's AddLogRecord order).
-  LogRecord* rec = new LogRecord{item, seq, tail_, nullptr};
-  if (tail_ != nullptr) {
-    tail_->next = rec;
-  } else {
-    head_ = rec;
-  }
-  tail_ = rec;
-  ++size_;
-
-  // Unlink the superseded record for the same item, found in O(1) via the
-  // P_j(x) pointer.
+  // Unlink the superseded record for the same item first — found in O(1) via
+  // the P_j(x) pointer — so it cannot get in the way of the position search
+  // below. A dominating copy always carries an equal-or-newer record for its
+  // item, so this never removes a record newer than the incoming one.
   if (*slot != nullptr) {
     EPI_DCHECK((*slot)->item == item);
     Unlink(*slot);
     delete *slot;
+    *slot = nullptr;
   }
+
+  // Insert in sequence order. The paper's AddLogRecord appends at the tail,
+  // which is right while received tails are contiguous suffixes of the
+  // origin's history; once a conflict drops records from a tail (§5.1
+  // step 2), a third party can relay a newer record before the recipient
+  // ever sees an older one for a different item, and a blind append would
+  // break the strictly-increasing order CollectTail's suffix walk and the
+  // recipient-side tail validation both depend on. Walking back from the
+  // tail keeps the common in-order case O(1).
+  LogRecord* after = tail_;
+  while (after != nullptr && after->seq > seq) after = after->prev;
+  // Each origin sequence number names exactly one update of one item, so no
+  // two records may ever claim the same seq.
+  EPI_DCHECK(after == nullptr || after->seq != seq);
+  LogRecord* rec = new LogRecord{item, seq, after, nullptr};
+  rec->next = after != nullptr ? after->next : head_;
+  if (rec->next != nullptr) {
+    rec->next->prev = rec;
+  } else {
+    tail_ = rec;
+  }
+  if (after != nullptr) {
+    after->next = rec;
+  } else {
+    head_ = rec;
+  }
+  ++size_;
   *slot = rec;
 }
 

@@ -42,10 +42,13 @@ class OriginLog {
   OriginLog(OriginLog&&) noexcept;
   OriginLog& operator=(OriginLog&&) noexcept;
 
-  /// AddLogRecord (§4.2): appends (item, seq) at the tail and unlinks the
-  /// previous record for the same item, passed via `*slot` — the P_j(x)
-  /// pointer owned by the item's control state. On return `*slot` points at
-  /// the new record. O(1).
+  /// AddLogRecord (§4.2): inserts (item, seq) at its seq-ordered position —
+  /// the tail in the common case — and unlinks the previous record for the
+  /// same item, passed via `*slot` — the P_j(x) pointer owned by the item's
+  /// control state. On return `*slot` points at the new record. O(1) when
+  /// records arrive in origin order; linear in the displacement when a
+  /// conflict-induced record drop at a third party delivered them out of
+  /// order (post-§5.1 executions only).
   void AddLogRecord(ItemId item, UpdateCount seq, LogRecord** slot);
 
   /// Removes a record (used when conflict handling drops records referring

@@ -164,6 +164,17 @@ size_t Cluster::LiveCount() const {
 
 bool Cluster::IsConverged() const { return CountDivergentFrom(0) == 0; }
 
+Status Cluster::CheckProtocolInvariants() const {
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    Status s = nodes_[i]->CheckInvariants();
+    if (!s.ok()) {
+      return Status::Internal("node " + std::to_string(i) + ": " +
+                              s.message());
+    }
+  }
+  return Status::OK();
+}
+
 size_t Cluster::CountDivergentFrom(NodeId reference) const {
   // Compare committed snapshots against the first live node (or the given
   // reference if it is live).

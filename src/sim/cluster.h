@@ -119,6 +119,12 @@ class Cluster {
   /// True when every live node's committed snapshot is identical.
   bool IsConverged() const;
 
+  /// Runs every node's ProtocolNode::CheckInvariants (crashed nodes
+  /// included — crashes must not corrupt state). Returns the first failure,
+  /// prefixed with the offending node id. Gives simulation tests and the
+  /// model checker a one-call structural oracle.
+  Status CheckProtocolInvariants() const;
+
   /// Number of live nodes whose snapshot differs from node `reference`'s.
   size_t CountDivergentFrom(NodeId reference) const;
 

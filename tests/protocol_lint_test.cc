@@ -77,6 +77,37 @@ TEST_F(ProtocolLintTest, FixturesAreReported) {
       << result.output;
 }
 
+// The determinism fixture: four hazards reported (entropy, wall clock,
+// C-library RNG, pointer-keyed container), while the constant-seeded
+// engine's reasoned waiver both suppresses its finding and is counted as
+// used — no stale-waiver report.
+TEST_F(ProtocolLintTest, DeterminismFixtureIsReported) {
+  const RunResult result = RunLint(
+      std::string(EPI_SOURCE_DIR) + "/tests/testdata/lint/bad_determinism.cc");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("nondeterminism"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("host entropy"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("wall-clock read"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("4 violation(s)"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("stale-waiver"), std::string::npos)
+      << result.output;
+}
+
+// A waiver that suppresses nothing is itself a finding.
+TEST_F(ProtocolLintTest, StaleWaiverIsReported) {
+  const RunResult result = RunLint(
+      std::string(EPI_SOURCE_DIR) + "/tests/testdata/lint/stale_waiver.h");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("stale-waiver"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("delete the waiver"), std::string::npos)
+      << result.output;
+}
+
 // Pointing the lint at a nonexistent file is a usage error (exit 2),
 // distinct from "violations found" (exit 1).
 TEST_F(ProtocolLintTest, MissingFileIsUsageError) {

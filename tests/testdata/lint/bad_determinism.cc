@@ -1,0 +1,34 @@
+// Lint fixture: every nondeterminism hazard the rule must catch, plus one
+// correctly waived engine (whose waiver must NOT be reported as stale).
+// protocol_lint.py must report nondeterminism exactly four times here:
+// host entropy, wall clock, C-library RNG, pointer-keyed container.
+// Never compiled.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+uint64_t HostEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+uint64_t WallClock() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+int CLibraryRng() { return rand(); }
+
+// Iteration order follows allocation addresses — differs run to run.
+std::unordered_map<void*, int> g_by_address;
+
+// NOLINT-PROTOCOL(nondeterminism): fixture's exemplar of a reasoned waiver —
+// seeded with a fixed constant, reproducible across runs.
+std::mt19937 g_waived_engine(42);
+
+}  // namespace fixture

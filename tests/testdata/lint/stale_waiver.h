@@ -1,0 +1,18 @@
+// Lint fixture: a waiver naming a rule that fires nowhere near it.
+// protocol_lint.py must report it as stale-waiver (and stale-waiver itself
+// cannot be waived). Never compiled.
+
+#ifndef TESTS_TESTDATA_LINT_STALE_WAIVER_H_
+#define TESTS_TESTDATA_LINT_STALE_WAIVER_H_
+
+// NOLINT-PROTOCOL(unguarded-mutex): left behind after the mutex it excused
+// was deleted — the lint must demand this comment be removed.
+class FormerlyLockedThing {
+ public:
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+
+#endif  // TESTS_TESTDATA_LINT_STALE_WAIVER_H_

@@ -14,6 +14,14 @@ Catches hazards the compiler (even with -Wthread-safety) cannot see:
   unguarded-mutex       a raw std::mutex declaration (must use the
                         annotated epidemic::Mutex), or an epidemic::Mutex
                         member no GUARDED_BY/PT_GUARDED_BY/REQUIRES names
+  nondeterminism        protocol code (src/core, src/log, src/vv, src/sim)
+                        reads wall clocks, host entropy, C-library RNG
+                        state, std <random> engines, or iterates/hashes by
+                        pointer address — any of which would make epicheck's
+                        state exploration and trace replay unsound
+  stale-waiver          a NOLINT-PROTOCOL comment that no longer suppresses
+                        any finding; stale waivers must be deleted, not
+                        waived
 
 A finding can be waived with a same-function (unlogged-store-write) or
 nearby-line comment:
@@ -21,7 +29,8 @@ nearby-line comment:
     // NOLINT-PROTOCOL(<rule>): <reason>
 
 The reason is mandatory: waivers are how exceptions to the protocol
-discipline get documented.
+discipline get documented. Every waiver must currently suppress at least
+one finding — otherwise it is itself reported (stale-waiver).
 
 Usage:
     protocol_lint.py                 # lint the whole repository
@@ -71,11 +80,44 @@ BOOKKEEPING_RE = re.compile(
     r"\bAddLogRecord\s*\(|\bdbvv_\.(?:Increment|AddDelta)\s*\("
 )
 
+# Sources of run-to-run nondeterminism banned from protocol code. The model
+# checker replays snapshots of this code and hashes its canonical state; one
+# wall-clock read or address-ordered iteration makes counterexample replay
+# unsound. (pattern, explanation) — the first matching pattern per line wins.
+NONDET_PATTERNS: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device draws host entropy — thread a seeded "
+     "epidemic::Rng through instead"),
+    (re.compile(r"\b(?:std::)?(?:s?rand|[dlm]rand48)\s*\("),
+     "C-library RNG reads hidden global state"),
+    (re.compile(r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?"
+                r"|default_random_engine|ranlux\d+(?:_base)?|knuth_b)\b"),
+     "std <random> engine — use the explicitly seeded epidemic::Rng"),
+    (re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)"
+                r"_clock::now\b|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+                r"|\btime\s*\(\s*(?:nullptr|NULL|0)?\s*\)|\bRealClock\b"),
+     "wall-clock read — protocol code must take time as an argument "
+     "(the sim's virtual clock, a TimeMicros parameter)"),
+    (re.compile(r"\bstd::hash<[^<>]*\*\s*>"),
+     "hashing a pointer is address-dependent and varies run to run"),
+    (re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)"
+                r"<\s*(?:const\s+)?[\w:\s]+\*"),
+     "container keyed on pointer addresses iterates in a run-dependent "
+     "order"),
+]
+
+# Directories under src/ whose code feeds the model checker's state space
+# and therefore must be schedule-deterministic.
+NONDET_DIRS = ("core", "log", "vv", "sim")
+
 
 class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.findings: list[str] = []
+        # (path, 0-based line) of every waiver that suppressed a finding;
+        # waivers never recorded here are reported as stale.
+        self.used_waivers: set[tuple[Path, int]] = set()
 
     def report(self, path: Path, line: int, rule: str, message: str) -> None:
         try:
@@ -86,15 +128,19 @@ class Linter:
 
     # -- waivers ----------------------------------------------------------
 
-    @staticmethod
-    def waived(lines: list[str], idx: int, rule: str) -> bool:
+    def waived(self, path: Path, lines: list[str], idx: int,
+               rule: str) -> bool:
         """True if line idx (0-based) or the contiguous comment block right
-        above it carries a NOLINT-PROTOCOL waiver naming `rule`."""
+        above it carries a NOLINT-PROTOCOL waiver naming `rule`. Matching
+        waivers are recorded as used for stale-waiver detection."""
         probe = idx
         while probe >= 0:
             m = WAIVER_RE.search(lines[probe])
             if m:
-                return rule in [r.strip() for r in m.group("rules").split(",")]
+                if rule in [r.strip() for r in m.group("rules").split(",")]:
+                    self.used_waivers.add((path, probe))
+                    return True
+                return False
             if probe < idx and not lines[probe].lstrip().startswith("//"):
                 return False
             probe -= 1
@@ -134,7 +180,8 @@ class Linter:
             )
             next_implicit = value + 1
             name = entry.group("entry")
-            if value in seen and not self.waived(lines, i, "wire-tag-duplicate"):
+            if value in seen and not self.waived(path, lines, i,
+                                                 "wire-tag-duplicate"):
                 self.report(
                     path, i + 1, "wire-tag-duplicate",
                     f"{current}::{name} reuses tag {value} already taken by "
@@ -174,12 +221,18 @@ class Linter:
             body = "\n".join(lines[start : j + 1])
             func = f"{m.group('name')}::{m.group('method')}"
             if MUTATING_STORE_RE.search(body):
-                in_body = re.search(
-                    r"NOLINT-PROTOCOL\([^)]*unlogged-store-write[^)]*\)\s*:\s*\S",
-                    body,
+                in_body_re = re.compile(
+                    r"NOLINT-PROTOCOL\([^)]*unlogged-store-write[^)]*\)\s*:\s*\S"
                 )
-                if (not BOOKKEEPING_RE.search(body) and not in_body
-                        and not self.waived(lines, start,
+                in_body = None
+                for bi in range(start, j + 1):
+                    if bi < len(lines) and in_body_re.search(lines[bi]):
+                        in_body = bi
+                        break
+                if in_body is not None:
+                    self.used_waivers.add((path, in_body))
+                if (not BOOKKEEPING_RE.search(body) and in_body is None
+                        and not self.waived(path, lines, start,
                                             "unlogged-store-write")):
                     self.report(
                         path, start + 1, "unlogged-store-write",
@@ -224,7 +277,7 @@ class Linter:
         for i, line in enumerate(lines):
             code = line.split("//", 1)[0]
             if STD_MUTEX_RE.search(code):
-                if not self.waived(lines, i, "unguarded-mutex"):
+                if not self.waived(path, lines, i, "unguarded-mutex"):
                     self.report(
                         path, i + 1, "unguarded-mutex",
                         "raw std::mutex — use the annotated epidemic::Mutex "
@@ -244,13 +297,60 @@ class Linter:
                     r"\bREQUIRES(?:_SHARED)?\(\s*" + re.escape(name) + r"\b",
                     text,
                 )
-                if not guarded and not self.waived(lines, i, "unguarded-mutex"):
+                if not guarded and not self.waived(path, lines, i,
+                                                   "unguarded-mutex"):
                     self.report(
                         path, i + 1, "unguarded-mutex",
                         f"mutex '{name}' guards nothing: no GUARDED_BY/"
                         "PT_GUARDED_BY/REQUIRES in this file names it — "
                         "annotate what it protects, or waive with "
                         "NOLINT-PROTOCOL(unguarded-mutex): <reason>",
+                    )
+
+    # -- rule: nondeterminism --------------------------------------------
+
+    def check_nondeterminism(self, path: Path) -> None:
+        if not path.exists():
+            return
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            for pattern, why in NONDET_PATTERNS:
+                if not pattern.search(code):
+                    continue
+                if not self.waived(path, lines, i, "nondeterminism"):
+                    self.report(
+                        path, i + 1, "nondeterminism",
+                        f"{why} — protocol code must be deterministic so "
+                        "epicheck's state hashing and trace replay stay "
+                        "sound; waive with NOLINT-PROTOCOL(nondeterminism): "
+                        "<reason> if the value provably never reaches "
+                        "protocol state",
+                    )
+                break  # one finding per line
+
+    # -- rule: stale-waiver ----------------------------------------------
+
+    def check_stale_waivers(self, paths: list[Path]) -> None:
+        """Must run after every other check: reports waivers that suppressed
+        nothing. Deliberately unwaivable — a stale waiver is dead
+        documentation and gets deleted, not re-waived."""
+        skip = self.root / "src" / "common" / "thread_annotations.h"
+        for path in sorted(set(paths)):
+            if path == skip or not path.exists():
+                continue
+            lines = path.read_text().splitlines()
+            for i, line in enumerate(lines):
+                m = WAIVER_RE.search(line)
+                if m and (path, i) not in self.used_waivers:
+                    rules = ", ".join(
+                        r.strip() for r in m.group("rules").split(",")
+                    )
+                    self.report(
+                        path, i + 1, "stale-waiver",
+                        f"NOLINT-PROTOCOL({rules}) no longer suppresses any "
+                        "finding — the waived code is gone or the rule no "
+                        "longer fires; delete the waiver",
                     )
 
     # -- drivers ----------------------------------------------------------
@@ -265,12 +365,19 @@ class Linter:
         for doc in ("docs/PROTOCOL.md", "EXPERIMENTS.md", "DESIGN.md"):
             self.check_doc_tags(self.root / doc, known)
         skip = self.root / "src" / "common" / "thread_annotations.h"
-        for path in sorted((self.root / "src").rglob("*.h")) + sorted(
+        sources = sorted((self.root / "src").rglob("*.h")) + sorted(
             (self.root / "src").rglob("*.cc")
-        ):
+        )
+        for path in sources:
             if path == skip:
                 continue
             self.check_mutexes(path)
+        for sub in NONDET_DIRS:
+            for path in sorted((self.root / "src" / sub).rglob("*.h")) + sorted(
+                (self.root / "src" / sub).rglob("*.cc")
+            ):
+                self.check_nondeterminism(path)
+        self.check_stale_waivers(sources)
 
     def lint_files(self, files: list[Path]) -> None:
         for path in files:
@@ -280,8 +387,10 @@ class Linter:
             self.check_wire_tags(path)
             if path.suffix in (".h", ".cc"):
                 self.check_mutexes(path)
+                self.check_nondeterminism(path)
             if path.name == "replica.cc":
                 self.check_store_mutations(path)
+        self.check_stale_waivers(files)
 
 
 def main() -> int:
