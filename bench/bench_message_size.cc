@@ -5,12 +5,21 @@
 // record per origin that updated it). This table encodes actual
 // PropagationResponse messages for growing m and measures bytes/item,
 // separating metadata from payload.
+//
+// Experiment W1 (DESIGN.md §10): the same accounting for the sharded
+// exchange under wire v2 (dense IVVs, owned bodies, tag 15) vs wire v3
+// (delta IVVs against the shard DBVV, indexed tails, tag 18). The v3
+// claim is about CONTROL bytes — payload is identical by construction —
+// so the table separates the two and reports the control-byte reduction.
+// `--json` emits the W1 rows as a JSON object for scripts/run_benchmarks.sh.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/compress.h"
 #include "core/replica.h"
+#include "core/sharded_replica.h"
 #include "net/codec.h"
 
 namespace {
@@ -18,6 +27,9 @@ namespace {
 using epidemic::PropagationRequest;
 using epidemic::PropagationResponse;
 using epidemic::Replica;
+using epidemic::ShardedPropagationRequest;
+using epidemic::ShardedPropagationResponse;
+using epidemic::ShardedReplica;
 
 void RunRow(int64_t m, size_t value_len, size_t num_nodes) {
   Replica src(0, num_nodes), dst(1, num_nodes);
@@ -44,9 +56,106 @@ void RunRow(int64_t m, size_t value_len, size_t num_nodes) {
               compressed);
 }
 
+// One W1 measurement: a sharded source with m single-origin updates serves
+// a cold recipient under both wire formats. Payload (the item values) is
+// identical on both wires, so control = frame - payload isolates the
+// format's own cost: envelope, names, IVVs, tails.
+struct W1Row {
+  size_t nodes = 0;
+  int64_t m = 0;
+  size_t value_len = 0;
+  size_t v2_frame = 0;
+  size_t v3_frame = 0;
+  size_t payload = 0;
+  size_t v2_control = 0;
+  size_t v3_control = 0;
+  double control_reduction_pct = 0;
+};
+
+W1Row RunW1Row(size_t nodes, int64_t m, size_t value_len) {
+  constexpr size_t kShards = 8;
+  ShardedReplica src(0, nodes, kShards), dst(1, nodes, kShards);
+  for (int64_t i = 0; i < m; ++i) {
+    (void)src.Update("item" + std::to_string(i),
+                     std::string(value_len, 'x'));
+  }
+
+  ShardedPropagationResponse v2 =
+      src.HandlePropagationRequest(dst.BuildPropagationRequest());
+  ShardedPropagationResponse v3 =
+      src.HandlePropagationRequestV3(dst.BuildPropagationRequestV3());
+
+  W1Row row;
+  row.nodes = nodes;
+  row.m = m;
+  row.value_len = value_len;
+  row.v2_frame = epidemic::net::Encode(epidemic::net::Message(v2)).size();
+  row.v3_frame = epidemic::net::Encode(epidemic::net::Message(v3)).size();
+  row.payload = static_cast<size_t>(m) * value_len;
+  row.v2_control = row.v2_frame - row.payload;
+  row.v3_control = row.v3_frame - row.payload;
+  row.control_reduction_pct =
+      row.v2_control > 0
+          ? 100.0 * (1.0 - static_cast<double>(row.v3_control) /
+                               static_cast<double>(row.v2_control))
+          : 0.0;
+  return row;
+}
+
+constexpr size_t kW1Nodes[] = {4, 16, 32};
+constexpr int64_t kW1Items[] = {64, 256, 4096};
+
+void PrintW1Table() {
+  std::printf(
+      "\nW1: sharded exchange, wire v2 vs v3 (8 shards, 64-byte values,\n"
+      "single origin, cold recipient); control = frame - payload\n\n");
+  std::printf("%7s %8s %10s %10s %10s %12s %12s %10s\n", "nodes", "m_items",
+              "v2_frame", "v3_frame", "payload", "v2_control", "v3_control",
+              "saved");
+  for (size_t nodes : kW1Nodes) {
+    for (int64_t m : kW1Items) {
+      W1Row r = RunW1Row(nodes, m, /*value_len=*/64);
+      std::printf("%7zu %8lld %10zu %10zu %10zu %12zu %12zu %9.1f%%\n",
+                  r.nodes, static_cast<long long>(r.m), r.v2_frame, r.v3_frame,
+                  r.payload, r.v2_control, r.v3_control,
+                  r.control_reduction_pct);
+    }
+  }
+  std::printf(
+      "\nshape check: the reduction grows with the replica count (dense\n"
+      "IVVs cost one varint per node; deltas cost one pair per WRITER).\n");
+}
+
+void PrintW1Json() {
+  std::printf("{\n  \"w1_rows\": [\n");
+  bool first = true;
+  for (size_t nodes : kW1Nodes) {
+    for (int64_t m : kW1Items) {
+      W1Row r = RunW1Row(nodes, m, /*value_len=*/64);
+      std::printf(
+          "%s    {\"nodes\": %zu, \"m_items\": %lld, \"value_len\": %zu, "
+          "\"v2_frame_bytes\": %zu, \"v3_frame_bytes\": %zu, "
+          "\"payload_bytes\": %zu, \"v2_control_bytes\": %zu, "
+          "\"v3_control_bytes\": %zu, \"control_reduction_pct\": %.2f}",
+          first ? "" : ",\n", r.nodes, static_cast<long long>(r.m),
+          r.value_len, r.v2_frame, r.v3_frame, r.payload, r.v2_control,
+          r.v3_control, r.control_reduction_pct);
+      first = false;
+    }
+  }
+  std::printf("\n  ]\n}\n");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      PrintW1Json();
+      return 0;
+    }
+  }
+
   std::printf(
       "E9: encoded propagation-message size; metadata must be constant "
       "per shipped item (§6)\n\n");
@@ -78,5 +187,7 @@ int main() {
       a.BuildPropagationRequest());
   std::printf("\n'you-are-current' reply over a 1000-item database: %zu bytes\n",
               epidemic::net::Encode(epidemic::net::Message(current)).size());
+
+  PrintW1Table();
   return 0;
 }

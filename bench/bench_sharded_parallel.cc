@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -150,10 +151,44 @@ double MaxReadStallMicros(size_t num_shards, int num_items) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Positional args (seconds, payload bytes, keys/writer) plus an optional
+  // `--json` anywhere: machine-readable output for scripts/run_benchmarks.sh.
+  bool json = false;
   double seconds = 1.0;
-  if (argc > 1) seconds = std::atof(argv[1]);
-  if (argc > 2) g_payload_bytes = static_cast<size_t>(std::atol(argv[2]));
-  if (argc > 3) g_keys_per_writer = static_cast<size_t>(std::atol(argv[3]));
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      continue;
+    }
+    ++pos;
+    if (pos == 1) seconds = std::atof(argv[i]);
+    if (pos == 2) g_payload_bytes = static_cast<size_t>(std::atol(argv[i]));
+    if (pos == 3) g_keys_per_writer = static_cast<size_t>(std::atol(argv[i]));
+  }
+
+  if (json) {
+    std::printf("{\n  \"hardware_concurrency\": %u,\n  \"seconds\": %.3f,\n",
+                std::thread::hardware_concurrency(), seconds);
+    std::printf("  \"rows\": [\n");
+    const size_t shard_configs[][3] = {{1, 0, 4}, {16, 4, 4}};
+    double baseline = 0, sharded = 0;
+    for (size_t i = 0; i < 2; ++i) {
+      const auto& c = shard_configs[i];
+      RowResult r = RunRow(c[0], c[1], c[2], seconds);
+      std::printf(
+          "%s    {\"shards\": %zu, \"workers\": %zu, \"writers\": %zu, "
+          "\"rounds_per_sec\": %.2f, \"writes_per_sec\": %.0f}",
+          i == 0 ? "" : ",\n", c[0], c[1], c[2], r.rounds_per_sec,
+          r.writes_per_sec);
+      if (c[0] == 1) baseline = r.rounds_per_sec;
+      if (c[0] == 16) sharded = r.rounds_per_sec;
+    }
+    std::printf("\n  ],\n  \"loaded_speedup\": %.3f\n}\n",
+                baseline > 0 ? sharded / baseline : 0.0);
+    return 0;
+  }
+
   std::printf(
       "Sharded parallel anti-entropy: pull rounds/sec while writers hit the "
       "source\n(hardware_concurrency=%u payload=%zuB keys/writer=%zu)\n\n",

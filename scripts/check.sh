@@ -7,9 +7,11 @@
 #   scripts/check.sh --ubsan  # standalone UBSan build in build-ubsan/
 #   scripts/check.sh --tidy   # clang-tidy over the compilation database
 #   scripts/check.sh --model  # build + exhaustive epicheck model runs
+#   scripts/check.sh --bench-smoke  # build + one fast benchmark pass (JSON)
 #
 # Extra arguments after the mode are passed to ctest (e.g. -R server);
-# after --model they are passed to every epicheck invocation.
+# after --model they are passed to every epicheck invocation, and after
+# --bench-smoke to scripts/run_benchmarks.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,20 +53,33 @@ case "$mode" in
     build_dir=build
     cmake -B "$build_dir" -S . > /dev/null
     cmake --build "$build_dir" -j"$(nproc)" --target epicheck epicheck_test
-    # The two reference configurations from DESIGN.md §9: every interleaving
+    # The reference configurations from DESIGN.md §9: every interleaving
     # of the action alphabet up to the stated depth, against the real
-    # replica code. Then the ctest leg replays the checked-in trace
-    # fixtures (seeded defects must still reproduce, clean traces must
-    # still pass).
+    # replica code. The sharded legs exercise the real wire segments —
+    # the default drives v3 delta segments (tags 17/18), the explicit
+    # --wire 2 leg keeps the legacy owned path (tags 14/15) covered. Then
+    # the ctest leg replays the checked-in trace fixtures (seeded defects
+    # must still reproduce, clean traces must still pass).
     "$build_dir"/tools/epicheck --nodes 2 --items 2 --depth 8 "$@"
     "$build_dir"/tools/epicheck --nodes 3 --items 2 --depth 6 "$@"
     "$build_dir"/tools/epicheck --nodes 2 --items 2 --depth 6 --shards 2 "$@"
+    "$build_dir"/tools/epicheck --nodes 2 --items 2 --depth 6 --shards 2 \
+        --wire 2 "$@"
     ctest --test-dir "$build_dir" --output-on-failure -R epicheck
+    exit 0
+    ;;
+  --bench-smoke)
+    shift
+    build_dir=build
+    cmake -B "$build_dir" -S . > /dev/null
+    cmake --build "$build_dir" -j"$(nproc)" --target \
+        bench_propagation bench_message_size bench_sharded_parallel
+    scripts/run_benchmarks.sh --json --smoke "$@"
     exit 0
     ;;
   --*)
     echo "error: unknown mode '$mode'" >&2
-    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy|--model] [ctest args]" >&2
+    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy|--model|--bench-smoke] [ctest args]" >&2
     exit 2
     ;;
   *)

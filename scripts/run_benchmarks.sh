@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Wire-path benchmarks (DESIGN.md §10 / EXPERIMENTS.md W1).
+#
+# Runs the three benchmarks that back the wire-v3 performance claims and,
+# with --json, merges their machine-readable outputs into one artifact:
+#   - bench_propagation      µs/item and allocs/exchange, owned vs view path,
+#                            plus the sharded v2-vs-v3 wire exchange
+#   - bench_message_size     bytes/exchange and control bytes, v2 vs v3 (W1)
+#   - bench_sharded_parallel pull rounds/sec under write load
+#
+# Usage: scripts/run_benchmarks.sh [--json] [--smoke] [output.json]
+#   --json   write the merged JSON artifact (default name BENCH_PR5.json)
+#   --smoke  cut measurement time (CI shape check, not a measurement)
+#
+# Binaries are expected under $BUILD_DIR/bench (default: build/bench);
+# scripts/check.sh --bench-smoke builds them and calls this with
+# --json --smoke.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+json=0
+smoke=0
+out="BENCH_PR5.json"
+for arg in "$@"; do
+  case "$arg" in
+    --json) json=1 ;;
+    --smoke) smoke=1 ;;
+    *) out="$arg" ;;
+  esac
+done
+
+for b in bench_propagation bench_message_size bench_sharded_parallel; do
+  if [ ! -x "$BENCH_DIR/$b" ]; then
+    echo "missing $BENCH_DIR/$b — build it first:" >&2
+    echo "  cmake --build $BUILD_DIR --target $b" >&2
+    exit 1
+  fi
+done
+
+# Restrict bench_propagation to the headline cases: the m=4096 sweep points
+# (owned vs fast) and the sharded wire exchange pair.
+filter='BM_SweepDirtyItems(Fast)?/4096$|BM_ShardedWireExchangeV[23]$'
+gb_args=("--benchmark_filter=${filter}")
+par_seconds=1.0
+if [ "$smoke" -eq 1 ]; then
+  gb_args+=("--benchmark_min_time=0.02")
+  par_seconds=0.2
+fi
+
+if [ "$json" -eq 0 ]; then
+  "$BENCH_DIR/bench_propagation" "${gb_args[@]}"
+  echo
+  "$BENCH_DIR/bench_message_size"
+  echo
+  "$BENCH_DIR/bench_sharded_parallel" "$par_seconds"
+  exit 0
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$BENCH_DIR/bench_propagation" "${gb_args[@]}" \
+    --benchmark_format=json > "$tmpdir/prop.json"
+"$BENCH_DIR/bench_message_size" --json > "$tmpdir/msg.json"
+"$BENCH_DIR/bench_sharded_parallel" --json "$par_seconds" > "$tmpdir/par.json"
+
+SMOKE="$smoke" OUT="$out" TMPDIR_BENCH="$tmpdir" python3 - <<'PY'
+import json, os
+
+tmp = os.environ["TMPDIR_BENCH"]
+prop = json.load(open(os.path.join(tmp, "prop.json")))
+msg = json.load(open(os.path.join(tmp, "msg.json")))
+par = json.load(open(os.path.join(tmp, "par.json")))
+
+rows = {b["name"]: b for b in prop["benchmarks"]}
+
+def exchange(name):
+    b = rows[name]
+    assert b.get("time_unit", "us") == "us", b
+    m = b.get("m_dirty", 0)
+    return {
+        "us_per_exchange": round(b["real_time"], 3),
+        "us_per_item": round(b["real_time"] / m, 4) if m else None,
+        "m_dirty": int(m),
+        "serve_allocs_per_exchange": b.get("serve_allocs"),
+        "accept_allocs_per_exchange": b.get("accept_allocs"),
+        "frame_bytes_per_exchange": b.get("frame_bytes"),
+    }
+
+owned = exchange("BM_SweepDirtyItems/4096")
+fast = exchange("BM_SweepDirtyItemsFast/4096")
+v2 = exchange("BM_ShardedWireExchangeV2")
+v3 = exchange("BM_ShardedWireExchangeV3")
+
+def pct_faster(a, b):
+    return round(100.0 * (1.0 - b / a), 2) if a else None
+
+def ratio(a, b):
+    if a is None or b is None:
+        return None
+    return round(a / b, 2) if b else None  # None: divisor is exactly 0
+
+result = {
+    "artifact": "BENCH_PR5",
+    "smoke": os.environ["SMOKE"] == "1",
+    "host_context": prop.get("context", {}),
+    "propagation": {
+        "n_items": 65536,
+        "owned": owned,
+        "fast": fast,
+        "us_per_item_improvement_pct": pct_faster(
+            owned["us_per_exchange"], fast["us_per_exchange"]),
+        # None here means the fast path performed ZERO staging allocs
+        # (an infinite reduction); the raw per-path counts are above.
+        "accept_allocs_reduction_x": ratio(
+            owned["accept_allocs_per_exchange"],
+            fast["accept_allocs_per_exchange"]),
+    },
+    "sharded_wire": {
+        "v2": v2,
+        "v3": v3,
+        "us_per_exchange_improvement_pct": pct_faster(
+            v2["us_per_exchange"], v3["us_per_exchange"]),
+        "frame_bytes_reduction_pct": pct_faster(
+            v2["frame_bytes_per_exchange"], v3["frame_bytes_per_exchange"]),
+    },
+    "message_size_w1": msg["w1_rows"],
+    "sharded_parallel": par,
+}
+
+out = os.environ["OUT"]
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+
+sw = result["sharded_wire"]
+print(f"  wire exchange us/item (N=65536, m=4096) v2={v2['us_per_item']} "
+      f"v3={v3['us_per_item']} ({sw['us_per_exchange_improvement_pct']}% "
+      f"faster)")
+p = result["propagation"]
+print(f"  in-process us/item owned={owned['us_per_item']} "
+      f"fast={fast['us_per_item']} "
+      f"({p['us_per_item_improvement_pct']}% faster)")
+print(f"  accept allocs/exchange owned={owned['accept_allocs_per_exchange']} "
+      f"fast={fast['accept_allocs_per_exchange']}")
+w1 = [r for r in msg["w1_rows"] if r["nodes"] >= 16 and r["m_items"] >= 64]
+worst = min(r["control_reduction_pct"] for r in w1)
+print(f"  W1 control-byte reduction at n>=16, m>=64: worst {worst:.1f}%")
+PY

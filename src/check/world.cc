@@ -161,10 +161,17 @@ Status World::ApplySync(size_t recipient, size_t source) {
     }
     return r.plain->AcceptPropagation(resp);
   }
+  // Handle/Accept encode and decode the real per-shard wire segment
+  // bodies — v3 delta segments (tags 17/18) by default, the owned v2
+  // bodies (tags 14/15) under --wire 2 — so sharded checking covers the
+  // configured wire path end to end.
+  if (config_.wire_version >= 3) {
+    ShardedPropagationRequest req = r.sharded->BuildPropagationRequestV3();
+    ShardedPropagationResponse resp =
+        s.sharded->HandlePropagationRequestV3(req);
+    return r.sharded->AcceptPropagation(resp);
+  }
   ShardedPropagationRequest req = r.sharded->BuildPropagationRequest();
-  // HandlePropagationRequest/AcceptPropagation encode and decode the real
-  // per-shard wire segment bodies (tags 14/15), so sharded checking covers
-  // the v2 wire path too.
   ShardedPropagationResponse resp = s.sharded->HandlePropagationRequest(req);
   return r.sharded->AcceptPropagation(resp);
 }

@@ -1,0 +1,123 @@
+#ifndef EPIDEMIC_COMMON_BUFFER_POOL_H_
+#define EPIDEMIC_COMMON_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace epidemic {
+
+/// Thread-safe free list of `std::string` byte buffers.
+///
+/// The v3 wire hot path (DESIGN.md §10) builds one segment body per stale
+/// shard per anti-entropy round; without pooling every round pays a malloc
+/// and a free per shard for a buffer whose size is essentially the same as
+/// last round's. The pool keeps those buffers warm: Get() hands out a
+/// cleared buffer with its old capacity intact (growing it to `hint` when
+/// asked), Put() returns it. Buffers above `max_buffer_bytes` are dropped
+/// rather than cached so one pathological segment cannot pin memory, and
+/// the free list is capped at `max_buffers`.
+///
+/// Lifetime: the pool must outlive every buffer checked out of it only if
+/// the buffer is eventually Put() back — a buffer is a plain std::string,
+/// so leaking it past the pool is safe, just unpooled.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;       ///< Get() served from the free list.
+    uint64_t misses = 0;     ///< Get() had to construct a fresh buffer.
+    uint64_t returns = 0;    ///< Put() kept the buffer for reuse.
+    uint64_t discards = 0;   ///< Put() dropped the buffer (full / too big).
+  };
+
+  explicit BufferPool(size_t max_buffers = 64,
+                      size_t max_buffer_bytes = size_t{8} << 20)
+      : max_buffers_(max_buffers), max_buffer_bytes_(max_buffer_bytes) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a cleared buffer with capacity ≥ `reserve_hint`, reusing a
+  /// pooled one when available.
+  std::string Get(size_t reserve_hint = 0) EXCLUDES(mu_) {
+    std::string buf;
+    {
+      MutexLock lock(mu_);
+      if (!free_.empty()) {
+        buf = std::move(free_.back());
+        free_.pop_back();
+        ++stats_.hits;
+      } else {
+        ++stats_.misses;
+      }
+    }
+    buf.clear();
+    if (reserve_hint > buf.capacity()) buf.reserve(reserve_hint);
+    return buf;
+  }
+
+  /// Returns `buf` to the free list (or drops it when the list is full or
+  /// the buffer outgrew `max_buffer_bytes`). The contents are discarded.
+  void Put(std::string buf) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (free_.size() >= max_buffers_ ||
+        buf.capacity() > max_buffer_bytes_) {
+      ++stats_.discards;
+      return;
+    }
+    ++stats_.returns;
+    free_.push_back(std::move(buf));
+  }
+
+  Stats stats() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+
+  size_t free_buffers() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  const size_t max_buffers_;
+  const size_t max_buffer_bytes_;
+  mutable Mutex mu_;
+  std::vector<std::string> free_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+};
+
+/// RAII checkout of one BufferPool buffer: takes a buffer in the
+/// constructor, returns it in the destructor. With a null pool it degrades
+/// to a plain owned string, so call sites can be written once and work
+/// with or without pooling.
+class PooledBuffer {
+ public:
+  explicit PooledBuffer(BufferPool* pool, size_t reserve_hint = 0)
+      : pool_(pool), buf_(pool ? pool->Get(reserve_hint) : std::string()) {
+    if (!pool_ && reserve_hint > 0) buf_.reserve(reserve_hint);
+  }
+
+  ~PooledBuffer() {
+    if (pool_) pool_->Put(std::move(buf_));
+  }
+
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  std::string& operator*() { return buf_; }
+  std::string* operator->() { return &buf_; }
+  const std::string& operator*() const { return buf_; }
+
+ private:
+  BufferPool* pool_;
+  std::string buf_;
+};
+
+}  // namespace epidemic
+
+#endif  // EPIDEMIC_COMMON_BUFFER_POOL_H_

@@ -20,6 +20,17 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Adopts `buf` as the output buffer, clearing its contents but keeping
+  /// its capacity. Pairs with BufferPool: a pooled buffer adopted here is
+  /// already warm, so steady-state encodes never touch the allocator.
+  explicit ByteWriter(std::string buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
+  /// Grows capacity to at least `n` bytes (size-hinted encodes reserve the
+  /// estimated frame size once up front instead of doubling repeatedly).
+  void Reserve(size_t n) { buf_.reserve(n); }
+
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
 
   void PutFixed32(uint32_t v) {
@@ -106,6 +117,19 @@ class ByteReader {
     if (!len.ok()) return len.status();
     if (pos_ + *len > data_.size()) return Truncated("string body");
     std::string s(data_.substr(pos_, *len));
+    pos_ += *len;
+    return s;
+  }
+
+  /// Zero-copy variant of GetString: the returned view borrows the bytes
+  /// the reader was constructed over, so it is valid exactly as long as
+  /// that buffer. Used by the view-based wire decoders, whose backing
+  /// buffer outlives AcceptPropagation (DESIGN.md §10).
+  Result<std::string_view> GetStringView() {
+    auto len = GetVarint64();
+    if (!len.ok()) return len.status();
+    if (pos_ + *len > data_.size()) return Truncated("string body");
+    std::string_view s = data_.substr(pos_, *len);
     pos_ += *len;
     return s;
   }

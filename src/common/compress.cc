@@ -40,6 +40,13 @@ void FlushLiterals(std::string& out, std::string_view input, size_t start,
 
 std::string Compress(std::string_view input) {
   std::string out;
+  CompressTo(input, &out);
+  return out;
+}
+
+void CompressTo(std::string_view input, std::string* out_buf) {
+  std::string& out = *out_buf;
+  out.clear();
   out.reserve(input.size() / 2 + 16);
   std::vector<size_t> table(size_t{1} << kHashBits, SIZE_MAX);
 
@@ -72,12 +79,20 @@ std::string Compress(std::string_view input) {
     }
   }
   FlushLiterals(out, input, literal_start, input.size());
-  return out;
 }
 
 Result<std::string> Decompress(std::string_view compressed,
                                size_t max_output) {
   std::string out;
+  Status s = DecompressTo(compressed, &out, max_output);
+  if (!s.ok()) return s;
+  return out;
+}
+
+Status DecompressTo(std::string_view compressed, std::string* out_buf,
+                    size_t max_output) {
+  std::string& out = *out_buf;
+  out.clear();
   size_t pos = 0;
   while (pos < compressed.size()) {
     uint8_t control = static_cast<uint8_t>(compressed[pos++]);
@@ -117,7 +132,7 @@ Result<std::string> Decompress(std::string_view compressed,
       for (size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
     }
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace epidemic

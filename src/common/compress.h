@@ -21,10 +21,20 @@ namespace epidemic {
 /// input grows by ≤ 1 byte per 128.
 std::string Compress(std::string_view input);
 
+/// Compress into a caller-supplied buffer (replacing its contents, keeping
+/// its capacity) — the allocation-free variant for pooled buffers on the
+/// v3 wire hot path. `input` must not alias `*out`.
+void CompressTo(std::string_view input, std::string* out);
+
 /// Inverse of Compress. `max_output` bounds memory for untrusted input.
 /// Corruption on malformed streams.
 Result<std::string> Decompress(std::string_view compressed,
                                size_t max_output = size_t{1} << 30);
+
+/// Decompress into a caller-supplied buffer (replacing its contents,
+/// keeping its capacity). `compressed` must not alias `*out`.
+Status DecompressTo(std::string_view compressed, std::string* out,
+                    size_t max_output = size_t{1} << 30);
 
 }  // namespace epidemic
 

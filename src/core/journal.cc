@@ -23,6 +23,11 @@ enum class RecordTag : uint8_t {
   kPropagation = 3,
   kOob = 4,
   kResolve = 5,
+  // A raw wire-v3 segment body, journaled verbatim (so the journal pays
+  // the same delta/compression savings as the wire) and replayed through
+  // the zero-copy decode + view accept. Old journals (tags 1-5) replay
+  // unchanged.
+  kPropagationSegV3 = 6,
 };
 
 std::string JournalPath(const std::string& dir) {
@@ -54,6 +59,14 @@ Status ReplayRecord(Replica& replica, std::string_view payload) {
       auto resp = wire::DecodePropagationResponseBody(r);
       if (!resp.ok()) return resp.status();
       return replica.AcceptPropagation(*resp);
+    }
+    case RecordTag::kPropagationSegV3: {
+      wire::SegmentViewStorage storage;
+      PropagationResponseView view;
+      Status s = wire::DecodeShardSegmentBodyV3(payload.substr(r.position()),
+                                                &storage, &view);
+      if (!s.ok()) return s;
+      return replica.AcceptPropagation(view);
     }
     case RecordTag::kOob: {
       auto resp = wire::DecodeOobResponseBody(r);
@@ -220,6 +233,20 @@ Status JournaledReplica::AcceptPropagation(const PropagationResponse& resp) {
   return replica_->AcceptPropagation(resp);
 }
 
+Status JournaledReplica::AcceptPropagationSegmentV3(std::string_view body) {
+  // Decode (and thereby fully validate) before journaling, so a corrupt
+  // body is rejected without leaving an unreplayable record behind.
+  wire::SegmentViewStorage storage;
+  PropagationResponseView view;
+  EPI_RETURN_NOT_OK(wire::DecodeShardSegmentBodyV3(body, &storage, &view));
+  ByteWriter w;
+  w.Reserve(body.size() + 1);
+  w.PutU8(static_cast<uint8_t>(RecordTag::kPropagationSegV3));
+  w.PutBytes(body.data(), body.size());
+  EPI_RETURN_NOT_OK(AppendRecord(w.Release()));
+  return replica_->AcceptPropagation(view);
+}
+
 Status JournaledReplica::AcceptOobResponse(const OobResponse& resp) {
   ByteWriter w;
   w.PutU8(static_cast<uint8_t>(RecordTag::kOob));
@@ -347,11 +374,15 @@ Status JournaledShardedReplica::AcceptPropagation(
       }
       continue;
     }
-    Result<PropagationResponse> decoded =
-        wire::DecodeShardSegmentBody(seg.body);
-    Status s = decoded.ok()
-                   ? shards_[seg.shard]->AcceptPropagation(*decoded)
-                   : decoded.status();
+    Status s;
+    if (resp.wire_version >= kWireV3) {
+      s = shards_[seg.shard]->AcceptPropagationSegmentV3(seg.body);
+    } else {
+      Result<PropagationResponse> decoded =
+          wire::DecodeShardSegmentBody(seg.body);
+      s = decoded.ok() ? shards_[seg.shard]->AcceptPropagation(*decoded)
+                       : decoded.status();
+    }
     if (!s.ok() && first_error.ok()) first_error = s;
   }
   return first_error;

@@ -53,6 +53,13 @@ class JournaledReplica {
   Status AcceptPropagation(const PropagationResponse& resp);
   Status AcceptOobResponse(const OobResponse& resp);
 
+  /// Journaled accept of a raw wire-v3 segment body: the body is decoded
+  /// zero-copy (which also validates it *before* anything is journaled),
+  /// appended verbatim under its own record tag, and applied through the
+  /// view path — the owned PropagationResponse is never materialized, on
+  /// the live path or on replay.
+  Status AcceptPropagationSegmentV3(std::string_view body);
+
   // Read-only operations pass straight through.
   Result<std::string> Read(std::string_view name) {
     return replica_->Read(name);
@@ -129,6 +136,11 @@ class JournaledShardedReplica {
   }
   Status AcceptShardPropagation(size_t shard, const PropagationResponse& r) {
     return shards_[shard]->AcceptPropagation(r);
+  }
+  /// Journaled accept of one shard's raw v3 segment body (see
+  /// JournaledReplica::AcceptPropagationSegmentV3).
+  Status AcceptShardPropagationSegmentV3(size_t shard, std::string_view body) {
+    return shards_[shard]->AcceptPropagationSegmentV3(body);
   }
   Status AcceptOobResponse(const OobResponse& resp) {
     return shards_[view_->ShardOf(resp.item_name)]->AcceptOobResponse(resp);

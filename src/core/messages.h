@@ -3,11 +3,25 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "vv/version_vector.h"
 
 namespace epidemic {
+
+/// Wire protocol versions of the sharded propagation exchange. v2 (tags
+/// 14/15) ships dense per-item IVVs and owned strings; v3 (tags 17/18)
+/// delta-encodes IVVs against the segment's base DBVV, references tail
+/// items by index, and supports zero-copy decode plus optional segment
+/// compression (DESIGN.md §10). v1 is the unsharded exchange (tags 1/2).
+inline constexpr uint8_t kWireV2 = 2;
+inline constexpr uint8_t kWireV3 = 3;
+
+/// v3 request flag: the requester is willing to receive compressed
+/// segment bodies (negotiated per exchange; a v3 source never compresses
+/// unless the recipient asked).
+inline constexpr uint8_t kPropFlagAcceptCompressed = 0x01;
 
 /// Step (1) of update propagation (§5.1): recipient i sends its DBVV to the
 /// prospective source j.
@@ -43,6 +57,48 @@ struct PropagationResponse {
   std::vector<WireItem> items;                    // S
 };
 
+/// Borrowed counterparts of WireLogRecord / WireItem /
+/// PropagationResponse: every string is a view into storage owned by
+/// someone longer-lived (the source's store on the serve path, the decode
+/// buffer on the accept path), and the IVV is a pointer into either the
+/// store or a decoded-IVV arena. This is the zero-copy spine of wire v3
+/// (DESIGN.md §10): a response travels source store → encoder → network →
+/// decode buffer → recipient store with names and values copied exactly
+/// once, into the store.
+struct WireLogRecordView {
+  std::string_view item_name;
+  UpdateCount seq = 0;
+  /// Index of the record's item within the response's item set S. The v3
+  /// encoder writes this index instead of repeating the name (validation
+  /// requires every tail name to be in S anyway); decoders of both
+  /// versions fill it in.
+  uint32_t item_index = 0;
+};
+
+struct WireItemView {
+  std::string_view name;
+  std::string_view value;
+  bool deleted = false;
+  const VersionVector* ivv = nullptr;  // owned by store / decode storage
+};
+
+struct PropagationResponseView {
+  bool you_are_current = false;
+  std::vector<std::vector<WireLogRecordView>> tails;  // D_k by origin k
+  std::vector<WireItemView> items;                    // S
+
+  /// Empties the view while keeping every vector's capacity (including
+  /// the per-origin tail vectors), so a reused view allocates only on the
+  /// first exchange it serves.
+  void Reset(size_t num_tails) {
+    you_are_current = false;
+    if (tails.size() > num_tails) tails.resize(num_tails);
+    for (auto& tail : tails) tail.clear();
+    if (tails.size() < num_tails) tails.resize(num_tails);
+    items.clear();
+  }
+};
+
 /// Sharded handshake (wire format v2): one round trip carries the DBVV of
 /// every shard, so a recipient lagging on any subset of shards pulls all of
 /// them in a single exchange. Each shard is a complete instance of the
@@ -52,6 +108,11 @@ struct PropagationResponse {
 struct ShardedPropagationRequest {
   NodeId requester = 0;
   std::vector<VersionVector> shard_dbvvs;  // indexed by shard
+  /// Which wire tag this request travels under (kWireV2 → tag 14,
+  /// kWireV3 → tag 17). Not itself serialized — implied by the tag.
+  uint8_t wire_version = kWireV2;
+  /// v3 only: kPropFlag* negotiation bits (serialized on the v3 wire).
+  uint8_t flags = 0;
 };
 
 /// One shard's segment of a sharded reply: the shard index plus the
@@ -61,7 +122,8 @@ struct ShardedPropagationRequest {
 /// lock only.
 struct ShardedPropagationSegment {
   uint32_t shard = 0;
-  std::string body;  // wire::EncodePropagationResponseBody bytes
+  std::string body;  // v2: EncodePropagationResponseBody bytes;
+                     // v3: EncodeShardSegmentBodyV3 bytes (self-framed)
 };
 
 /// Source reply to a sharded handshake. Shards found current by the O(1)
@@ -71,6 +133,10 @@ struct ShardedPropagationSegment {
 struct ShardedPropagationResponse {
   uint32_t num_shards = 0;
   std::vector<ShardedPropagationSegment> segments;
+  /// Segment body format (kWireV2 or kWireV3); selects the net tag
+  /// (15 vs 18) and the per-segment decoder. Implied by the tag on the
+  /// wire, never serialized.
+  uint8_t wire_version = kWireV2;
 
   bool you_are_current() const { return segments.empty(); }
 };

@@ -6,6 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/logging.h"
+#include "core/wire.h"
 #include "vv/vv_codec.h"
 
 namespace epidemic {
@@ -160,8 +161,21 @@ PropagationRequest Replica::BuildPropagationRequest() const {
 
 PropagationResponse Replica::HandlePropagationRequest(
     const PropagationRequest& req) {
+  const PropagationResponseView& view = HandlePropagationView(req);
+  // The staged pipeline materializes one owned string per name/value the
+  // response carries; charge them so allocs/exchange is measurable.
+  if (!view.you_are_current) {
+    stats_.serve_staging_allocs += 2 * view.items.size();
+    for (const auto& tail : view.tails) {
+      stats_.serve_staging_allocs += tail.size();
+    }
+  }
+  return wire::MaterializeResponse(view);
+}
+
+const PropagationResponseView& Replica::HandlePropagationView(
+    const PropagationRequest& req) {
   ++stats_.propagation_requests_served;
-  PropagationResponse resp;
 
   // Stability tracking: the request tells us how far the peer has come.
   if (req.requester < num_nodes_ && req.requester != id_ &&
@@ -169,44 +183,59 @@ PropagationResponse Replica::HandlePropagationRequest(
     peer_dbvv_[req.requester].MergeMax(req.dbvv);
   }
 
+  PropagationResponseView& resp = scratch_.serve_view;
+
   // One DBVV comparison decides, in O(1) w.r.t. the number of data items,
-  // whether any propagation is needed at all (Fig. 2, first test).
+  // whether any propagation is needed at all (Fig. 2, first test). The
+  // you-are-current reply constructs nothing — Reset keeps capacity.
   ++stats_.dbvv_comparisons;
   if (VersionVector::DominatesOrEqual(req.dbvv, dbvv_)) {
+    resp.Reset(0);
     resp.you_are_current = true;
     ++stats_.you_are_current_replies;
     return resp;
   }
 
   // Build the tail vector D: for every origin k the requester lags on, the
-  // suffix of L_jk with seq > V_i[k] — exactly the updates i missed.
-  resp.tails.resize(num_nodes_);
-  std::vector<LogRecord> tail_buf;
-  std::vector<Item*> selected;
+  // suffix of L_jk with seq > V_i[k] — exactly the updates i missed. All
+  // buffers come from the scratch area, so in steady state this allocates
+  // nothing.
+  resp.Reset(num_nodes_);
+  scratch_.item_index.resize(store_.size());
+  std::vector<LogRecord>& tail_buf = scratch_.tail_buf;
+  std::vector<Item*>& selected = scratch_.selected;
+  selected.clear();
   for (NodeId k = 0; k < num_nodes_; ++k) {
     if (dbvv_[k] <= req.dbvv[k]) continue;
+    const OriginLog& log = logs_.ForOrigin(k);
     tail_buf.clear();
-    logs_.ForOrigin(k).CollectTail(req.dbvv[k], &tail_buf);
+    tail_buf.reserve(log.size());
+    log.CollectTail(req.dbvv[k], &tail_buf);
     resp.tails[k].reserve(tail_buf.size());
     for (const LogRecord& rec : tail_buf) {
       Item& item = store_.Get(rec.item);
-      resp.tails[k].push_back(WireLogRecord{item.name, rec.seq});
       ++stats_.log_records_selected;
       // The IsSelected flag (§6) deduplicates S across tails in O(1) per
-      // record, without hashing.
+      // record, without hashing. Selection order assigns each item its
+      // index into S, recorded in the scratch map so tail records can
+      // carry it (the v3 segment encoder ships indices, not names).
       if (!item.is_selected) {
         item.is_selected = true;
+        scratch_.item_index[item.id] = static_cast<uint32_t>(selected.size());
         selected.push_back(&item);
       }
+      resp.tails[k].push_back(WireLogRecordView{
+          item.name, rec.seq, scratch_.item_index[item.id]});
     }
   }
 
-  // Emit S: the regular copy and IVV of every referenced item, flipping the
-  // flags back so the store is clean for the next request.
+  // Emit S: the regular copy and IVV of every referenced item — as views
+  // into the live store — flipping the flags back so the store is clean
+  // for the next request.
   resp.items.reserve(selected.size());
   for (Item* item : selected) {
     resp.items.push_back(
-        WireItem{item->name, item->value, item->deleted, item->ivv});
+        WireItemView{item->name, item->value, item->deleted, &item->ivv});
     item->is_selected = false;
     ++stats_.items_shipped;
   }
@@ -214,7 +243,7 @@ PropagationResponse Replica::HandlePropagationRequest(
 }
 
 Status Replica::ValidatePropagationResponse(
-    const PropagationResponse& resp) const {
+    const PropagationResponseView& resp) const {
   if (resp.tails.size() != num_nodes_) {
     return Status::InvalidArgument(
         "tail vector has " + std::to_string(resp.tails.size()) +
@@ -222,16 +251,16 @@ Status Replica::ValidatePropagationResponse(
   }
   // The item set S must carry well-formed IVVs and no duplicates.
   std::unordered_set<std::string_view> item_names;
-  for (const WireItem& wi : resp.items) {
+  for (const WireItemView& wi : resp.items) {
     if (wi.name.empty()) {
       return Status::InvalidArgument("empty item name in response");
     }
-    if (wi.ivv.size() != num_nodes_) {
+    if (wi.ivv == nullptr || wi.ivv->size() != num_nodes_) {
       return Status::InvalidArgument("received IVV of wrong width for item '" +
-                                     wi.name + "'");
+                                     std::string(wi.name) + "'");
     }
     if (!item_names.insert(wi.name).second) {
-      return Status::InvalidArgument("duplicate item '" + wi.name +
+      return Status::InvalidArgument("duplicate item '" + std::string(wi.name) +
                                      "' in response");
     }
   }
@@ -243,7 +272,7 @@ Status Replica::ValidatePropagationResponse(
   // log-order invariant.
   for (NodeId k = 0; k < num_nodes_; ++k) {
     UpdateCount prev = dbvv_[k];
-    for (const WireLogRecord& rec : resp.tails[k]) {
+    for (const WireLogRecordView& rec : resp.tails[k]) {
       if (rec.seq <= prev) {
         return Status::InvalidArgument(
             "tail for origin " + std::to_string(k) +
@@ -252,7 +281,8 @@ Status Replica::ValidatePropagationResponse(
       prev = rec.seq;
       if (!item_names.contains(rec.item_name)) {
         return Status::InvalidArgument("tail record references item '" +
-                                       rec.item_name + "' not shipped in S");
+                                       std::string(rec.item_name) +
+                                       "' not shipped in S");
       }
     }
   }
@@ -260,6 +290,19 @@ Status Replica::ValidatePropagationResponse(
 }
 
 Status Replica::AcceptPropagation(const PropagationResponse& resp) {
+  if (resp.you_are_current) return Status::OK();
+  // The staged pipeline handed us one owned string per name/value; charge
+  // them (the mirror image of the serve-side counter), then run the view
+  // implementation over borrows into `resp`.
+  stats_.accept_staging_allocs += 2 * resp.items.size();
+  for (const auto& tail : resp.tails) {
+    stats_.accept_staging_allocs += tail.size();
+  }
+  wire::MakeResponseView(resp, &scratch_.accept_view);
+  return AcceptPropagation(scratch_.accept_view);
+}
+
+Status Replica::AcceptPropagation(const PropagationResponseView& resp) {
   if (resp.you_are_current) return Status::OK();
 
   // Validate the whole response before touching any state, so malformed or
@@ -270,24 +313,26 @@ Status Replica::AcceptPropagation(const PropagationResponse& resp) {
   // Step 2 (Fig. 3): adopt every received copy that strictly dominates the
   // local regular copy. Items whose copies were not adopted (conflicts, and
   // the defensively handled impossible cases) have their records dropped
-  // from the tails, as the paper prescribes for conflicts.
+  // from the tails, as the paper prescribes for conflicts. Adoption copies
+  // each name and value exactly once — from the view's backing bytes into
+  // the store; nothing else is materialized.
   std::vector<Item*> copied;
-  std::unordered_set<std::string> dropped;
-  for (const WireItem& wi : resp.items) {
+  std::unordered_set<std::string_view> dropped;
+  for (const WireItemView& wi : resp.items) {
     Item& item = store_.GetOrCreate(wi.name);
     ++stats_.item_ivv_comparisons;
-    switch (VersionVector::Compare(wi.ivv, item.ivv)) {
+    switch (VersionVector::Compare(*wi.ivv, item.ivv)) {
       case VvOrder::kDominates:
         // DBVV maintenance rule 3 (§4.1), then adopt value and IVV.
-        dbvv_.AddDelta(wi.ivv, item.ivv);
+        dbvv_.AddDelta(*wi.ivv, item.ivv);
         item.value = wi.value;
         item.deleted = wi.deleted;
-        item.ivv = wi.ivv;
+        item.ivv = *wi.ivv;
         copied.push_back(&item);
         ++stats_.items_adopted;
         break;
       case VvOrder::kConcurrent:
-        ReportConflict(item, wi.ivv, ConflictSource::kPropagation);
+        ReportConflict(item, *wi.ivv, ConflictSource::kPropagation);
         dropped.insert(wi.name);
         break;
       case VvOrder::kEqual:
@@ -312,7 +357,7 @@ Status Replica::AcceptPropagation(const PropagationResponse& resp) {
   // Append the surviving tails to our log vector, oldest first, preserving
   // origin order (AddLogRecord keeps at most one record per item).
   for (NodeId k = 0; k < num_nodes_; ++k) {
-    for (const WireLogRecord& rec : resp.tails[k]) {
+    for (const WireLogRecordView& rec : resp.tails[k]) {
       if (!dropped.empty() && dropped.contains(rec.item_name)) continue;
       Item& item = store_.GetOrCreate(rec.item_name);
       logs_.ForOrigin(k).AddLogRecord(item.id, rec.seq, &item.p[k]);
@@ -681,6 +726,19 @@ std::string Replica::CanonicalState() const {
 Result<size_t> PropagateOnce(Replica& source, Replica& recipient) {
   PropagationRequest req = recipient.BuildPropagationRequest();
   PropagationResponse resp = source.HandlePropagationRequest(req);
+  uint64_t adopted_before = recipient.stats().items_adopted;
+  Status s = recipient.AcceptPropagation(resp);
+  if (!s.ok()) return s;
+  return static_cast<size_t>(recipient.stats().items_adopted -
+                             adopted_before);
+}
+
+Result<size_t> PropagateOnceFast(Replica& source, Replica& recipient) {
+  PropagationRequest req = recipient.BuildPropagationRequest();
+  // The view borrows the source's store; it stays valid through the accept
+  // because nothing mutates the source until this call returns (both
+  // replicas are confined to this thread).
+  const PropagationResponseView& resp = source.HandlePropagationView(req);
   uint64_t adopted_before = recipient.stats().items_adopted;
   Status s = recipient.AcceptPropagation(resp);
   if (!s.ok()) return s;

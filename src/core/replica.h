@@ -49,6 +49,17 @@ struct ReplicaStats {
   uint64_t aux_copies_discarded = 0;
   uint64_t intra_node_ops_applied = 0;
 
+  // Wire hot path (v3, DESIGN.md §10): per-exchange allocation
+  // accounting. A "staging alloc" is one owned std::string materialized
+  // between the protocol endpoints and the store — the serve counter
+  // charges the owned SendPropagation pipeline (name + value per shipped
+  // item, name per tail record), the accept counter its mirror image on
+  // the receive side. The zero-copy view pipeline leaves both at zero:
+  // names and values travel as views and are copied exactly once, into
+  // the store. The benches report these as allocs/exchange.
+  uint64_t serve_staging_allocs = 0;
+  uint64_t accept_staging_allocs = 0;
+
   /// Component-wise sum, used to aggregate counters across shards.
   void Accumulate(const ReplicaStats& o) {
     propagation_requests_served += o.propagation_requests_served;
@@ -71,6 +82,8 @@ struct ReplicaStats {
     aux_copies_created += o.aux_copies_created;
     aux_copies_discarded += o.aux_copies_discarded;
     intra_node_ops_applied += o.intra_node_ops_applied;
+    serve_staging_allocs += o.serve_staging_allocs;
+    accept_staging_allocs += o.accept_staging_allocs;
   }
 };
 
@@ -158,12 +171,35 @@ class Replica {
   /// SendPropagation (Fig. 2), executed at the source. Detects in O(1)
   /// (one DBVV comparison) that the requester is current; otherwise builds
   /// the tail vector D and item set S in time O(m) where m = items shipped,
-  /// using the IsSelected flags (§6).
+  /// using the IsSelected flags (§6). This owned form materializes one
+  /// string per name/value — the staged pipeline; the wire-v3 serve path
+  /// uses HandlePropagationView instead.
   PropagationResponse HandlePropagationRequest(const PropagationRequest& req);
 
+  /// Zero-copy SendPropagation (Fig. 2): identical protocol decisions and
+  /// bookkeeping, but the returned response *borrows* — names and values
+  /// are views into this replica's store, IVVs are pointers at live item
+  /// IVVs, and the vectors live in a scratch area reused across
+  /// exchanges (so steady-state serving allocates nothing, and a
+  /// you-are-current reply constructs nothing at all). The view is valid
+  /// until this replica is next mutated or serves another request; the
+  /// caller must finish encoding/applying it before releasing the lock
+  /// that serializes this replica (DESIGN.md §10). Tail records carry
+  /// `item_index` into S, ready for the v3 segment encoder.
+  const PropagationResponseView& HandlePropagationView(
+      const PropagationRequest& req);
+
   /// AcceptPropagation (Fig. 3) followed by IntraNodePropagation (Fig. 4)
-  /// over the items copied, executed at the recipient.
+  /// over the items copied, executed at the recipient. The owned form
+  /// wraps the view form below.
   Status AcceptPropagation(const PropagationResponse& resp);
+
+  /// Zero-copy AcceptPropagation: applies a borrowed response (views into
+  /// a decode buffer or a peer replica's store). Each adopted name/value
+  /// is copied exactly once, into this store; nothing else is
+  /// materialized. The backing storage only needs to stay alive for the
+  /// duration of the call.
+  Status AcceptPropagation(const PropagationResponseView& resp);
 
   /// Runs the Fig. 4 intra-node propagation loop over every out-of-bound
   /// item, not just ones copied by the last exchange: replays auxiliary
@@ -270,7 +306,7 @@ class Replica {
 
   /// Read-only structural validation of a propagation response, run before
   /// any state is touched so malformed input is rejected atomically.
-  Status ValidatePropagationResponse(const PropagationResponse& resp) const;
+  Status ValidatePropagationResponse(const PropagationResponseView& resp) const;
 
   /// Runs the Fig. 4 loop for one item that was copied by AcceptPropagation.
   void IntraNodePropagation(Item& item);
@@ -293,13 +329,34 @@ class Replica {
   /// propagation request to us (stability tracking).
   std::vector<VersionVector> peer_dbvv_;
 
+  /// Serve-side scratch reused across exchanges (DESIGN.md §10): the tail
+  /// collection buffer, the selected-item list, the ItemId → S-index map
+  /// (entries valid only while the item's IsSelected flag is up), and the
+  /// response view handed out by HandlePropagationView. Capacities are
+  /// retained, so steady-state serving does not touch the allocator.
+  struct PropagationScratch {
+    std::vector<LogRecord> tail_buf;
+    std::vector<Item*> selected;
+    std::vector<uint32_t> item_index;
+    PropagationResponseView serve_view;
+    PropagationResponseView accept_view;  // owned→view staging for accepts
+  };
+  PropagationScratch scratch_;
+
   ReplicaStats stats_;
 };
 
 /// Runs one full anti-entropy exchange pulling updates from `source` into
 /// `recipient` (both in-process). Returns the number of items copied, or an
-/// error status.
+/// error status. Uses the staged (owned-string) pipeline — the historical
+/// baseline the benches compare against.
 Result<size_t> PropagateOnce(Replica& source, Replica& recipient);
+
+/// Same exchange over the zero-copy pipeline: the source's response view
+/// (borrowing its store) is applied directly by the recipient, with no
+/// intermediate owned strings. `source` and `recipient` must be distinct
+/// replicas confined to the calling thread for the duration.
+Result<size_t> PropagateOnceFast(Replica& source, Replica& recipient);
 
 }  // namespace epidemic
 

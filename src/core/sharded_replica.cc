@@ -72,6 +72,14 @@ ShardedPropagationRequest ShardedReplica::BuildPropagationRequest() const {
   return req;
 }
 
+ShardedPropagationRequest ShardedReplica::BuildPropagationRequestV3(
+    bool accept_compressed) const {
+  ShardedPropagationRequest req = BuildPropagationRequest();
+  req.wire_version = kWireV3;
+  if (accept_compressed) req.flags |= kPropFlagAcceptCompressed;
+  return req;
+}
+
 ShardedPropagationResponse ShardedReplica::HandlePropagationRequest(
     const ShardedPropagationRequest& req) {
   ShardedPropagationResponse resp;
@@ -91,6 +99,36 @@ ShardedPropagationResponse ShardedReplica::HandlePropagationRequest(
   return resp;
 }
 
+ShardedPropagationResponse ShardedReplica::HandlePropagationRequestV3(
+    const ShardedPropagationRequest& req, BufferPool* pool) {
+  ShardedPropagationResponse resp;
+  resp.wire_version = kWireV3;
+  resp.num_shards = static_cast<uint32_t>(shards_.size());
+  if (req.shard_dbvvs.size() != shards_.size()) {
+    // Topology mismatch: reply "current" with our shard count so the
+    // requester can diagnose; it must not apply anything.
+    return resp;
+  }
+  wire::V3SegmentOptions opts;
+  opts.compress = (req.flags & kPropFlagAcceptCompressed) != 0;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    const PropagationResponseView& view = shards_[k]->HandlePropagationView(
+        PropagationRequest{req.requester, req.shard_dbvvs[k]});
+    // A current shard produces no segment and constructs nothing — the
+    // O(1) DBVV check is the only work done.
+    if (view.you_are_current) continue;
+    ShardedPropagationSegment seg;
+    seg.shard = static_cast<uint32_t>(k);
+    seg.body = pool != nullptr ? pool->Get() : std::string();
+    // The delta base is this shard's DBVV: §4.1 gives ivv(x)[j] ≤ V[j]
+    // for every item in the shard, so complement deltas never underflow.
+    wire::EncodeShardSegmentBodyV3(view, shards_[k]->dbvv(), opts, pool,
+                                   &seg.body);
+    resp.segments.push_back(std::move(seg));
+  }
+  return resp;
+}
+
 Status ShardedReplica::AcceptPropagation(
     const ShardedPropagationResponse& resp) {
   if (resp.num_shards != shards_.size()) {
@@ -99,6 +137,10 @@ Status ShardedReplica::AcceptPropagation(
         " shards, this replica " + std::to_string(shards_.size()));
   }
   Status first_error = Status::OK();
+  // v3 decode state shared (and reused) across segments: the views live
+  // only for the duration of each shard's accept call.
+  wire::SegmentViewStorage storage;
+  PropagationResponseView view;
   for (const ShardedPropagationSegment& seg : resp.segments) {
     if (seg.shard >= shards_.size()) {
       if (first_error.ok()) {
@@ -106,11 +148,16 @@ Status ShardedReplica::AcceptPropagation(
       }
       continue;
     }
-    Result<PropagationResponse> decoded =
-        wire::DecodeShardSegmentBody(seg.body);
-    Status s = decoded.ok()
-                   ? shards_[seg.shard]->AcceptPropagation(*decoded)
-                   : decoded.status();
+    Status s;
+    if (resp.wire_version >= kWireV3) {
+      s = wire::DecodeShardSegmentBodyV3(seg.body, &storage, &view);
+      if (s.ok()) s = shards_[seg.shard]->AcceptPropagation(view);
+    } else {
+      Result<PropagationResponse> decoded =
+          wire::DecodeShardSegmentBody(seg.body);
+      s = decoded.ok() ? shards_[seg.shard]->AcceptPropagation(*decoded)
+                       : decoded.status();
+    }
     if (!s.ok() && first_error.ok()) first_error = s;
   }
   return first_error;
@@ -229,6 +276,25 @@ Result<size_t> PropagateOnceSharded(ShardedReplica& source,
   uint64_t adopted_before = recipient.TotalStats().items_adopted;
   Status s = recipient.AcceptPropagation(resp);
   if (!s.ok()) return s;
+  return static_cast<size_t>(recipient.TotalStats().items_adopted -
+                             adopted_before);
+}
+
+Result<size_t> PropagateOnceShardedV3(ShardedReplica& source,
+                                      ShardedReplica& recipient,
+                                      bool compress, BufferPool* pool) {
+  ShardedPropagationRequest req =
+      recipient.BuildPropagationRequestV3(compress);
+  ShardedPropagationResponse resp =
+      source.HandlePropagationRequestV3(req, pool);
+  uint64_t adopted_before = recipient.TotalStats().items_adopted;
+  Status s = recipient.AcceptPropagation(resp);
+  if (!s.ok()) return s;
+  if (pool != nullptr) {
+    for (ShardedPropagationSegment& seg : resp.segments) {
+      pool->Put(std::move(seg.body));
+    }
+  }
   return static_cast<size_t>(recipient.TotalStats().items_adopted -
                              adopted_before);
 }

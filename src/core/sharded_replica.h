@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/replica.h"
@@ -96,6 +97,12 @@ class ShardedReplica {
   /// Step (1): every shard's DBVV in one handshake message.
   ShardedPropagationRequest BuildPropagationRequest() const;
 
+  /// Step (1), wire v3: same handshake, tagged v3 and carrying the
+  /// negotiation flags byte (`accept_compressed` advertises that the
+  /// source may LZ77-compress large segments).
+  ShardedPropagationRequest BuildPropagationRequestV3(
+      bool accept_compressed = false) const;
+
   /// Source side: runs SendPropagation (Fig. 2) per shard; shards the
   /// requester is current on are omitted from the reply. Touches every
   /// shard. The server layer instead calls HandleShardPropagation per shard
@@ -104,9 +111,22 @@ class ShardedReplica {
   ShardedPropagationResponse HandlePropagationRequest(
       const ShardedPropagationRequest& req);
 
+  /// Source side, wire v3: each stale shard is served zero-copy
+  /// (HandlePropagationView) and encoded straight into a v3 segment body —
+  /// delta IVVs against the shard's DBVV, indexed tails, compression when
+  /// the request's flags allow. Shards the requester is current on
+  /// construct nothing at all. `pool` (nullable) supplies the segment and
+  /// compression buffers; bodies are moved into the reply, so callers that
+  /// want reuse return them to the pool after the frame is encoded.
+  ShardedPropagationResponse HandlePropagationRequestV3(
+      const ShardedPropagationRequest& req, BufferPool* pool = nullptr);
+
   /// Recipient side: AcceptPropagation (Fig. 3-4) per received segment.
   /// Touches the shards named by the response. Applies every segment even
-  /// if one fails; returns the first error.
+  /// if one fails; returns the first error. Dispatches on
+  /// `resp.wire_version`: v3 segments decode zero-copy (views into the
+  /// segment bytes, applied directly); v2 segments take the historical
+  /// owned decode.
   Status AcceptPropagation(const ShardedPropagationResponse& resp);
 
   // Per-shard building blocks for callers that hold per-shard locks.
@@ -118,9 +138,23 @@ class ShardedReplica {
     return shards_[shard]->HandlePropagationRequest(req);
   }
 
+  /// Fig. 2 for one shard, zero-copy: the returned view borrows the
+  /// shard's store and serve scratch, so it is valid only while the caller
+  /// holds that shard's lock and until the shard next mutates or serves.
+  const PropagationResponseView& HandleShardPropagationView(
+      size_t shard, const PropagationRequest& req) {
+    return shards_[shard]->HandlePropagationView(req);
+  }
+
   /// Fig. 3-4 for one shard.
   Status AcceptShardPropagation(size_t shard,
                                 const PropagationResponse& resp) {
+    return shards_[shard]->AcceptPropagation(resp);
+  }
+
+  /// Fig. 3-4 for one shard over a borrowed response view.
+  Status AcceptShardPropagation(size_t shard,
+                                const PropagationResponseView& resp) {
     return shards_[shard]->AcceptPropagation(resp);
   }
 
@@ -200,6 +234,14 @@ class ShardedReplica {
 /// number of items copied.
 Result<size_t> PropagateOnceSharded(ShardedReplica& source,
                                     ShardedReplica& recipient);
+
+/// PropagateOnceSharded over wire v3: the source serves zero-copy into v3
+/// segment bodies (optionally compressed) and the recipient applies them
+/// through the view decoder. `pool` (nullable) backs the segment buffers.
+Result<size_t> PropagateOnceShardedV3(ShardedReplica& source,
+                                      ShardedReplica& recipient,
+                                      bool compress = false,
+                                      BufferPool* pool = nullptr);
 
 }  // namespace epidemic
 

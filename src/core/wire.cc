@@ -1,7 +1,11 @@
 #include "core/wire.h"
 
+#include <cassert>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
+#include "common/compress.h"
 #include "vv/vv_codec.h"
 
 namespace epidemic::wire {
@@ -192,6 +196,387 @@ Result<PropagationResponse> DecodeShardSegmentBody(std::string_view body) {
     return Status::Corruption("trailing bytes after shard segment body");
   }
   return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Wire format v3
+// ---------------------------------------------------------------------------
+
+void EncodeShardedPropagationRequestBodyV3(
+    ByteWriter& w, const ShardedPropagationRequest& m) {
+  w.PutVarint64(m.requester);
+  w.PutU8(m.flags);
+  w.PutVarint64(m.shard_dbvvs.size());
+  for (const VersionVector& vv : m.shard_dbvvs) {
+    EncodeVersionVector(&w, vv);
+  }
+}
+
+Result<ShardedPropagationRequest> DecodeShardedPropagationRequestBodyV3(
+    ByteReader& r) {
+  ShardedPropagationRequest m;
+  m.wire_version = kWireV3;
+  auto requester = r.GetVarint64();
+  if (!requester.ok()) return requester.status();
+  m.requester = static_cast<NodeId>(*requester);
+  auto flags = r.GetU8();
+  if (!flags.ok()) return flags.status();
+  m.flags = *flags;
+  auto count = r.GetVarint64();
+  if (!count.ok()) return count.status();
+  if (*count > (1u << 16)) return Status::Corruption("absurd shard count");
+  m.shard_dbvvs.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto vv = DecodeVersionVector(&r);
+    if (!vv.ok()) return vv.status();
+    m.shard_dbvvs.push_back(std::move(*vv));
+  }
+  return m;
+}
+
+namespace {
+
+/// Cheap upper-bound-ish estimate of the inner v3 segment size, so the
+/// ByteWriter reserves once instead of doubling. Per item: length
+/// prefixes + deleted byte + a typical few-byte delta IVV; per tail
+/// record: index + seq varints.
+size_t EstimateSegmentInnerSize(const PropagationResponseView& m,
+                                const VersionVector& base) {
+  size_t est = 2 * base.size() + 16;
+  for (const WireItemView& item : m.items) {
+    est += item.name.size() + item.value.size() + 16;
+  }
+  for (const auto& tail : m.tails) {
+    est += 2 + 8 * tail.size();
+  }
+  return est;
+}
+
+void EncodeSegmentInnerV3(ByteWriter& w, const PropagationResponseView& m,
+                          const VersionVector& base) {
+  EncodeVersionVector(&w, base);
+  w.PutVarint64(m.items.size());
+  for (const WireItemView& item : m.items) {
+    w.PutString(item.name);
+    w.PutString(item.value);
+    w.PutU8(item.deleted ? 1 : 0);
+    EncodeVersionVectorDelta(&w, *item.ivv, base);
+  }
+  w.PutVarint64(m.tails.size());
+  for (const auto& tail : m.tails) {
+    w.PutVarint64(tail.size());
+    UpdateCount prev = 0;
+    bool first = true;
+    for (const WireLogRecordView& rec : tail) {
+      w.PutVarint64(rec.item_index);
+      // Records within a tail are strictly increasing in seq, so after
+      // the first (absolute) value the gap-minus-one never underflows —
+      // and non-increasing sequences are inexpressible on the wire.
+      w.PutVarint64(first ? rec.seq : rec.seq - prev - 1);
+      prev = rec.seq;
+      first = false;
+    }
+  }
+}
+
+}  // namespace
+
+void EncodeShardSegmentBodyV3(const PropagationResponseView& m,
+                              const VersionVector& base,
+                              const V3SegmentOptions& opts, BufferPool* pool,
+                              std::string* out) {
+  // Current shards never reach the encoder: the O(1) DBVV check skips
+  // them before any buffer is constructed.
+  assert(!m.you_are_current);
+  const size_t estimate = EstimateSegmentInnerSize(m, base);
+  if (opts.compress && estimate >= opts.min_compress_bytes) {
+    PooledBuffer inner(pool, estimate);
+    {
+      ByteWriter iw(std::move(*inner));
+      iw.Reserve(estimate);
+      EncodeSegmentInnerV3(iw, m, base);
+      *inner = iw.Release();
+    }
+    PooledBuffer packed(pool, inner->size() / 2 + 16);
+    CompressTo(*inner, &*packed);
+    ByteWriter w(std::move(*out));
+    if (packed->size() + 6 < inner->size()) {
+      w.Reserve(packed->size() + 8);
+      w.PutU8(kSegFlagCompressed);
+      w.PutVarint64(inner->size());
+      w.PutBytes(packed->data(), packed->size());
+    } else {
+      w.Reserve(inner->size() + 1);
+      w.PutU8(0);
+      w.PutBytes(inner->data(), inner->size());
+    }
+    *out = w.Release();
+  } else {
+    ByteWriter w(std::move(*out));
+    w.Reserve(estimate + 1);
+    w.PutU8(0);
+    EncodeSegmentInnerV3(w, m, base);
+    *out = w.Release();
+  }
+}
+
+namespace {
+
+/// Shared tail/item body of both view decoders, reading from `r` whose
+/// backing bytes the produced views borrow. `dense_ivvs` selects the v2
+/// (dense) or v3 (delta vs `base`) IVV layout; `base` is unused for v2.
+/// `indexed_tails` selects v3 (item-index) vs v2 (item-name) tails.
+Status DecodeViewItemsAndTails(ByteReader& r, bool dense_ivvs,
+                               bool indexed_tails, const VersionVector& base,
+                               SegmentViewStorage* storage,
+                               PropagationResponseView* out) {
+  auto num_items = r.GetVarint64();
+  if (!num_items.ok()) return num_items.status();
+  // Every item costs at least four bytes (two length prefixes, deleted
+  // byte, IVV header), so a count beyond the remaining bytes is corrupt —
+  // checked before reserving anything.
+  if (*num_items > r.remaining()) {
+    return Status::Corruption("item count exceeds segment size");
+  }
+  storage->ivvs.clear();
+  storage->ivvs.reserve(static_cast<size_t>(*num_items));
+  out->items.clear();
+  out->items.reserve(static_cast<size_t>(*num_items));
+  for (uint64_t i = 0; i < *num_items; ++i) {
+    WireItemView item;
+    auto name = r.GetStringView();
+    if (!name.ok()) return name.status();
+    item.name = *name;
+    auto value = r.GetStringView();
+    if (!value.ok()) return value.status();
+    item.value = *value;
+    auto deleted = r.GetU8();
+    if (!deleted.ok()) return deleted.status();
+    item.deleted = (*deleted != 0);
+    auto vv = dense_ivvs ? DecodeVersionVector(&r)
+                         : DecodeVersionVectorDelta(&r, base);
+    if (!vv.ok()) return vv.status();
+    // reserve() above makes these pushes stable, so the pointer into the
+    // arena survives the loop.
+    storage->ivvs.push_back(std::move(*vv));
+    item.ivv = &storage->ivvs.back();
+    out->items.push_back(item);
+  }
+
+  auto num_tails = r.GetVarint64();
+  if (!num_tails.ok()) return num_tails.status();
+  if (*num_tails > (1u << 20)) return Status::Corruption("absurd tail count");
+  if (out->tails.size() > *num_tails) out->tails.resize(*num_tails);
+  for (auto& tail : out->tails) tail.clear();
+  if (out->tails.size() < *num_tails) out->tails.resize(*num_tails);
+  for (auto& tail : out->tails) {
+    auto count = r.GetVarint64();
+    if (!count.ok()) return count.status();
+    if (*count > r.remaining()) {
+      return Status::Corruption("tail record count exceeds segment size");
+    }
+    tail.reserve(static_cast<size_t>(*count));
+    UpdateCount prev = 0;
+    for (uint64_t i = 0; i < *count; ++i) {
+      WireLogRecordView rec;
+      if (indexed_tails) {
+        auto idx = r.GetVarint64();
+        if (!idx.ok()) return idx.status();
+        if (*idx >= out->items.size()) {
+          return Status::Corruption("tail item index out of range");
+        }
+        rec.item_index = static_cast<uint32_t>(*idx);
+        rec.item_name = out->items[rec.item_index].name;
+        auto seq = r.GetVarint64();
+        if (!seq.ok()) return seq.status();
+        rec.seq = (i == 0) ? *seq : prev + 1 + *seq;
+        if (rec.seq < prev) {
+          return Status::Corruption("tail seq overflow");
+        }
+      } else {
+        auto name = r.GetStringView();
+        if (!name.ok()) return name.status();
+        rec.item_name = *name;
+        auto seq = r.GetVarint64();
+        if (!seq.ok()) return seq.status();
+        rec.seq = *seq;
+      }
+      prev = rec.seq;
+      tail.push_back(rec);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DecodeShardSegmentBodyV3(std::string_view body,
+                                SegmentViewStorage* storage,
+                                PropagationResponseView* out) {
+  ByteReader fr(body);
+  auto flags = fr.GetU8();
+  if (!flags.ok()) return flags.status();
+  if ((*flags & ~kSegFlagCompressed) != 0) {
+    return Status::Corruption("unknown v3 segment flags");
+  }
+  std::string_view inner;
+  if (*flags & kSegFlagCompressed) {
+    auto raw_len = fr.GetVarint64();
+    if (!raw_len.ok()) return raw_len.status();
+    if (*raw_len > kMaxSegmentBytes) {
+      return Status::Corruption("absurd decompressed segment size");
+    }
+    Status s = DecompressTo(body.substr(fr.position()), &storage->backing,
+                            static_cast<size_t>(*raw_len));
+    if (!s.ok()) return s;
+    if (storage->backing.size() != *raw_len) {
+      return Status::Corruption("segment raw length mismatch");
+    }
+    inner = storage->backing;
+  } else {
+    inner = body.substr(fr.position());
+  }
+
+  ByteReader r(inner);
+  out->you_are_current = false;
+  auto base = DecodeVersionVector(&r);
+  if (!base.ok()) return base.status();
+  Status s = DecodeViewItemsAndTails(r, /*dense_ivvs=*/false,
+                                     /*indexed_tails=*/true, *base, storage,
+                                     out);
+  if (!s.ok()) return s;
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after v3 segment body");
+  }
+  return Status::OK();
+}
+
+Status DecodePropagationResponseBodyView(std::string_view body,
+                                         SegmentViewStorage* storage,
+                                         PropagationResponseView* out) {
+  ByteReader r(body);
+  auto current = r.GetU8();
+  if (!current.ok()) return current.status();
+  out->you_are_current = (*current != 0);
+  if (out->you_are_current) {
+    out->Reset(0);
+    out->you_are_current = true;
+    if (!r.AtEnd()) {
+      return Status::Corruption("trailing bytes after you-are-current");
+    }
+    return Status::OK();
+  }
+
+  // v2 bodies put tails before items; decode tails into a temporary
+  // layout is not needed — re-read in order.
+  auto num_tails = r.GetVarint64();
+  if (!num_tails.ok()) return num_tails.status();
+  if (*num_tails > (1u << 20)) return Status::Corruption("absurd tail count");
+  if (out->tails.size() > *num_tails) out->tails.resize(*num_tails);
+  for (auto& tail : out->tails) tail.clear();
+  if (out->tails.size() < *num_tails) out->tails.resize(*num_tails);
+  for (auto& tail : out->tails) {
+    auto count = r.GetVarint64();
+    if (!count.ok()) return count.status();
+    if (*count > r.remaining()) {
+      return Status::Corruption("tail record count exceeds body size");
+    }
+    tail.reserve(static_cast<size_t>(*count));
+    for (uint64_t i = 0; i < *count; ++i) {
+      WireLogRecordView rec;
+      auto name = r.GetStringView();
+      if (!name.ok()) return name.status();
+      rec.item_name = *name;
+      auto seq = r.GetVarint64();
+      if (!seq.ok()) return seq.status();
+      rec.seq = *seq;
+      tail.push_back(rec);
+    }
+  }
+
+  auto num_items = r.GetVarint64();
+  if (!num_items.ok()) return num_items.status();
+  if (*num_items > r.remaining()) {
+    return Status::Corruption("item count exceeds body size");
+  }
+  storage->ivvs.clear();
+  storage->ivvs.reserve(static_cast<size_t>(*num_items));
+  out->items.clear();
+  out->items.reserve(static_cast<size_t>(*num_items));
+  for (uint64_t i = 0; i < *num_items; ++i) {
+    WireItemView item;
+    auto name = r.GetStringView();
+    if (!name.ok()) return name.status();
+    item.name = *name;
+    auto value = r.GetStringView();
+    if (!value.ok()) return value.status();
+    item.value = *value;
+    auto deleted = r.GetU8();
+    if (!deleted.ok()) return deleted.status();
+    item.deleted = (*deleted != 0);
+    auto vv = DecodeVersionVector(&r);
+    if (!vv.ok()) return vv.status();
+    storage->ivvs.push_back(std::move(*vv));
+    item.ivv = &storage->ivvs.back();
+    out->items.push_back(item);
+  }
+  return Status::OK();
+}
+
+void MakeResponseView(const PropagationResponse& m,
+                      PropagationResponseView* out,
+                      bool fill_tail_indices) {
+  out->you_are_current = m.you_are_current;
+  out->items.clear();
+  out->items.reserve(m.items.size());
+  for (const WireItem& item : m.items) {
+    out->items.push_back(
+        WireItemView{item.name, item.value, item.deleted, &item.ivv});
+  }
+  std::unordered_map<std::string_view, uint32_t> index;
+  if (fill_tail_indices) {
+    index.reserve(m.items.size());
+    for (size_t i = 0; i < m.items.size(); ++i) {
+      index.emplace(m.items[i].name, static_cast<uint32_t>(i));
+    }
+  }
+  if (out->tails.size() > m.tails.size()) out->tails.resize(m.tails.size());
+  for (auto& tail : out->tails) tail.clear();
+  if (out->tails.size() < m.tails.size()) out->tails.resize(m.tails.size());
+  for (size_t k = 0; k < m.tails.size(); ++k) {
+    auto& tail = out->tails[k];
+    tail.reserve(m.tails[k].size());
+    for (const WireLogRecord& rec : m.tails[k]) {
+      WireLogRecordView rv;
+      rv.item_name = rec.item_name;
+      rv.seq = rec.seq;
+      if (fill_tail_indices) {
+        auto it = index.find(rec.item_name);
+        if (it != index.end()) rv.item_index = it->second;
+      }
+      tail.push_back(rv);
+    }
+  }
+}
+
+PropagationResponse MaterializeResponse(const PropagationResponseView& m) {
+  PropagationResponse out;
+  out.you_are_current = m.you_are_current;
+  out.tails.resize(m.tails.size());
+  for (size_t k = 0; k < m.tails.size(); ++k) {
+    out.tails[k].reserve(m.tails[k].size());
+    for (const WireLogRecordView& rec : m.tails[k]) {
+      out.tails[k].push_back(
+          WireLogRecord{std::string(rec.item_name), rec.seq});
+    }
+  }
+  out.items.reserve(m.items.size());
+  for (const WireItemView& item : m.items) {
+    out.items.push_back(WireItem{std::string(item.name),
+                                 std::string(item.value), item.deleted,
+                                 *item.ivv});
+  }
+  return out;
 }
 
 Result<OobRequest> DecodeOobRequestBody(ByteReader& r) {

@@ -1,6 +1,11 @@
 #ifndef EPIDEMIC_CORE_WIRE_H_
 #define EPIDEMIC_CORE_WIRE_H_
 
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "core/messages.h"
@@ -36,6 +41,88 @@ Result<ShardedPropagationResponse> DecodeShardedPropagationResponseBody(
 /// source and parsed at the recipient under that shard's lock only.
 std::string EncodeShardSegmentBody(const PropagationResponse& m);
 Result<PropagationResponse> DecodeShardSegmentBody(std::string_view body);
+
+// ---------------------------------------------------------------------------
+// Wire format v3 (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+/// v3 segment-body flag bits (first byte of every v3 segment body).
+inline constexpr uint8_t kSegFlagCompressed = 0x01;
+
+/// Upper bound on a decompressed v3 segment, enforced before allocating.
+inline constexpr size_t kMaxSegmentBytes = size_t{1} << 30;
+
+/// Encoder knobs for one v3 segment. `compress` is only set when the
+/// requester advertised kPropFlagAcceptCompressed; bodies smaller than
+/// `min_compress_bytes` skip the attempt (the LZ77 pass costs more than
+/// it saves on tiny segments).
+struct V3SegmentOptions {
+  bool compress = false;
+  size_t min_compress_bytes = 512;
+};
+
+/// Owns everything a decoded PropagationResponseView borrows that is not
+/// the caller's receive buffer: the decompressed backing bytes (when the
+/// segment was compressed) and the decoded per-item IVVs. Must stay alive
+/// until AcceptPropagation has consumed the view. Reusable across
+/// segments — decode clears and refills it, keeping capacity.
+struct SegmentViewStorage {
+  std::string backing;
+  std::vector<VersionVector> ivvs;
+};
+
+/// v3 sharded handshake body: v2 layout plus a negotiation flags byte.
+void EncodeShardedPropagationRequestBodyV3(
+    ByteWriter& w, const ShardedPropagationRequest& m);
+Result<ShardedPropagationRequest> DecodeShardedPropagationRequestBodyV3(
+    ByteReader& r);
+
+/// Encodes one stale shard's reply as a self-framed v3 segment body into
+/// `*out` (replacing its contents, keeping capacity — pass a pooled
+/// buffer). Layout, after the flags byte and optional compression frame:
+///
+///   base DBVV (dense) · item set S (name, value, deleted, delta-IVV vs
+///   base) · tails D_k (per record: varint item index into S, then the
+///   seq — absolute for the first record, `seq - prev - 1` after).
+///
+/// Requires `!m.you_are_current` (current shards are skipped before any
+/// buffer is touched) and every tail record's `item_index` filled in.
+/// `pool` (nullable) supplies compression scratch.
+void EncodeShardSegmentBodyV3(const PropagationResponseView& m,
+                              const VersionVector& base,
+                              const V3SegmentOptions& opts, BufferPool* pool,
+                              std::string* out);
+
+/// Zero-copy decode of a v3 segment body. On success `out`'s string views
+/// point into `body` (or into `storage->backing` when the segment was
+/// compressed) and its IVV pointers into `storage->ivvs`; both `body` and
+/// `*storage` must outlive the view. Rejects trailing bytes, unknown flag
+/// bits, out-of-range item indices, and malformed deltas.
+Status DecodeShardSegmentBodyV3(std::string_view body,
+                                SegmentViewStorage* storage,
+                                PropagationResponseView* out);
+
+/// Zero-copy decode of a *v2* response body (the view-based variant of
+/// DecodePropagationResponseBody): names and values become views into
+/// `body`, IVVs are decoded dense into `storage->ivvs`. Tail records keep
+/// `item_index` unset — v2 bodies identify tail items by name only.
+Status DecodePropagationResponseBodyView(std::string_view body,
+                                         SegmentViewStorage* storage,
+                                         PropagationResponseView* out);
+
+/// Borrow an owned response as a view (string views and IVV pointers into
+/// `m`, which must outlive `*out`). With `fill_tail_indices` the tail
+/// records' `item_index` is resolved by name — required before v3-encoding
+/// a view that was not built by the serve path.
+void MakeResponseView(const PropagationResponse& m,
+                      PropagationResponseView* out,
+                      bool fill_tail_indices = false);
+// A temporary would leave every view dangling the moment the call returns.
+void MakeResponseView(PropagationResponse&&, PropagationResponseView*,
+                      bool = false) = delete;
+
+/// Deep-copies a view into an owned response (test / journal helper).
+PropagationResponse MaterializeResponse(const PropagationResponseView& m);
 
 }  // namespace epidemic::wire
 

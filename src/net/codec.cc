@@ -64,10 +64,17 @@ void EncodeBody(ByteWriter& w, const ClientSyncRequest& m) {
 void EncodeBody(ByteWriter&, const ClientCheckpointRequest&) {}
 
 void EncodeBody(ByteWriter& w, const ShardedPropagationRequest& m) {
-  wire::EncodeShardedPropagationRequestBody(w, m);
+  if (m.wire_version >= kWireV3) {
+    wire::EncodeShardedPropagationRequestBodyV3(w, m);
+  } else {
+    wire::EncodeShardedPropagationRequestBody(w, m);
+  }
 }
 
 void EncodeBody(ByteWriter& w, const ShardedPropagationResponse& m) {
+  // The v2 and v3 response *envelopes* are identical (num_shards +
+  // opaque segments); the versions differ in the segment body format,
+  // which the tag announces.
   wire::EncodeShardedPropagationResponseBody(w, m);
 }
 
@@ -102,9 +109,13 @@ MessageType TagOf(const Message& msg) {
     case 12:
       return MessageType::kClientCheckpoint;
     case 13:
-      return MessageType::kShardedPropagationRequest;
+      return std::get<ShardedPropagationRequest>(msg).wire_version >= kWireV3
+                 ? MessageType::kShardedPropagationRequestV3
+                 : MessageType::kShardedPropagationRequest;
     case 14:
-      return MessageType::kShardedPropagationResponse;
+      return std::get<ShardedPropagationResponse>(msg).wire_version >= kWireV3
+                 ? MessageType::kShardedPropagationResponseV3
+                 : MessageType::kShardedPropagationResponse;
     default:
       return MessageType::kClientResetStats;
   }
@@ -277,6 +288,15 @@ Result<Message> Decode(std::string_view frame) {
     case MessageType::kClientResetStats:
       result = Message(ClientResetStatsRequest{});
       break;
+    case MessageType::kShardedPropagationRequestV3:
+      result = Wrap(wire::DecodeShardedPropagationRequestBodyV3(r));
+      break;
+    case MessageType::kShardedPropagationResponseV3: {
+      auto resp = wire::DecodeShardedPropagationResponseBody(r);
+      if (resp.ok()) resp->wire_version = kWireV3;
+      result = Wrap(std::move(resp));
+      break;
+    }
   }
   if (result.ok() && !r.AtEnd()) {
     return Status::Corruption("trailing bytes after message body");

@@ -87,7 +87,12 @@ using Message =
 
 /// Wire tags; stable across versions, one byte on the wire.
 /// Tags 14-16 are the wire-format v2 additions (sharded anti-entropy and
-/// atomic stats reset); v1 peers reject them as unknown tags.
+/// atomic stats reset); tags 17-18 are the wire-format v3 exchange
+/// (delta-encoded IVVs, indexed tails, optional segment compression —
+/// DESIGN.md §10). Older peers reject newer tags as unknown, which is
+/// exactly the signal the requester's version fallback keys off.
+/// Tags 17-31 are reserved for v3; enum entries named *V3 must live in
+/// that range (enforced by tools/protocol_lint.py wire-tag-duplicate).
 enum class MessageType : uint8_t {
   kPropagationRequest = 1,
   kPropagationResponse = 2,
@@ -105,6 +110,8 @@ enum class MessageType : uint8_t {
   kShardedPropagationRequest = 14,
   kShardedPropagationResponse = 15,
   kClientResetStats = 16,
+  kShardedPropagationRequestV3 = 17,
+  kShardedPropagationResponseV3 = 18,
 };
 
 /// Serializes any protocol message into a self-describing byte string

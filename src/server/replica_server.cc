@@ -44,6 +44,8 @@ ReplicaServer::ReplicaServer(NodeId id, size_t num_nodes,
           id, num_nodes, options_.num_shards, &listener_)),
       pool_(options_.ae_workers) {
   shard_mu_ = std::make_unique<Mutex[]>(memory_->num_shards());
+  peer_wire_count_ = num_nodes;
+  peer_wire_ = std::make_unique<std::atomic<uint8_t>[]>(peer_wire_count_);
 }
 
 ReplicaServer::ReplicaServer(std::unique_ptr<JournaledShardedReplica> durable,
@@ -54,6 +56,8 @@ ReplicaServer::ReplicaServer(std::unique_ptr<JournaledShardedReplica> durable,
       durable_(std::move(durable)),
       pool_(options_.ae_workers) {
   shard_mu_ = std::make_unique<Mutex[]>(durable_->num_shards());
+  peer_wire_count_ = durable_->view().num_nodes();
+  peer_wire_ = std::make_unique<std::atomic<uint8_t>[]>(peer_wire_count_);
 }
 
 ReplicaServer::~ReplicaServer() { Stop(); }
@@ -178,7 +182,9 @@ ShardedPropagationResponse ReplicaServer::ServeShardedPropagation(
     const ShardedPropagationRequest& req) {
   ShardedReplica& rep = sharded();
   const size_t num_shards = rep.num_shards();
+  const bool v3 = req.wire_version >= kWireV3;
   ShardedPropagationResponse resp;
+  if (v3) resp.wire_version = kWireV3;
   resp.num_shards = static_cast<uint32_t>(num_shards);
   if (req.shard_dbvvs.size() != num_shards) {
     // Topology mismatch: reply "current" carrying our shard count so the
@@ -186,17 +192,32 @@ ShardedPropagationResponse ReplicaServer::ServeShardedPropagation(
     return resp;
   }
   // Each shard builds and encodes its reply under only its own lock; the
-  // per-shard bodies are then stitched together serially.
+  // per-shard bodies are then stitched together serially. On the v3 path
+  // each worker serves its shard zero-copy (the view borrows the shard's
+  // store, so encoding completes under that shard's lock — the §4.1/§8
+  // discipline the views rely on) straight into a pooled buffer.
+  wire::V3SegmentOptions opts;
+  opts.compress = v3 && (req.flags & kPropFlagAcceptCompressed) != 0;
   std::vector<std::string> bodies(num_shards);
   std::vector<char> has_body(num_shards, 0);
   std::vector<std::pair<size_t, std::function<void()>>> work;
   work.reserve(num_shards);
   for (size_t k = 0; k < num_shards; ++k) {
-    work.emplace_back(k, [&rep, &req, &bodies, &has_body, k] {
-      PropagationResponse shard_resp = rep.HandleShardPropagation(
-          k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
-      if (shard_resp.you_are_current) return;
-      bodies[k] = wire::EncodeShardSegmentBody(shard_resp);
+    work.emplace_back(k, [this, &rep, &req, &opts, &bodies, &has_body, v3,
+                          k] {
+      if (v3) {
+        const PropagationResponseView& view = rep.HandleShardPropagationView(
+            k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
+        if (view.you_are_current) return;  // constructs nothing at all
+        bodies[k] = buffer_pool_.Get();
+        wire::EncodeShardSegmentBodyV3(view, rep.shard(k).dbvv(), opts,
+                                       &buffer_pool_, &bodies[k]);
+      } else {
+        PropagationResponse shard_resp = rep.HandleShardPropagation(
+            k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
+        if (shard_resp.you_are_current) return;
+        bodies[k] = wire::EncodeShardSegmentBody(shard_resp);
+      }
       has_body[k] = 1;
     });
   }
@@ -225,13 +246,32 @@ Status ReplicaServer::AcceptShardedPropagation(
   }
   // Each segment decodes and applies under only its shard's lock; the
   // segments name distinct shards (the codec enforces strictly increasing
-  // indices), so the entries share nothing but the scheduler.
+  // indices), so the entries share nothing but the scheduler. v3 segments
+  // decode zero-copy: the views (string_views into the segment bytes,
+  // IVVs in the per-segment storage) are consumed by the shard's accept
+  // before the worker moves on, so nothing outlives its backing.
+  const bool v3 = resp.wire_version >= kWireV3;
   std::vector<Status> statuses(resp.segments.size());
+  std::vector<wire::SegmentViewStorage> storages(v3 ? resp.segments.size()
+                                                    : 0);
   std::vector<std::pair<size_t, std::function<void()>>> work;
   work.reserve(resp.segments.size());
   for (size_t i = 0; i < resp.segments.size(); ++i) {
     const ShardedPropagationSegment& seg = resp.segments[i];
-    work.emplace_back(seg.shard, [this, &rep, &seg, &statuses, i] {
+    work.emplace_back(seg.shard, [this, &rep, &seg, &statuses, &storages, v3,
+                                  i] {
+      if (v3) {
+        if (durable_ != nullptr) {
+          statuses[i] =
+              durable_->AcceptShardPropagationSegmentV3(seg.shard, seg.body);
+          return;
+        }
+        PropagationResponseView view;
+        Status s =
+            wire::DecodeShardSegmentBodyV3(seg.body, &storages[i], &view);
+        statuses[i] = s.ok() ? rep.AcceptShardPropagation(seg.shard, view) : s;
+        return;
+      }
       Result<PropagationResponse> decoded =
           wire::DecodeShardSegmentBody(seg.body);
       if (!decoded.ok()) {
@@ -256,7 +296,22 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
   Message& msg = *decoded;
 
   if (auto* sharded_req = std::get_if<ShardedPropagationRequest>(&msg)) {
-    return net::Encode(Message(ServeShardedPropagation(*sharded_req)));
+    if (sharded_req->wire_version >= kWireV3 && !options_.enable_wire_v3) {
+      // Emulate a pre-v3 node: its codec would have failed on tag 17 with
+      // exactly this error reply — the requester's fallback signal.
+      return EncodeStatusReply(Status::Corruption("unknown message tag 17"));
+    }
+    Message reply(ServeShardedPropagation(*sharded_req));
+    std::string frame = net::Encode(reply);
+    // v3 segment bodies came from the buffer pool; recycle their capacity
+    // now that the frame owns a copy.
+    auto& served = std::get<ShardedPropagationResponse>(reply);
+    if (served.wire_version >= kWireV3) {
+      for (ShardedPropagationSegment& seg : served.segments) {
+        buffer_pool_.Put(std::move(seg.body));
+      }
+    }
+    return frame;
   }
   if (auto* prop_req = std::get_if<PropagationRequest>(&msg)) {
     // Legacy whole-database handshake (wire v1): only meaningful against a
@@ -420,16 +475,42 @@ Status ReplicaServer::PullFrom(NodeId peer) {
       break;
     }
   }
-  Result<std::string> wire =
-      transport_->Call(peer, net::Encode(Message(std::move(req))));
-  if (!wire.ok()) return wire.status();
-  Result<Message> decoded = net::Decode(*wire);
-  if (!decoded.ok()) return decoded.status();
-  auto* resp = std::get_if<ShardedPropagationResponse>(&*decoded);
-  if (resp == nullptr) {
+  // Version negotiation: try v3 unless disabled or the sticky cache says
+  // this peer already rejected it; a v3 rejection (the error reply an old
+  // node's codec sends for tag 17) downgrades the cache and retries the
+  // same handshake as v2.
+  const bool peer_known_v2 =
+      peer < peer_wire_count_ &&
+      peer_wire_[peer].load(std::memory_order_relaxed) == kWireV2;
+  bool trying_v3 = options_.enable_wire_v3 && !peer_known_v2;
+  if (trying_v3) {
+    req.wire_version = kWireV3;
+    if (options_.accept_compressed_segments) {
+      req.flags |= kPropFlagAcceptCompressed;
+    }
+  }
+  for (;;) {
+    Result<std::string> wire = transport_->Call(peer, net::Encode(Message(req)));
+    if (!wire.ok()) return wire.status();
+    Result<Message> decoded = net::Decode(*wire);
+    if (!decoded.ok()) return decoded.status();
+    if (auto* resp = std::get_if<ShardedPropagationResponse>(&*decoded)) {
+      if (trying_v3 && peer < peer_wire_count_) {
+        peer_wire_[peer].store(kWireV3, std::memory_order_relaxed);
+      }
+      return AcceptShardedPropagation(*resp);
+    }
+    if (trying_v3 && std::get_if<ClientReply>(&*decoded) != nullptr) {
+      if (peer < peer_wire_count_) {
+        peer_wire_[peer].store(kWireV2, std::memory_order_relaxed);
+      }
+      trying_v3 = false;
+      req.wire_version = kWireV2;
+      req.flags = 0;
+      continue;
+    }
     return Status::Corruption("peer sent a non-propagation reply");
   }
-  return AcceptShardedPropagation(*resp);
 }
 
 Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {

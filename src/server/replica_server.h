@@ -1,6 +1,7 @@
 #ifndef EPIDEMIC_SERVER_REPLICA_SERVER_H_
 #define EPIDEMIC_SERVER_REPLICA_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/clock.h"
 #include "common/thread_annotations.h"
 #include "common/worker_pool.h"
@@ -88,6 +90,19 @@ class ReplicaServer : public net::RequestHandler {
     /// Extra worker threads for per-shard anti-entropy processing; 0 means
     /// shards are processed serially on the calling thread.
     size_t ae_workers = 0;
+
+    /// Speak wire v3 (tags 17/18: delta-encoded IVVs, indexed tails,
+    /// zero-copy serve/accept, pooled buffers — DESIGN.md §10). Pulls try
+    /// v3 first and fall back per peer when the v3 handshake is rejected
+    /// (the sticky per-peer cache remembers). When false the server
+    /// emulates a pre-v3 node: it neither sends v3 nor serves v3 requests
+    /// (they get the same error reply an old binary's codec would send),
+    /// which is what mixed-version interop tests key off.
+    bool enable_wire_v3 = true;
+
+    /// With v3: advertise in the handshake that this node accepts
+    /// LZ77-compressed segment bodies (kPropFlagAcceptCompressed).
+    bool accept_compressed_segments = false;
   };
 
   /// In-memory server. `transport` must outlive the server.
@@ -231,6 +246,17 @@ class ReplicaServer : public net::RequestHandler {
   /// documented above the class and in DESIGN.md §8.
   mutable std::unique_ptr<Mutex[]> shard_mu_;
   mutable WorkerPool pool_;
+
+  /// Recycles v3 segment and compression buffers across exchanges
+  /// (internally synchronized; shared by all shard workers).
+  BufferPool buffer_pool_;
+
+  /// Sticky per-peer wire-version cache for PullFrom: 0 = unknown (try
+  /// v3), kWireV2 after a peer rejected the v3 handshake, kWireV3 after
+  /// one succeeded. Lock-free — a stale read only costs one extra
+  /// fallback round trip.
+  std::unique_ptr<std::atomic<uint8_t>[]> peer_wire_;
+  size_t peer_wire_count_ = 0;
 
   Mutex thread_mu_;
   std::condition_variable_any cv_;

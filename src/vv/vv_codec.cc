@@ -1,6 +1,66 @@
 #include "vv/vv_codec.h"
 
+#include <cassert>
+
 namespace epidemic {
+
+namespace {
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// One pass over (vv, base) sizing both sparse encodings, so the encoder
+/// can pick the smaller and the size estimator can answer without
+/// encoding.
+struct DeltaPlan {
+  bool mode1_ok = false;  // base dominates vv component-wise
+  size_t count0 = 0, bytes0 = 0;  // mode 0: nonzero components, absolute
+  size_t count1 = 0, bytes1 = 0;  // mode 1: differing components, b - v
+  bool use_mode1 = false;
+  size_t total_bytes = 0;
+};
+
+DeltaPlan PlanDelta(const VersionVector& vv, const VersionVector& base) {
+  DeltaPlan p;
+  p.mode1_ok = vv.size() == base.size();
+  size_t prev0 = 0, prev1 = 0;
+  bool first0 = true, first1 = true;
+  for (size_t k = 0; k < vv.size(); ++k) {
+    const uint64_t v = vv[static_cast<NodeId>(k)];
+    if (v != 0) {
+      const size_t gap = first0 ? k : k - prev0 - 1;
+      p.bytes0 += VarintLen(gap) + VarintLen(v);
+      prev0 = k;
+      first0 = false;
+      ++p.count0;
+    }
+    if (p.mode1_ok) {
+      const uint64_t b = base[static_cast<NodeId>(k)];
+      if (v > b) {
+        p.mode1_ok = false;
+      } else if (v != b) {
+        const size_t gap = first1 ? k : k - prev1 - 1;
+        p.bytes1 += VarintLen(gap) + VarintLen(b - v);
+        prev1 = k;
+        first1 = false;
+        ++p.count1;
+      }
+    }
+  }
+  p.bytes0 += VarintLen(p.count0 << 1);
+  p.bytes1 += VarintLen((p.count1 << 1) | 1);
+  p.use_mode1 = p.mode1_ok && p.bytes1 < p.bytes0;
+  p.total_bytes = p.use_mode1 ? p.bytes1 : p.bytes0;
+  return p;
+}
+
+}  // namespace
 
 void EncodeVersionVector(ByteWriter* w, const VersionVector& vv) {
   w->PutVarint64(vv.size());
@@ -20,6 +80,82 @@ Result<VersionVector> DecodeVersionVector(ByteReader* r) {
     vv[static_cast<NodeId>(k)] = *c;
   }
   return vv;
+}
+
+void EncodeVersionVectorDelta(ByteWriter* w, const VersionVector& vv,
+                              const VersionVector& base) {
+  // Width never travels: the decoder recovers it from `base`. Encoding a
+  // vector of a different width would therefore be silently lossy.
+  assert(vv.size() == base.size());
+  const DeltaPlan p = PlanDelta(vv, base);
+  if (p.use_mode1) {
+    w->PutVarint64((p.count1 << 1) | 1);
+    size_t prev = 0;
+    bool first = true;
+    for (size_t k = 0; k < vv.size(); ++k) {
+      const uint64_t v = vv[static_cast<NodeId>(k)];
+      const uint64_t b = base[static_cast<NodeId>(k)];
+      if (v == b) continue;
+      w->PutVarint64(first ? k : k - prev - 1);
+      w->PutVarint64(b - v);
+      prev = k;
+      first = false;
+    }
+  } else {
+    w->PutVarint64(p.count0 << 1);
+    size_t prev = 0;
+    bool first = true;
+    for (size_t k = 0; k < vv.size(); ++k) {
+      const uint64_t v = vv[static_cast<NodeId>(k)];
+      if (v == 0) continue;
+      w->PutVarint64(first ? k : k - prev - 1);
+      w->PutVarint64(v);
+      prev = k;
+      first = false;
+    }
+  }
+}
+
+Result<VersionVector> DecodeVersionVectorDelta(ByteReader* r,
+                                               const VersionVector& base) {
+  auto header = r->GetVarint64();
+  if (!header.ok()) return header.status();
+  const bool complement = (*header & 1) != 0;
+  const uint64_t count = *header >> 1;
+  if (count > base.size()) {
+    return Status::Corruption("delta vv pair count exceeds base width");
+  }
+  VersionVector vv = complement ? base : VersionVector(base.size());
+  size_t idx = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    auto gap = r->GetVarint64();
+    if (!gap.ok()) return gap.status();
+    if (*gap >= base.size()) {  // also forecloses size_t wraparound below
+      return Status::Corruption("delta vv index gap out of range");
+    }
+    idx = (i == 0) ? static_cast<size_t>(*gap)
+                   : idx + 1 + static_cast<size_t>(*gap);
+    if (idx >= base.size()) {
+      return Status::Corruption("delta vv index out of range");
+    }
+    auto val = r->GetVarint64();
+    if (!val.ok()) return val.status();
+    const NodeId k = static_cast<NodeId>(idx);
+    if (complement) {
+      if (*val > base[k]) {
+        return Status::Corruption("delta vv complement underflows base");
+      }
+      vv[k] = base[k] - *val;
+    } else {
+      vv[k] = *val;
+    }
+  }
+  return vv;
+}
+
+size_t VersionVectorDeltaSize(const VersionVector& vv,
+                              const VersionVector& base) {
+  return PlanDelta(vv, base).total_bytes;
 }
 
 }  // namespace epidemic

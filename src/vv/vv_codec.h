@@ -12,6 +12,37 @@ namespace epidemic {
 void EncodeVersionVector(ByteWriter* w, const VersionVector& vv);
 Result<VersionVector> DecodeVersionVector(ByteReader* r);
 
+/// Sparse delta encoding of `vv` against a shared `base` vector — the
+/// wire-v3 per-item IVV format (DESIGN.md §10). Instead of `vv.size()`
+/// varints it writes one header varint `(count << 1) | mode` followed by
+/// `count` (index-gap, varint) pairs, picking per vector whichever of two
+/// sparse views is smaller:
+///
+///   mode 0 (absolute): pairs cover the nonzero components, value = vv[k].
+///     Best for per-item IVVs, which usually track only the origins that
+///     actually updated the item.
+///   mode 1 (complement): pairs cover components where vv[k] != base[k],
+///     value = base[k] - vv[k]. Best for vectors close to the base — e.g.
+///     an item every origin has touched. Only legal when base dominates
+///     vv; the encoder falls back to mode 0 otherwise.
+///
+/// Index gaps are `k - prev_k - 1` (first pair: `k`), so indices are
+/// strictly increasing by construction. The decoded width is
+/// `base.size()`: both sides already share the base (the segment's source
+/// DBVV), so the width never travels per item.
+///
+/// `vv.size()` must equal `base.size()`; the decoder returns Corruption on
+/// out-of-range indices or malformed headers.
+void EncodeVersionVectorDelta(ByteWriter* w, const VersionVector& vv,
+                              const VersionVector& base);
+Result<VersionVector> DecodeVersionVectorDelta(ByteReader* r,
+                                               const VersionVector& base);
+
+/// Exact number of bytes EncodeVersionVectorDelta will write — used by the
+/// size-hinted segment encoder to reserve once up front.
+size_t VersionVectorDeltaSize(const VersionVector& vv,
+                              const VersionVector& base);
+
 }  // namespace epidemic
 
 #endif  // EPIDEMIC_VV_VV_CODEC_H_

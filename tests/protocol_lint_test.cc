@@ -97,6 +97,23 @@ TEST_F(ProtocolLintTest, DeterminismFixtureIsReported) {
       << result.output;
 }
 
+// The v3-range fixture: a *V3 entry below tag 17 and a non-V3 entry
+// squatting inside the reserved 17-31 band are both reported.
+TEST_F(ProtocolLintTest, WireV3RangeFixtureIsReported) {
+  const RunResult result = RunLint(
+      std::string(EPI_SOURCE_DIR) + "/tests/testdata/lint/bad_wire_v3_tag.h");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("wire-tag-v3-range"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("kShardedPropagationRequestV3"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("kNewFancyRequest"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("2 violation(s)"), std::string::npos)
+      << result.output;
+}
+
 // A waiver that suppresses nothing is itself a finding.
 TEST_F(ProtocolLintTest, StaleWaiverIsReported) {
   const RunResult result = RunLint(

@@ -56,6 +56,12 @@ class StressCluster {
   ReplicaServer& server(NodeId i) { return *servers_[i]; }
   net::InProcTransport& transport() { return transport_; }
 
+  /// Joins the background gossip threads; serving and explicit pulls keep
+  /// working. Lets a test stage guaranteed-concurrent writes.
+  void StopAntiEntropy() {
+    for (auto& s : servers_) s->Stop();
+  }
+
   /// Drives explicit pulls (on top of the background threads) until all
   /// aggregate DBVVs match and the listings are byte-identical. Node 0
   /// resolves any conflicts that surface; other nodes discard theirs
@@ -210,12 +216,25 @@ TEST(ServerStressTest, OverlappingWritersConflictAndResolve) {
   stop_readers.store(true);
   reader.join();
 
+  // A one-core scheduler can serialize the writers so thoroughly that
+  // gossip orders every version — a legal, conflict-free outcome that
+  // would make the assertion below flaky. Pin it: with the background
+  // gossip stopped, two writes to a fresh key are concurrent by
+  // construction, so quiescing must detect at least that conflict.
+  cluster.StopAntiEntropy();
+  {
+    ReplicaClient c0(&cluster.transport(), 0);
+    ReplicaClient c1(&cluster.transport(), 1);
+    ASSERT_TRUE(c0.Update("shared-seeded", "shared-seeded=n0").ok());
+    ASSERT_TRUE(c1.Update("shared-seeded", "shared-seeded=n1").ok());
+  }
+
   EXPECT_TRUE(cluster.Quiesce(/*resolve_conflicts=*/true));
   cluster.CheckInvariantsEverywhere();
   uint64_t conflicts = 0;
   for (NodeId i = 0; i < kNodes; ++i) {
     cluster.server(i).WithReplica([&conflicts](const ShardedReplica& r) {
-      EXPECT_EQ(r.TotalItems(), static_cast<size_t>(kSharedKeys));
+      EXPECT_EQ(r.TotalItems(), static_cast<size_t>(kSharedKeys) + 1);
       conflicts += r.TotalStats().conflicts_detected;
     });
   }

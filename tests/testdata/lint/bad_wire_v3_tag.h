@@ -1,0 +1,20 @@
+// Lint fixture: wire-tag-v3-range violations in both directions — a *V3
+// entry outside the reserved 17-31 range, and a non-V3 entry squatting
+// inside it. protocol_lint.py must report both. Never include this file.
+#ifndef EPIDEMIC_TESTS_TESTDATA_LINT_BAD_WIRE_V3_TAG_H_
+#define EPIDEMIC_TESTS_TESTDATA_LINT_BAD_WIRE_V3_TAG_H_
+
+#include <cstdint>
+
+namespace epidemic::lint_fixture {
+
+enum class MessageType : uint8_t {
+  kPropagationRequest = 1,
+  kPropagationResponse = 2,
+  kShardedPropagationRequestV3 = 12,  // v3 entry below the reserved range
+  kNewFancyRequest = 19,              // non-v3 entry inside 17-31
+};
+
+}  // namespace epidemic::lint_fixture
+
+#endif  // EPIDEMIC_TESTS_TESTDATA_LINT_BAD_WIRE_V3_TAG_H_

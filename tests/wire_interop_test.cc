@@ -1,0 +1,191 @@
+// Mixed-version wire interop: a v3 server (delta segments, tags 17/18)
+// and an emulated pre-v3 server (Options::enable_wire_v3 = false — it
+// neither sends v3 nor serves v3 requests, rejecting them with the same
+// error reply an old binary's codec produces) must converge in both
+// directions. The v3 puller falls back to v2 on the rejection, remembers
+// it in the sticky per-peer cache, and a single-shard v3 server still
+// answers the legacy whole-database v1 handshake (tag 1).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/inproc_transport.h"
+#include "server/replica_server.h"
+
+namespace epidemic::server {
+namespace {
+
+using net::Message;
+
+/// Counts Call()s so tests can see the v3→v2 fallback (two round trips)
+/// and the sticky downgrade cache (one round trip ever after).
+class CountingTransport : public net::Transport {
+ public:
+  explicit CountingTransport(net::Transport* inner) : inner_(inner) {}
+  Result<std::string> Call(NodeId dest, std::string_view request) override {
+    ++calls_;
+    return inner_->Call(dest, request);
+  }
+  uint64_t calls() const { return calls_; }
+  void Reset() { calls_ = 0; }
+
+ private:
+  net::Transport* inner_;
+  uint64_t calls_ = 0;
+};
+
+class WireInteropTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 3;
+
+  WireInteropTest() : hub_(kNodes), inner_(&hub_), transport_(&inner_) {
+    servers_.resize(kNodes);
+  }
+
+  /// Builds node `i`. `v3` false emulates a pre-v3 binary.
+  ReplicaServer* AddServer(NodeId i, bool v3, bool compressed = false,
+                           size_t num_shards = 4) {
+    ReplicaServer::Options options;
+    options.num_shards = num_shards;
+    options.enable_wire_v3 = v3;
+    options.accept_compressed_segments = compressed;
+    servers_[i] =
+        std::make_unique<ReplicaServer>(i, kNodes, &transport_, options);
+    hub_.Register(i, servers_[i].get());
+    return servers_[i].get();
+  }
+
+  net::InProcHub hub_;
+  net::InProcTransport inner_;
+  CountingTransport transport_;
+  std::vector<std::unique_ptr<ReplicaServer>> servers_;
+};
+
+// A v3 node pulling from an old node gets its tag-17 handshake rejected,
+// retries the same handshake as v2 within the same PullFrom, and caches
+// the downgrade so later pulls go straight to v2.
+TEST_F(WireInteropTest, V3FallsBackToV2AndCachesTheDowngrade) {
+  ReplicaServer* modern = AddServer(0, /*v3=*/true);
+  ReplicaServer* old = AddServer(1, /*v3=*/false);
+
+  ASSERT_TRUE(old->Update("a", "1").ok());
+  transport_.Reset();
+  ASSERT_TRUE(modern->PullFrom(1).ok());
+  EXPECT_EQ(transport_.calls(), 2u);  // rejected v3 attempt + v2 retry
+  EXPECT_EQ(*modern->Read("a"), "1");
+
+  ASSERT_TRUE(old->Update("b", "2").ok());
+  transport_.Reset();
+  ASSERT_TRUE(modern->PullFrom(1).ok());
+  EXPECT_EQ(transport_.calls(), 1u);  // sticky cache: no v3 attempt
+  EXPECT_EQ(*modern->Read("b"), "2");
+}
+
+// An old node pulling from a v3 node sends a v2 handshake and gets a v2
+// response — serving stays version-transparent.
+TEST_F(WireInteropTest, OldNodePullsFromV3Server) {
+  ReplicaServer* modern = AddServer(0, /*v3=*/true);
+  ReplicaServer* old = AddServer(1, /*v3=*/false);
+
+  ASSERT_TRUE(modern->Update("x", "v").ok());
+  transport_.Reset();
+  ASSERT_TRUE(old->PullFrom(0).ok());
+  EXPECT_EQ(transport_.calls(), 1u);
+  EXPECT_EQ(*old->Read("x"), "v");
+}
+
+// Two v3 nodes negotiate v3 in one round trip, and the serve side really
+// runs zero-copy: items ship without a single owned-string staging copy.
+TEST_F(WireInteropTest, V3ToV3ServesZeroCopy) {
+  ReplicaServer* a = AddServer(0, /*v3=*/true);
+  ReplicaServer* b = AddServer(1, /*v3=*/true);
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(a->Update("item" + std::to_string(i), "value").ok());
+  }
+  transport_.Reset();
+  ASSERT_TRUE(b->PullFrom(0).ok());
+  EXPECT_EQ(transport_.calls(), 1u);
+
+  ReplicaStats served = a->TotalStats();
+  EXPECT_GT(served.items_shipped, 0u);
+  EXPECT_EQ(served.serve_staging_allocs, 0u);  // view path end to end
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(*b->Read("item" + std::to_string(i)), "value");
+  }
+}
+
+// The compression flag is honored per requester: a requester advertising
+// kPropFlagAcceptCompressed converges on the same data as one that
+// doesn't, against the same v3 server.
+TEST_F(WireInteropTest, CompressedSegmentsInterop) {
+  ReplicaServer* source = AddServer(0, /*v3=*/true);
+  ReplicaServer* plain = AddServer(1, /*v3=*/true, /*compressed=*/false);
+  ReplicaServer* packed = AddServer(2, /*v3=*/true, /*compressed=*/true);
+
+  // Repetitive values so the LZ77 pass actually wins and gets kept.
+  const std::string value(256, 'z');
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(source->Update("key" + std::to_string(i), value).ok());
+  }
+  ASSERT_TRUE(plain->PullFrom(0).ok());
+  ASSERT_TRUE(packed->PullFrom(0).ok());
+  for (int i = 0; i < 32; ++i) {
+    const std::string name = "key" + std::to_string(i);
+    EXPECT_EQ(*plain->Read(name), value);
+    EXPECT_EQ(*packed->Read(name), value);
+  }
+}
+
+// A mixed three-node cluster (v3, old, v3+compressed) converges through
+// round-robin pulls, negotiating per pair.
+TEST_F(WireInteropTest, MixedClusterConverges) {
+  AddServer(0, /*v3=*/true);
+  AddServer(1, /*v3=*/false);
+  AddServer(2, /*v3=*/true, /*compressed=*/true);
+
+  ASSERT_TRUE(servers_[0]->Update("from0", "a").ok());
+  ASSERT_TRUE(servers_[1]->Update("from1", "b").ok());
+  ASSERT_TRUE(servers_[2]->Update("from2", "c").ok());
+
+  // Two ring rounds: n-1 pulls reach everyone transitively.
+  for (int round = 0; round < 2; ++round) {
+    for (NodeId i = 0; i < kNodes; ++i) {
+      ASSERT_TRUE(servers_[i]->PullFrom((i + 1) % kNodes).ok());
+    }
+  }
+  auto reference = servers_[0]->Scan("");
+  EXPECT_EQ(reference.size(), 3u);
+  for (NodeId i = 1; i < kNodes; ++i) {
+    EXPECT_EQ(servers_[i]->Scan(""), reference) << "node " << i;
+  }
+}
+
+// A single-shard v3 server still answers the legacy whole-database v1
+// handshake (tag 1) with a v1 response (tag 2).
+TEST_F(WireInteropTest, V1HandshakeServedByV3Server) {
+  ReplicaServer* modern = AddServer(0, /*v3=*/true, /*compressed=*/false,
+                                    /*num_shards=*/1);
+  ASSERT_TRUE(modern->Update("legacy", "payload").ok());
+
+  PropagationRequest req;
+  req.requester = 1;
+  req.dbvv = VersionVector(kNodes);
+  Result<Message> reply =
+      net::Decode(modern->HandleRequest(net::Encode(Message(req))));
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  auto* resp = std::get_if<PropagationResponse>(&*reply);
+  ASSERT_NE(resp, nullptr);
+  EXPECT_FALSE(resp->you_are_current);
+  ASSERT_EQ(resp->items.size(), 1u);
+  EXPECT_EQ(resp->items[0].name, "legacy");
+  EXPECT_EQ(resp->items[0].value, "payload");
+}
+
+}  // namespace
+}  // namespace epidemic::server

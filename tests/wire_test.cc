@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
+
+#include "vv/vv_codec.h"
 
 namespace epidemic::wire {
 namespace {
@@ -112,6 +115,290 @@ TEST(WireTest, TruncatedBodiesFail) {
   for (size_t cut = 0; cut < data.size(); ++cut) {
     ByteReader r(std::string_view(data).substr(0, cut));
     EXPECT_FALSE(DecodePropagationResponseBody(r).ok()) << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire v3: delta-encoded IVVs, self-framed segments, zero-copy views.
+// ---------------------------------------------------------------------------
+
+/// Field-by-field equality for owned responses (no operator== on the wire
+/// structs — they are plain carriers).
+void ExpectResponsesEqual(const PropagationResponse& a,
+                          const PropagationResponse& b) {
+  EXPECT_EQ(a.you_are_current, b.you_are_current);
+  ASSERT_EQ(a.tails.size(), b.tails.size());
+  for (size_t k = 0; k < a.tails.size(); ++k) {
+    ASSERT_EQ(a.tails[k].size(), b.tails[k].size()) << "tail " << k;
+    for (size_t i = 0; i < a.tails[k].size(); ++i) {
+      EXPECT_EQ(a.tails[k][i].item_name, b.tails[k][i].item_name);
+      EXPECT_EQ(a.tails[k][i].seq, b.tails[k][i].seq);
+    }
+  }
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].name, b.items[i].name);
+    EXPECT_EQ(a.items[i].value, b.items[i].value);
+    EXPECT_EQ(a.items[i].deleted, b.items[i].deleted);
+    EXPECT_EQ(a.items[i].ivv, b.items[i].ivv);
+  }
+}
+
+// Property test: random IVVs delta-encode and decode identically against
+// random bases — dominated vectors (both modes eligible), arbitrary
+// vectors (mode-0 fallback), and sparse ones. The declared size always
+// matches the bytes written.
+TEST(WireV3Test, DeltaIvvPropertyRoundTrip) {
+  std::mt19937 rng(0xE51DE11C);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t n = 1 + rng() % 12;
+    std::vector<UpdateCount> base_counts(n);
+    for (auto& c : base_counts) c = rng() % 1000;
+    VersionVector base(base_counts);
+
+    std::vector<UpdateCount> counts(n);
+    switch (trial % 3) {
+      case 0:  // dominated by base: complement mode is legal
+        for (size_t k = 0; k < n; ++k) counts[k] = rng() % (base[k] + 1);
+        break;
+      case 1:  // arbitrary: encoder must fall back to absolute mode
+        for (auto& c : counts) c = rng() % 2000;
+        break;
+      default:  // sparse: mostly zero, the per-item common case
+        for (auto& c : counts) c = (rng() % 4 == 0) ? rng() % 1000 : 0;
+        break;
+    }
+    VersionVector vv(counts);
+
+    ByteWriter w;
+    EncodeVersionVectorDelta(&w, vv, base);
+    EXPECT_EQ(w.size(), VersionVectorDeltaSize(vv, base)) << "trial " << trial;
+    ByteReader r(w.data());
+    auto out = DecodeVersionVectorDelta(&r, base);
+    ASSERT_TRUE(out.ok()) << "trial " << trial << ": "
+                          << out.status().message();
+    EXPECT_EQ(*out, vv) << "trial " << trial;
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+// The two one-byte extremes: a vector equal to the base (complement mode,
+// zero pairs) and an all-zero vector (absolute mode, zero pairs).
+TEST(WireV3Test, DeltaIvvExtremesAreOneByte) {
+  VersionVector base(Vv({5, 9, 1000}));
+  for (const VersionVector& vv : {base, VersionVector(3)}) {
+    ByteWriter w;
+    EncodeVersionVectorDelta(&w, vv, base);
+    EXPECT_EQ(w.size(), 1u);
+    ByteReader r(w.data());
+    auto out = DecodeVersionVectorDelta(&r, base);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, vv);
+  }
+}
+
+// Decoding rejects indices past the base's width.
+TEST(WireV3Test, DeltaIvvRejectsOutOfRangeIndex) {
+  ByteWriter w;
+  w.PutVarint64((1 << 1) | 0);  // one absolute pair
+  w.PutVarint64(7);             // index 7 — but the base is 3 wide
+  w.PutVarint64(1);
+  ByteReader r(w.data());
+  EXPECT_FALSE(DecodeVersionVectorDelta(&r, Vv({1, 2, 3})).ok());
+}
+
+/// A representative response: two items (one tombstone), tails from two
+/// origins referencing them, strictly increasing seqs per tail.
+PropagationResponse SampleResponse() {
+  PropagationResponse m;
+  m.tails.resize(3);
+  m.tails[0].push_back(WireLogRecord{"alpha", 3});
+  m.tails[0].push_back(WireLogRecord{"beta", 4});
+  m.tails[2].push_back(WireLogRecord{"alpha", 2});
+  m.items.push_back(WireItem{"alpha", "value-a", false, Vv({3, 0, 2})});
+  m.items.push_back(WireItem{"beta", "", true, Vv({4, 0, 0})});
+  return m;
+}
+
+/// The base must dominate every item IVV (§4.1 guarantees this for real
+/// segments: the shard DBVV is the per-origin sum of its item IVVs).
+VersionVector SampleBase() { return Vv({7, 2, 2}); }
+
+TEST(WireV3Test, SegmentBodyRoundTrip) {
+  PropagationResponse m = SampleResponse();
+  PropagationResponseView view;
+  MakeResponseView(m, &view, /*fill_tail_indices=*/true);
+
+  std::string body;
+  EncodeShardSegmentBodyV3(view, SampleBase(), V3SegmentOptions{}, nullptr,
+                           &body);
+
+  SegmentViewStorage storage;
+  PropagationResponseView decoded;
+  ASSERT_TRUE(DecodeShardSegmentBodyV3(body, &storage, &decoded).ok());
+  ExpectResponsesEqual(MaterializeResponse(decoded), m);
+  // v3 tails carry indices; the decoder resolves both index and name.
+  EXPECT_EQ(decoded.tails[0][1].item_index, 1u);
+  EXPECT_EQ(decoded.tails[0][1].item_name, "beta");
+}
+
+// Compression is kept only when it wins, round-trips bit-exactly, and is
+// visible in the segment's flags byte.
+TEST(WireV3Test, SegmentBodyCompressedRoundTrip) {
+  PropagationResponse m = SampleResponse();
+  m.items[0].value = std::string(4096, 'x');  // compressible payload
+  PropagationResponseView view;
+  MakeResponseView(m, &view, /*fill_tail_indices=*/true);
+
+  std::string plain;
+  EncodeShardSegmentBodyV3(view, SampleBase(), V3SegmentOptions{}, nullptr,
+                           &plain);
+  V3SegmentOptions opts;
+  opts.compress = true;
+  std::string packed;
+  EncodeShardSegmentBodyV3(view, SampleBase(), opts, nullptr, &packed);
+
+  EXPECT_LT(packed.size(), plain.size());
+  EXPECT_EQ(static_cast<uint8_t>(packed[0]) & kSegFlagCompressed,
+            kSegFlagCompressed);
+
+  SegmentViewStorage storage;
+  PropagationResponseView decoded;
+  ASSERT_TRUE(DecodeShardSegmentBodyV3(packed, &storage, &decoded).ok());
+  ExpectResponsesEqual(MaterializeResponse(decoded), m);
+}
+
+// Tiny bodies skip the compression attempt even when negotiated.
+TEST(WireV3Test, SegmentBodySkipsCompressionBelowThreshold) {
+  PropagationResponse m = SampleResponse();  // must outlive the view
+  PropagationResponseView view;
+  MakeResponseView(m, &view, /*fill_tail_indices=*/true);
+  V3SegmentOptions opts;
+  opts.compress = true;
+  opts.min_compress_bytes = 1 << 20;
+  std::string body;
+  EncodeShardSegmentBodyV3(view, SampleBase(), opts, nullptr, &body);
+  EXPECT_EQ(static_cast<uint8_t>(body[0]) & kSegFlagCompressed, 0);
+}
+
+TEST(WireV3Test, SegmentBodyRejectsTrailingAndUnknownFlags) {
+  PropagationResponse m = SampleResponse();  // must outlive the view
+  PropagationResponseView view;
+  MakeResponseView(m, &view, /*fill_tail_indices=*/true);
+  std::string body;
+  EncodeShardSegmentBodyV3(view, SampleBase(), V3SegmentOptions{}, nullptr,
+                           &body);
+
+  SegmentViewStorage storage;
+  PropagationResponseView decoded;
+  std::string trailing = body + '\0';
+  EXPECT_FALSE(DecodeShardSegmentBodyV3(trailing, &storage, &decoded).ok());
+
+  std::string bad_flags = body;
+  bad_flags[0] = static_cast<char>(bad_flags[0] | 0x80);
+  EXPECT_FALSE(DecodeShardSegmentBodyV3(bad_flags, &storage, &decoded).ok());
+}
+
+// A tail index pointing past the item set is corruption, not a crash.
+TEST(WireV3Test, SegmentBodyRejectsOutOfRangeTailIndex) {
+  PropagationResponse m = SampleResponse();
+  PropagationResponseView view;
+  MakeResponseView(m, &view, /*fill_tail_indices=*/true);
+  view.tails[0][0].item_index = 99;  // S has 2 entries
+  std::string body;
+  EncodeShardSegmentBodyV3(view, SampleBase(), V3SegmentOptions{}, nullptr,
+                           &body);
+  SegmentViewStorage storage;
+  PropagationResponseView decoded;
+  EXPECT_FALSE(DecodeShardSegmentBodyV3(body, &storage, &decoded).ok());
+}
+
+// Owned → view → owned is the identity, including the you-are-current
+// degenerate case.
+TEST(WireV3Test, MakeResponseViewMaterializeRoundTrip) {
+  PropagationResponse m = SampleResponse();
+  PropagationResponseView view;
+  MakeResponseView(m, &view);
+  ExpectResponsesEqual(MaterializeResponse(view), m);
+
+  PropagationResponse current;
+  current.you_are_current = true;
+  MakeResponseView(current, &view);
+  EXPECT_TRUE(view.you_are_current);
+  EXPECT_TRUE(MaterializeResponse(view).you_are_current);
+}
+
+// The zero-copy v2 decoder agrees with the owned one on the same bytes.
+TEST(WireV3Test, V2ViewDecodeMatchesOwnedDecode) {
+  PropagationResponse m = SampleResponse();
+  ByteWriter w;
+  EncodePropagationResponseBody(w, m);
+  const std::string body = w.Release();
+
+  ByteReader r(body);
+  auto owned = DecodePropagationResponseBody(r);
+  ASSERT_TRUE(owned.ok());
+
+  SegmentViewStorage storage;
+  PropagationResponseView view;
+  ASSERT_TRUE(DecodePropagationResponseBodyView(body, &storage, &view).ok());
+  ExpectResponsesEqual(MaterializeResponse(view), *owned);
+  // Views really are zero-copy: they point into the caller's buffer.
+  ASSERT_FALSE(view.items.empty());
+  const char* data_begin = body.data();
+  const char* data_end = body.data() + body.size();
+  EXPECT_GE(view.items[0].name.data(), data_begin);
+  EXPECT_LT(view.items[0].name.data(), data_end);
+}
+
+// Random segments round-trip through the v3 codec, with and without
+// compression: the full-pipeline property test.
+TEST(WireV3Test, SegmentBodyPropertyRoundTrip) {
+  std::mt19937 rng(0x5EC3E247);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + rng() % 4;  // origins
+    std::vector<UpdateCount> base_counts(n, 0);
+
+    PropagationResponse m;
+    m.tails.resize(n);
+    const size_t num_items = 1 + rng() % 8;
+    for (size_t i = 0; i < num_items; ++i) {
+      WireItem item;
+      item.name = "item" + std::to_string(i);
+      item.value = std::string(rng() % 64, static_cast<char>('a' + i % 26));
+      item.deleted = rng() % 8 == 0;
+      std::vector<UpdateCount> counts(n);
+      for (size_t k = 0; k < n; ++k) {
+        counts[k] = rng() % 20;
+        base_counts[k] += counts[k];  // §4.1: DBVV = sum of item IVVs
+      }
+      item.ivv = VersionVector(counts);
+      m.items.push_back(std::move(item));
+    }
+    for (size_t k = 0; k < n; ++k) {
+      UpdateCount seq = 0;
+      const size_t records = rng() % 5;
+      for (size_t j = 0; j < records; ++j) {
+        seq += 1 + rng() % 10;  // strictly increasing within a tail
+        m.tails[k].push_back(
+            WireLogRecord{m.items[rng() % num_items].name, seq});
+      }
+    }
+
+    PropagationResponseView view;
+    MakeResponseView(m, &view, /*fill_tail_indices=*/true);
+    V3SegmentOptions opts;
+    opts.compress = trial % 2 == 0;
+    opts.min_compress_bytes = 16;
+    std::string body;
+    EncodeShardSegmentBodyV3(view, VersionVector(base_counts), opts, nullptr,
+                             &body);
+
+    SegmentViewStorage storage;
+    PropagationResponseView decoded;
+    ASSERT_TRUE(DecodeShardSegmentBodyV3(body, &storage, &decoded).ok())
+        << "trial " << trial;
+    ExpectResponsesEqual(MaterializeResponse(decoded), m);
   }
 }
 

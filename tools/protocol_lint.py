@@ -5,6 +5,9 @@ Catches hazards the compiler (even with -Wthread-safety) cannot see:
 
   wire-tag-duplicate    two entries of a wire enum share a numeric tag
                         (src/net/codec.h, src/core/wire.h)
+  wire-tag-v3-range     tags 17-31 are reserved for wire v3: an enum entry
+                        named *V3 must take a value in that range, and a
+                        non-V3 entry must not (docs/PROTOCOL.md)
   unlogged-store-write  a mutation path in core/replica.cc obtains a
                         mutable item (store_.GetOrCreate) without a paired
                         AddLogRecord / DBVV bump in the same function
@@ -190,6 +193,24 @@ class Linter:
                 )
             seen.setdefault(value, name)
             enums[current].add(value)
+
+            # -- rule: wire-tag-v3-range ---------------------------------
+            # docs/PROTOCOL.md reserves tags 17-31 for the v3 wire format:
+            # the range is what lets a v2 decoder classify an unseen v3 tag
+            # as "newer format" rather than garbage. Enforce it both ways.
+            in_v3_range = 17 <= value <= 31
+            is_v3_name = "V3" in name
+            if (in_v3_range != is_v3_name and
+                    not self.waived(path, lines, i, "wire-tag-v3-range")):
+                if is_v3_name:
+                    why = (f"{current}::{name} is a v3 entry but takes tag "
+                           f"{value}, outside the reserved v3 range 17-31")
+                else:
+                    why = (f"{current}::{name} takes tag {value} inside the "
+                           "range 17-31, which is reserved for wire-v3 "
+                           "entries (suffix V3)")
+                self.report(path, i + 1, "wire-tag-v3-range",
+                            why + " (docs/PROTOCOL.md)")
         return enums
 
     # -- rule: unlogged-store-write --------------------------------------
