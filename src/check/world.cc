@@ -1,10 +1,28 @@
 #include "check/world.h"
 
 #include <utility>
+#include <vector>
 
 #include "core/snapshot.h"
+#include "core/wire.h"
 
 namespace epidemic::check {
+
+namespace {
+
+/// Manual-mode scheduler for a sharded node: num_shards single-writer
+/// sections, zero threads, zero read cache (the checker has no concurrent
+/// readers, and cache state is not canonical protocol state).
+std::unique_ptr<runtime::ShardScheduler> MakeManualScheduler(
+    size_t num_shards) {
+  runtime::ShardScheduler::Options opts;
+  opts.num_shards = num_shards;
+  opts.manual = true;
+  opts.read_cache_slots = 0;
+  return std::make_unique<runtime::ShardScheduler>(opts);
+}
+
+}  // namespace
 
 Result<Mutation> ParseMutation(std::string_view name) {
   if (name == "none") return Mutation::kNone;
@@ -37,6 +55,7 @@ World::World(const WorldConfig& config) : World(config, /*tampered=*/false) {
     if (config_.num_shards > 1) {
       node->sharded = std::make_unique<ShardedReplica>(
           id, config_.num_nodes, config_.num_shards, listener_for(*node));
+      node->sched = MakeManualScheduler(config_.num_shards);
     } else {
       node->plain = std::make_unique<Replica>(id, config_.num_nodes,
                                               listener_for(*node));
@@ -61,6 +80,7 @@ Result<std::unique_ptr<World>> World::Restore(
       auto replica = DecodeShardedSnapshot(blob, world->listener_for(*node));
       if (!replica.ok()) return replica.status();
       node->sharded = std::move(*replica);
+      node->sched = MakeManualScheduler(config.num_shards);
     } else {
       auto replica = DecodeSnapshot(blob, world->listener_for(*node));
       if (!replica.ok()) return replica.status();
@@ -100,15 +120,30 @@ Status World::Apply(const Action& action) {
       value += name;
       value += ".";
       value += std::to_string(version);
-      return node.plain ? node.plain->Update(name, value)
-                        : node.sharded->Update(name, value);
+      if (node.plain) return node.plain->Update(name, value);
+      // Sharded: the update is one task in its shard's single-writer
+      // section, executed by the manual pump inside Execute.
+      Status status;
+      node.sched->Execute(node.sharded->ShardOf(name),
+                          runtime::TaskKind::kLocalUpdate, /*mutates=*/true,
+                          [&](const runtime::ShardToken&) {
+                            status = node.sharded->Update(name, value);
+                          });
+      return status;
     }
-    case ActionKind::kDelete:
+    case ActionKind::kDelete: {
       if (action.item >= config_.num_items) {
         return Status::InvalidArgument("item index out of range");
       }
-      return node.plain ? node.plain->Delete(name)
-                        : node.sharded->Delete(name);
+      if (node.plain) return node.plain->Delete(name);
+      Status status;
+      node.sched->Execute(node.sharded->ShardOf(name),
+                          runtime::TaskKind::kLocalUpdate, /*mutates=*/true,
+                          [&](const runtime::ShardToken&) {
+                            status = node.sharded->Delete(name);
+                          });
+      return status;
+    }
     case ActionKind::kSync:
       if (action.b >= n || action.b == action.a) {
         return Status::InvalidArgument("sync peer out of range");
@@ -122,13 +157,34 @@ Status World::Apply(const Action& action) {
         return Status::InvalidArgument("item index out of range");
       }
       Node& source = *nodes_[action.b];
-      OobRequest req = node.plain ? node.plain->BuildOobRequest(name)
-                                  : node.sharded->BuildOobRequest(name);
-      OobResponse resp = source.plain
-                             ? source.plain->HandleOobRequest(req)
-                             : source.sharded->HandleOobRequest(req);
-      Status s = node.plain ? node.plain->AcceptOobResponse(resp)
-                            : node.sharded->AcceptOobResponse(resp);
+      OobRequest req;
+      OobResponse resp;
+      Status s;
+      if (node.plain) {
+        req = node.plain->BuildOobRequest(name);
+        resp = source.plain->HandleOobRequest(req);
+        s = node.plain->AcceptOobResponse(resp);
+      } else {
+        // Each §5.2 step is a task on the item's shard — build and accept
+        // on the requester, serve on the source — mirroring the server's
+        // OobFetch task structure.
+        const size_t shard = node.sharded->ShardOf(name);
+        node.sched->Execute(shard, runtime::TaskKind::kSnapshot,
+                            /*mutates=*/false,
+                            [&](const runtime::ShardToken&) {
+                              req = node.sharded->BuildOobRequest(name);
+                            });
+        source.sched->Execute(shard, runtime::TaskKind::kServe,
+                              /*mutates=*/false,
+                              [&](const runtime::ShardToken&) {
+                                resp = source.sharded->HandleOobRequest(req);
+                              });
+        node.sched->Execute(shard, runtime::TaskKind::kAccept,
+                            /*mutates=*/true,
+                            [&](const runtime::ShardToken&) {
+                              s = node.sharded->AcceptOobResponse(resp);
+                            });
+      }
       // NotFound (source never heard of the item) and Conflict (reported to
       // the listener) are legal §5.2 outcomes, not protocol errors.
       if (s.IsNotFound() || s.IsConflict()) return Status::OK();
@@ -138,7 +194,10 @@ Status World::Apply(const Action& action) {
       if (node.plain) {
         node.plain->PumpIntraNode();
       } else {
-        node.sharded->PumpIntraNode();
+        // Touches every shard: run under the scheduler's cross-shard
+        // barrier, like the server's whole-database operations.
+        node.sched->ExecuteExclusive(
+            /*mutates=*/true, [&] { node.sharded->PumpIntraNode(); });
       }
       return Status::OK();
     case ActionKind::kCrash:
@@ -161,19 +220,103 @@ Status World::ApplySync(size_t recipient, size_t source) {
     }
     return r.plain->AcceptPropagation(resp);
   }
-  // Handle/Accept encode and decode the real per-shard wire segment
-  // bodies — v3 delta segments (tags 17/18) by default, the owned v2
-  // bodies (tags 14/15) under --wire 2 — so sharded checking covers the
-  // configured wire path end to end.
-  if (config_.wire_version >= 3) {
-    ShardedPropagationRequest req = r.sharded->BuildPropagationRequestV3();
-    ShardedPropagationResponse resp =
-        s.sharded->HandlePropagationRequestV3(req);
-    return r.sharded->AcceptPropagation(resp);
+  // Sharded: the owned-shard path, exactly the server's task structure —
+  // snapshot the handshake as one batch on the recipient's scheduler,
+  // serve each stale shard as a task on the source's scheduler (encoding
+  // the real wire segment body: v3 delta segments, tags 17/18, by
+  // default; the owned v2 bodies, tags 14/15, under --wire 2), then
+  // decode and accept each segment as a task on the recipient. The manual
+  // pump drains every batch in ascending shard order, so the whole
+  // exchange is a pure function of the schedule.
+  ShardedReplica& rrep = *r.sharded;
+  ShardedReplica& srep = *s.sharded;
+  const size_t num_shards = rrep.num_shards();
+  const bool v3 = config_.wire_version >= 3;
+
+  ShardedPropagationRequest req;
+  req.requester = rrep.id();
+  if (v3) req.wire_version = kWireV3;
+  req.shard_dbvvs.resize(num_shards);
+  {
+    std::vector<runtime::ShardScheduler::BatchItem> work;
+    work.reserve(num_shards);
+    for (size_t k = 0; k < num_shards; ++k) {
+      work.push_back({k, runtime::TaskKind::kSnapshot, /*mutates=*/false,
+                      [&rrep, &req, k](const runtime::ShardToken&) {
+                        req.shard_dbvvs[k] = rrep.shard(k).dbvv();
+                      }});
+    }
+    r.sched->ExecuteBatch(std::move(work));
   }
-  ShardedPropagationRequest req = r.sharded->BuildPropagationRequest();
-  ShardedPropagationResponse resp = s.sharded->HandlePropagationRequest(req);
-  return r.sharded->AcceptPropagation(resp);
+
+  std::vector<std::string> bodies(num_shards);
+  std::vector<char> has_body(num_shards, 0);
+  wire::V3SegmentOptions opts;  // no compression in the model checker
+  {
+    std::vector<runtime::ShardScheduler::BatchItem> work;
+    work.reserve(num_shards);
+    for (size_t k = 0; k < num_shards; ++k) {
+      work.push_back(
+          {k, runtime::TaskKind::kServe, /*mutates=*/false,
+           [this, &srep, &req, &opts, &bodies, &has_body, v3,
+            k](const runtime::ShardToken&) {
+             const PropagationRequest shard_req{req.requester,
+                                                req.shard_dbvvs[k]};
+             if (v3) {
+               const PropagationResponseView& view =
+                   srep.HandleShardPropagationView(k, shard_req);
+               if (view.you_are_current) return;
+               bodies[k] = buffer_pool_.Get();
+               wire::EncodeShardSegmentBodyV3(view, srep.shard(k).dbvv(),
+                                              opts, &buffer_pool_,
+                                              &bodies[k]);
+             } else {
+               PropagationResponse shard_resp =
+                   srep.HandleShardPropagation(k, shard_req);
+               if (shard_resp.you_are_current) return;
+               bodies[k] = wire::EncodeShardSegmentBody(shard_resp);
+             }
+             has_body[k] = 1;
+           }});
+    }
+    s.sched->ExecuteBatch(std::move(work));
+  }
+
+  std::vector<Status> statuses(num_shards);
+  std::vector<wire::SegmentViewStorage> storages(v3 ? num_shards : 0);
+  {
+    std::vector<runtime::ShardScheduler::BatchItem> work;
+    work.reserve(num_shards);
+    for (size_t k = 0; k < num_shards; ++k) {
+      if (has_body[k] == 0) continue;
+      work.push_back(
+          {k, runtime::TaskKind::kAccept, /*mutates=*/true,
+           [&rrep, &bodies, &statuses, &storages, v3,
+            k](const runtime::ShardToken&) {
+             if (v3) {
+               PropagationResponseView view;
+               Status st = wire::DecodeShardSegmentBodyV3(bodies[k],
+                                                          &storages[k], &view);
+               statuses[k] =
+                   st.ok() ? rrep.AcceptShardPropagation(k, view) : st;
+               return;
+             }
+             Result<PropagationResponse> decoded =
+                 wire::DecodeShardSegmentBody(bodies[k]);
+             statuses[k] = decoded.ok()
+                               ? rrep.AcceptShardPropagation(k, *decoded)
+                               : decoded.status();
+           }});
+    }
+    r.sched->ExecuteBatch(std::move(work));
+  }
+  for (size_t k = 0; k < num_shards; ++k) {
+    if (has_body[k] != 0) {
+      buffer_pool_.Put(std::move(bodies[k]));
+      if (!statuses[k].ok()) return statuses[k];
+    }
+  }
+  return Status::OK();
 }
 
 Status World::ApplyCrash(size_t index) {

@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "check/action.h"
+#include "common/buffer_pool.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/conflict.h"
 #include "core/replica.h"
 #include "core/sharded_replica.h"
+#include "runtime/scheduler.h"
 #include "vv/version_vector.h"
 
 namespace epidemic::check {
@@ -139,6 +141,12 @@ class World {
     /// Exactly one of the two is set, per config().num_shards.
     std::unique_ptr<Replica> plain;
     std::unique_ptr<ShardedReplica> sharded;
+    /// Sharded nodes only: the production shard scheduler in manual mode
+    /// — no threads, no parking, no clocks; the world's Apply steps are
+    /// its explicit pump. Every mutation and every per-shard propagation
+    /// step runs as a scheduler task, so the checker exercises the same
+    /// single-writer discipline the server runs under, deterministically.
+    std::unique_ptr<runtime::ShardScheduler> sched;
   };
 
   World(const WorldConfig& config, bool tampered);
@@ -150,6 +158,9 @@ class World {
 
   WorldConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Scratch for v3 segment encoding in the sharded sync path (mirrors
+  /// the server's pooled-buffer serve pipeline).
+  BufferPool buffer_pool_;
   /// kTamperIvv fires once per World instance; part of the checker's state
   /// digest so deduplication stays sound under the mutation.
   bool tampered_ = false;

@@ -58,6 +58,30 @@ class ByteWriter {
     buf_.append(s.data(), s.size());
   }
 
+  /// Appends `v` as a LEB128 varint padded to exactly `width` bytes
+  /// (continuation bits set on all but the last byte). Non-canonical but
+  /// decoded identically by GetVarint64. Used to reserve a fixed-width
+  /// slot — typically a length prefix written before its payload exists —
+  /// that OverwritePaddedVarint backpatches once the size is known.
+  /// `v` must fit in 7 * width bits.
+  void PutPaddedVarint(uint64_t v, size_t width) {
+    for (size_t i = 0; i + 1 < width; ++i) {
+      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v & 0x7f));
+  }
+
+  /// Rewrites the `width`-byte padded varint at `pos` (previously written
+  /// by PutPaddedVarint) in place.
+  void OverwritePaddedVarint(size_t pos, uint64_t v, size_t width) {
+    for (size_t i = 0; i + 1 < width; ++i) {
+      buf_[pos + i] = static_cast<char>((v & 0x7f) | 0x80);
+      v >>= 7;
+    }
+    buf_[pos + width - 1] = static_cast<char>(v & 0x7f);
+  }
+
   void PutBytes(const void* data, size_t n) {
     buf_.append(static_cast<const char*>(data), n);
   }

@@ -23,6 +23,20 @@ inline constexpr uint8_t kWireV3 = 3;
 /// unless the recipient asked).
 inline constexpr uint8_t kPropFlagAcceptCompressed = 0x01;
 
+/// v3 request flag: the request is an epoch probe — it carries no shard
+/// DBVVs, only `last_epoch`, the source mutation epoch the requester saw
+/// on its last completed pull. If the source's epoch still matches, the
+/// reply is the O(1) "you-are-current"; otherwise the source answers
+/// kPropRespFlagResend and the requester repeats the round with the full
+/// per-shard handshake. The whole-database analogue of the paper's O(1)
+/// DBVV dominance check: a quiescent round costs O(1), not O(S).
+inline constexpr uint8_t kPropFlagEpochProbe = 0x02;
+
+/// v3 response flag: the probe's epoch no longer matches — resend the
+/// handshake with shard DBVVs. Carries no segments; the requester must
+/// not cache the attached epoch (no data was served under it).
+inline constexpr uint8_t kPropRespFlagResend = 0x01;
+
 /// Step (1) of update propagation (§5.1): recipient i sends its DBVV to the
 /// prospective source j.
 struct PropagationRequest {
@@ -113,6 +127,9 @@ struct ShardedPropagationRequest {
   uint8_t wire_version = kWireV2;
   /// v3 only: kPropFlag* negotiation bits (serialized on the v3 wire).
   uint8_t flags = 0;
+  /// v3 only: with kPropFlagEpochProbe, the source mutation epoch this
+  /// requester recorded from its last completed pull (0 = never pulled).
+  uint64_t last_epoch = 0;
 };
 
 /// One shard's segment of a sharded reply: the shard index plus the
@@ -137,8 +154,17 @@ struct ShardedPropagationResponse {
   /// (15 vs 18) and the per-segment decoder. Implied by the tag on the
   /// wire, never serialized.
   uint8_t wire_version = kWireV2;
+  /// v3 only: kPropRespFlag* bits (serialized on the v3 wire).
+  uint8_t resp_flags = 0;
+  /// v3 only: the source's mutation epoch sampled *before* serving, so
+  /// anything the segments miss has a later epoch. The requester caches
+  /// it after a successful accept and probes with it next round.
+  uint64_t epoch = 0;
 
   bool you_are_current() const { return segments.empty(); }
+  bool resend_requested() const {
+    return (resp_flags & kPropRespFlagResend) != 0;
+  }
 };
 
 /// Out-of-bound copy request (§5.2) for a single named item.

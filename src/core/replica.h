@@ -60,6 +60,13 @@ struct ReplicaStats {
   uint64_t serve_staging_allocs = 0;
   uint64_t accept_staging_allocs = 0;
 
+  // Shard-scheduler health (runtime/scheduler.h). Filled by the server
+  // layer when aggregating (a single Replica has no scheduler): total
+  // tasks executed across owners/inline callers, and the peak MPSC
+  // channel depth observed — the back-pressure signal.
+  uint64_t sched_tasks_executed = 0;
+  uint64_t sched_queue_depth_peak = 0;
+
   /// Component-wise sum, used to aggregate counters across shards.
   void Accumulate(const ReplicaStats& o) {
     propagation_requests_served += o.propagation_requests_served;
@@ -84,6 +91,11 @@ struct ReplicaStats {
     intra_node_ops_applied += o.intra_node_ops_applied;
     serve_staging_allocs += o.serve_staging_allocs;
     accept_staging_allocs += o.accept_staging_allocs;
+    sched_tasks_executed += o.sched_tasks_executed;
+    sched_queue_depth_peak =
+        sched_queue_depth_peak > o.sched_queue_depth_peak
+            ? sched_queue_depth_peak
+            : o.sched_queue_depth_peak;
   }
 };
 

@@ -122,6 +122,14 @@ void EncodeShardedPropagationRequestBody(ByteWriter& w,
 
 void EncodeShardedPropagationResponseBody(
     ByteWriter& w, const ShardedPropagationResponse& m) {
+  // Segment bodies dominate the frame; reserving their sum up front turns
+  // the stitch into one allocation instead of a doubling series that
+  // re-copies megabytes.
+  size_t total = 24;
+  for (const ShardedPropagationSegment& seg : m.segments) {
+    total += seg.body.size() + 12;
+  }
+  w.Reserve(w.size() + total);
   w.PutVarint64(m.num_shards);
   w.PutVarint64(m.segments.size());
   for (const ShardedPropagationSegment& seg : m.segments) {
@@ -206,6 +214,7 @@ void EncodeShardedPropagationRequestBodyV3(
     ByteWriter& w, const ShardedPropagationRequest& m) {
   w.PutVarint64(m.requester);
   w.PutU8(m.flags);
+  w.PutVarint64(m.last_epoch);
   w.PutVarint64(m.shard_dbvvs.size());
   for (const VersionVector& vv : m.shard_dbvvs) {
     EncodeVersionVector(&w, vv);
@@ -222,9 +231,15 @@ Result<ShardedPropagationRequest> DecodeShardedPropagationRequestBodyV3(
   auto flags = r.GetU8();
   if (!flags.ok()) return flags.status();
   m.flags = *flags;
+  auto last_epoch = r.GetVarint64();
+  if (!last_epoch.ok()) return last_epoch.status();
+  m.last_epoch = *last_epoch;
   auto count = r.GetVarint64();
   if (!count.ok()) return count.status();
   if (*count > (1u << 16)) return Status::Corruption("absurd shard count");
+  if ((m.flags & kPropFlagEpochProbe) != 0 && *count != 0) {
+    return Status::Corruption("epoch probe carrying shard DBVVs");
+  }
   m.shard_dbvvs.reserve(static_cast<size_t>(*count));
   for (uint64_t i = 0; i < *count; ++i) {
     auto vv = DecodeVersionVector(&r);
@@ -232,6 +247,75 @@ Result<ShardedPropagationRequest> DecodeShardedPropagationRequestBodyV3(
     m.shard_dbvvs.push_back(std::move(*vv));
   }
   return m;
+}
+
+void EncodeShardedPropagationResponseBodyV3(
+    ByteWriter& w, const ShardedPropagationResponse& m) {
+  w.PutU8(m.resp_flags);
+  w.PutVarint64(m.epoch);
+  EncodeShardedPropagationResponseBody(w, m);
+}
+
+Result<ShardedPropagationResponse> DecodeShardedPropagationResponseBodyV3(
+    ByteReader& r) {
+  auto resp_flags = r.GetU8();
+  if (!resp_flags.ok()) return resp_flags.status();
+  auto epoch = r.GetVarint64();
+  if (!epoch.ok()) return epoch.status();
+  auto m = DecodeShardedPropagationResponseBody(r);
+  if (!m.ok()) return m.status();
+  if ((*resp_flags & ~kPropRespFlagResend) != 0) {
+    return Status::Corruption("unknown sharded response flags");
+  }
+  if ((*resp_flags & kPropRespFlagResend) != 0 && !m->segments.empty()) {
+    return Status::Corruption("resend reply carrying segments");
+  }
+  m->wire_version = kWireV3;
+  m->resp_flags = *resp_flags;
+  m->epoch = *epoch;
+  return m;
+}
+
+Status DecodeShardedPropagationResponseEnvelopeV3(
+    ByteReader& r, ShardedResponseEnvelopeView* out) {
+  out->segments.clear();
+  auto resp_flags = r.GetU8();
+  if (!resp_flags.ok()) return resp_flags.status();
+  if ((*resp_flags & ~kPropRespFlagResend) != 0) {
+    return Status::Corruption("unknown sharded response flags");
+  }
+  auto epoch = r.GetVarint64();
+  if (!epoch.ok()) return epoch.status();
+  auto num_shards = r.GetVarint64();
+  if (!num_shards.ok()) return num_shards.status();
+  if (*num_shards > (1u << 16)) return Status::Corruption("absurd shard count");
+  auto count = r.GetVarint64();
+  if (!count.ok()) return count.status();
+  if (*count > *num_shards) {
+    return Status::Corruption("more segments than shards");
+  }
+  if ((*resp_flags & kPropRespFlagResend) != 0 && *count != 0) {
+    return Status::Corruption("resend reply carrying segments");
+  }
+  out->resp_flags = *resp_flags;
+  out->epoch = *epoch;
+  out->num_shards = static_cast<uint32_t>(*num_shards);
+  out->segments.reserve(static_cast<size_t>(*count));
+  uint64_t prev_shard = 0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto shard = r.GetVarint64();
+    if (!shard.ok()) return shard.status();
+    if (*shard >= *num_shards || (i > 0 && *shard <= prev_shard)) {
+      return Status::Corruption("segment shard indices not strictly "
+                                "increasing within the shard count");
+    }
+    prev_shard = *shard;
+    auto body = r.GetStringView();
+    if (!body.ok()) return body.status();
+    out->segments.push_back(
+        ShardedSegmentView{static_cast<uint32_t>(*shard), *body});
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -318,6 +402,15 @@ void EncodeShardSegmentBodyV3(const PropagationResponseView& m,
     EncodeSegmentInnerV3(w, m, base);
     *out = w.Release();
   }
+}
+
+void EncodeShardSegmentBodyV3Into(ByteWriter& w,
+                                  const PropagationResponseView& m,
+                                  const VersionVector& base) {
+  assert(!m.you_are_current);
+  w.Reserve(w.size() + EstimateSegmentInnerSize(m, base) + 1);
+  w.PutU8(0);
+  EncodeSegmentInnerV3(w, m, base);
 }
 
 namespace {

@@ -71,11 +71,43 @@ struct SegmentViewStorage {
   std::vector<VersionVector> ivvs;
 };
 
-/// v3 sharded handshake body: v2 layout plus a negotiation flags byte.
+/// v3 sharded handshake body: v2 layout plus a negotiation flags byte and
+/// the requester's cached source epoch (kPropFlagEpochProbe rounds carry
+/// only the epoch, zero shard DBVVs — the O(1) quiescent round).
 void EncodeShardedPropagationRequestBodyV3(
     ByteWriter& w, const ShardedPropagationRequest& m);
 Result<ShardedPropagationRequest> DecodeShardedPropagationRequestBodyV3(
     ByteReader& r);
+
+/// v3 sharded reply body: response flags byte + the source's mutation
+/// epoch (sampled before serving), then the v2 envelope layout.
+void EncodeShardedPropagationResponseBodyV3(
+    ByteWriter& w, const ShardedPropagationResponse& m);
+Result<ShardedPropagationResponse> DecodeShardedPropagationResponseBodyV3(
+    ByteReader& r);
+
+/// Zero-copy view of a decoded v3 sharded reply: segment bodies are views
+/// into the reader's buffer (the received wire frame), which must outlive
+/// the view. The anti-entropy pull path uses this to hand each segment to
+/// its shard's accept task without ever materializing the (potentially
+/// multi-megabyte) bodies as owned strings.
+struct ShardedSegmentView {
+  uint32_t shard = 0;
+  std::string_view body;
+};
+struct ShardedResponseEnvelopeView {
+  uint8_t resp_flags = 0;
+  uint64_t epoch = 0;
+  uint32_t num_shards = 0;
+  std::vector<ShardedSegmentView> segments;
+  bool resend_requested() const {
+    return (resp_flags & kPropRespFlagResend) != 0;
+  }
+};
+/// View-decoding twin of DecodeShardedPropagationResponseBodyV3: same
+/// layout, same validations, no segment-body copies.
+Status DecodeShardedPropagationResponseEnvelopeV3(
+    ByteReader& r, ShardedResponseEnvelopeView* out);
 
 /// Encodes one stale shard's reply as a self-framed v3 segment body into
 /// `*out` (replacing its contents, keeping capacity — pass a pooled
@@ -92,6 +124,16 @@ void EncodeShardSegmentBodyV3(const PropagationResponseView& m,
                               const VersionVector& base,
                               const V3SegmentOptions& opts, BufferPool* pool,
                               std::string* out);
+
+/// Appends an *uncompressed* v3 segment body (flags byte + inner layout,
+/// identical to EncodeShardSegmentBodyV3 with compression off) directly to
+/// `w`. Lets the serve path encode each stale shard straight into the
+/// response frame, skipping the per-segment staging buffer and the
+/// segment→frame stitch copy. Same preconditions as
+/// EncodeShardSegmentBodyV3.
+void EncodeShardSegmentBodyV3Into(ByteWriter& w,
+                                  const PropagationResponseView& m,
+                                  const VersionVector& base);
 
 /// Zero-copy decode of a v3 segment body. On success `out`'s string views
 /// point into `body` (or into `storage->backing` when the segment was

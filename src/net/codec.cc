@@ -72,10 +72,14 @@ void EncodeBody(ByteWriter& w, const ShardedPropagationRequest& m) {
 }
 
 void EncodeBody(ByteWriter& w, const ShardedPropagationResponse& m) {
-  // The v2 and v3 response *envelopes* are identical (num_shards +
-  // opaque segments); the versions differ in the segment body format,
-  // which the tag announces.
-  wire::EncodeShardedPropagationResponseBody(w, m);
+  // The v3 response envelope prefixes the v2 layout (num_shards + opaque
+  // segments) with a flags byte and the source's mutation epoch; the
+  // segment body format differs too, which the tag announces.
+  if (m.wire_version >= kWireV3) {
+    wire::EncodeShardedPropagationResponseBodyV3(w, m);
+  } else {
+    wire::EncodeShardedPropagationResponseBody(w, m);
+  }
 }
 
 void EncodeBody(ByteWriter&, const ClientResetStatsRequest&) {}
@@ -291,12 +295,9 @@ Result<Message> Decode(std::string_view frame) {
     case MessageType::kShardedPropagationRequestV3:
       result = Wrap(wire::DecodeShardedPropagationRequestBodyV3(r));
       break;
-    case MessageType::kShardedPropagationResponseV3: {
-      auto resp = wire::DecodeShardedPropagationResponseBody(r);
-      if (resp.ok()) resp->wire_version = kWireV3;
-      result = Wrap(std::move(resp));
+    case MessageType::kShardedPropagationResponseV3:
+      result = Wrap(wire::DecodeShardedPropagationResponseBodyV3(r));
       break;
-    }
   }
   if (result.ok() && !r.AtEnd()) {
     return Status::Corruption("trailing bytes after message body");

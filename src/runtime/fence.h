@@ -1,0 +1,34 @@
+#ifndef EPIDEMIC_RUNTIME_FENCE_H_
+#define EPIDEMIC_RUNTIME_FENCE_H_
+
+#include <atomic>
+
+namespace epidemic::runtime {
+
+/// Seqlock memory-ordering shims.
+///
+/// ThreadSanitizer does not model std::atomic_thread_fence (GCC rejects it
+/// outright under -Werror=tsan), so the seqlock paths cannot pair relaxed
+/// atomic accesses with standalone fences in a TSAN build. Instead, every
+/// access that a fence would have ordered uses `kSeqlockOrder`: relaxed in
+/// production (the fences do the ordering), seq_cst under TSAN (each access
+/// carries its own ordering and the fences compile away). Both variants are
+/// race-free — all seqlock-published data lives in atomics — and the
+/// production variant keeps the hot read path fence+relaxed.
+#if defined(__SANITIZE_THREAD__)
+inline constexpr std::memory_order kSeqlockOrder = std::memory_order_seq_cst;
+inline void SeqlockAcquireFence() {}
+inline void SeqlockReleaseFence() {}
+#else
+inline constexpr std::memory_order kSeqlockOrder = std::memory_order_relaxed;
+inline void SeqlockAcquireFence() {
+  std::atomic_thread_fence(std::memory_order_acquire);
+}
+inline void SeqlockReleaseFence() {
+  std::atomic_thread_fence(std::memory_order_release);
+}
+#endif
+
+}  // namespace epidemic::runtime
+
+#endif  // EPIDEMIC_RUNTIME_FENCE_H_

@@ -1,0 +1,135 @@
+#ifndef EPIDEMIC_RUNTIME_MPSC_QUEUE_H_
+#define EPIDEMIC_RUNTIME_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace epidemic::runtime {
+
+/// Bounded multi-producer task channel (Vyukov bounded-queue scheme): a
+/// power-of-two ring of cells, each stamped with a sequence number that
+/// encodes whether the cell is free for the producer or ready for the
+/// consumer. Producers reserve a cell with one CAS on `enqueue_pos_` and
+/// never touch consumer state; the consumer side is wait-free.
+///
+/// Consumption discipline: TryPop/Empty-exact callers must be serialized
+/// externally — in this tree by holding the owning shard's gate
+/// (scheduler.h). That makes the queue MPSC even though the cell protocol
+/// itself would tolerate more. There are no locks anywhere: a full channel
+/// reports failure (TryPush) and producers park on `WaitNotFull`, which is
+/// the scheduler's backpressure signal, not a mutex.
+///
+/// All coordination is sequence-stamped atomics, so the queue is safe under
+/// TSAN and free of wall-clock or entropy reads (the runtime is covered by
+/// protocol_lint's determinism rules).
+template <typename T>
+class MpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit MpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Multi-producer enqueue; returns false when the channel is full
+  /// (bounded backpressure — callers decide whether to drain or park).
+  bool TryPush(T&& value) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell is still occupied: channel full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-consumer dequeue (serialize callers externally). Returns false
+  /// when no completed push is visible.
+  bool TryPop(T* out) {
+    const size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return false;
+    }
+    *out = std::move(cell.value);
+    cell.value = T{};  // drop captured state eagerly, not at overwrite time
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_release);
+    if (space_waiters_.load(std::memory_order_acquire) != 0) {
+      dequeue_pos_.notify_all();
+    }
+    return true;
+  }
+
+  /// Conservative emptiness check for any thread: may report non-empty for
+  /// a push still in flight, but never empty while a completed (or
+  /// reserved) push has not been popped. The scheduler's drain-then-release
+  /// invariant relies on exactly that one-sided guarantee.
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  /// Reserved-but-unpopped cell count; an upper bound on completed pushes.
+  size_t SizeApprox() const {
+    const size_t tail = dequeue_pos_.load(std::memory_order_relaxed);
+    const size_t head = enqueue_pos_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+  /// Parks the caller until a pop makes space (or space already exists).
+  /// Event-driven (atomic wait on the dequeue cursor) — no sleeps, no
+  /// clocks.
+  void WaitNotFull() {
+    const size_t tail = dequeue_pos_.load(std::memory_order_acquire);
+    if (SizeApprox() <= mask_) return;  // space already (or push racing)
+    space_waiters_.fetch_add(1, std::memory_order_acq_rel);
+    if (SizeApprox() > mask_) {
+      dequeue_pos_.wait(tail, std::memory_order_acquire);
+    }
+    space_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  /// Producer and consumer cursors on separate cache lines so producers'
+  /// CAS traffic does not bounce the consumer's line.
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+  std::atomic<uint32_t> space_waiters_{0};
+};
+
+}  // namespace epidemic::runtime
+
+#endif  // EPIDEMIC_RUNTIME_MPSC_QUEUE_H_

@@ -1,0 +1,59 @@
+#ifndef EPIDEMIC_RUNTIME_OPTIMISTIC_LOCK_H_
+#define EPIDEMIC_RUNTIME_OPTIMISTIC_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/fence.h"
+
+namespace epidemic::runtime {
+
+/// Seqlock-style optimistic version word for a shard.
+///
+/// The single writer (whoever holds the shard's gate — owner worker,
+/// inline caller, or the exclusive barrier) brackets every mutating task
+/// with WriteBegin/WriteEnd, taking the version odd then back to even.
+/// Readers never block: they sample the version, require it to be even
+/// (no writer in the critical section), read data published *under* that
+/// version, and re-validate that the version is unchanged. Any mutation
+/// in between bumps the version and invalidates the read, which then
+/// falls back to the enqueue path.
+///
+/// Data published for optimistic readers must itself be stored in atomic
+/// words (see read_cache.h) — this class only sequences staleness; it
+/// does not make non-atomic reads race-free.
+class OptimisticVersion {
+ public:
+  /// An even sample of the version, or `kUnstable` when a writer is in
+  /// the critical section (reader should fall back immediately).
+  static constexpr uint64_t kUnstable = ~uint64_t{0};
+
+  uint64_t ReadBegin() const {
+    const uint64_t v = v_.load(std::memory_order_acquire);
+    return (v & 1) == 0 ? v : kUnstable;
+  }
+
+  /// True iff no mutation started since `sample` was taken. The fence
+  /// orders the caller's preceding optimistic data reads before the
+  /// re-validation load (fence.h explains the TSAN variant).
+  bool Validate(uint64_t sample) const {
+    SeqlockAcquireFence();
+    return sample != kUnstable &&
+           v_.load(std::memory_order_acquire) == sample;
+  }
+
+  /// Writer side; caller must hold the shard gate (single writer).
+  void WriteBegin() { v_.fetch_add(1, std::memory_order_release); }
+  void WriteEnd() { v_.fetch_add(1, std::memory_order_release); }
+
+  /// Current raw value (even = stable). Used by the cache to stamp
+  /// published entries.
+  uint64_t Current() const { return v_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+}  // namespace epidemic::runtime
+
+#endif  // EPIDEMIC_RUNTIME_OPTIMISTIC_LOCK_H_

@@ -1,0 +1,152 @@
+#ifndef EPIDEMIC_RUNTIME_READ_CACHE_H_
+#define EPIDEMIC_RUNTIME_READ_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+#include "runtime/fence.h"
+#include "runtime/optimistic_lock.h"
+
+namespace epidemic::runtime {
+
+/// Lock-free read-side cache for one shard, published under the shard's
+/// OptimisticVersion.
+///
+/// The shard's store is a std::map and cannot be read concurrently with
+/// mutation, so the hot read path instead consults this fixed,
+/// direct-mapped table of seqlock slots. Every byte in a slot lives in an
+/// atomic word, which keeps optimistic readers TSAN-clean: a racing
+/// republish can only make the slot-sequence re-check fail, never tear a
+/// value into the result.
+///
+/// Staleness discipline: a slot is stamped with the shard version current
+/// at publish time, and a lookup only hits when that stamp equals the
+/// reader's version sample. Any mutating task bumps the shard version
+/// (scheduler.h), so one increment implicitly invalidates the whole
+/// shard's cache — there is no eviction protocol to get wrong. The caller
+/// must still re-validate the shard version *after* Lookup returns (see
+/// OptimisticVersion::Validate); the cache alone cannot know whether the
+/// shard moved on while the slot was being copied.
+class ShardReadCache {
+ public:
+  static constexpr size_t kMaxName = 64;
+  static constexpr size_t kMaxValue = 192;
+
+  enum class Outcome : uint8_t {
+    kMiss = 0,    // no usable slot; fall through to the task path
+    kValue = 1,   // hit: item exists, *value filled
+    kAbsent = 2,  // hit: item is known missing-or-deleted
+  };
+
+  /// `slots` is rounded up to a power of two (minimum 8).
+  explicit ShardReadCache(size_t slots = 256) {
+    size_t cap = 8;
+    while (cap < slots) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  ShardReadCache(const ShardReadCache&) = delete;
+  ShardReadCache& operator=(const ShardReadCache&) = delete;
+
+  /// Optimistic lookup. `version_sample` is the reader's even sample of
+  /// the shard's OptimisticVersion; only slots published at exactly that
+  /// version hit. On kValue, *value holds a copy.
+  Outcome Lookup(std::string_view name, uint64_t version_sample,
+                 std::string* value) const {
+    if (version_sample == OptimisticVersion::kUnstable ||
+        name.size() > kMaxName) {
+      return Outcome::kMiss;
+    }
+    const Slot& slot = slots_[Crc32c(name) & mask_];
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) return Outcome::kMiss;  // mid-publish
+    const uint64_t meta = slot.meta.load(kSeqlockOrder);
+    const uint64_t published = slot.published.load(kSeqlockOrder);
+    const auto state = static_cast<Outcome>(meta & 0xff);
+    const size_t name_len = (meta >> 8) & 0xffff;
+    const size_t value_len = (meta >> 24) & 0xffff;
+    if (state == Outcome::kMiss || published != version_sample ||
+        name_len != name.size() || value_len > kMaxValue) {
+      return Outcome::kMiss;
+    }
+    uint64_t words[kDataWords];
+    const size_t used = WordsFor(name_len + value_len);
+    for (size_t i = 0; i < used; ++i) {
+      words[i] = slot.data[i].load(kSeqlockOrder);
+    }
+    SeqlockAcquireFence();
+    if (slot.seq.load(kSeqlockOrder) != s1) {
+      return Outcome::kMiss;  // republished underneath us
+    }
+    const char* bytes = reinterpret_cast<const char*>(words);
+    if (std::memcmp(bytes, name.data(), name_len) != 0) {
+      return Outcome::kMiss;  // direct-mapped collision
+    }
+    if (state == Outcome::kValue) {
+      value->assign(bytes + name_len, value_len);
+    }
+    return state;
+  }
+
+  /// Publishes a read result. REQUIRES: caller holds the shard's gate (the
+  /// slot writer must be unique) and `shard_version` is the shard's
+  /// current, even version. Oversized entries are silently skipped — they
+  /// simply stay on the task path.
+  void Publish(std::string_view name, std::string_view value, bool absent,
+               uint64_t shard_version) {
+    if (name.size() > kMaxName || (!absent && value.size() > kMaxValue) ||
+        (shard_version & 1) != 0) {
+      return;
+    }
+    Slot& slot = slots_[Crc32c(name) & mask_];
+    const uint64_t s = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(s + 1, kSeqlockOrder);
+    SeqlockReleaseFence();
+    uint64_t words[kDataWords] = {};
+    std::memcpy(words, name.data(), name.size());
+    if (!absent) {
+      std::memcpy(reinterpret_cast<char*>(words) + name.size(), value.data(),
+                  value.size());
+    }
+    const size_t payload = name.size() + (absent ? 0 : value.size());
+    for (size_t i = 0; i < WordsFor(payload); ++i) {
+      slot.data[i].store(words[i], kSeqlockOrder);
+    }
+    const uint64_t state =
+        static_cast<uint64_t>(absent ? Outcome::kAbsent : Outcome::kValue);
+    slot.meta.store(state | (uint64_t{name.size()} << 8) |
+                        (uint64_t{absent ? 0 : value.size()} << 24),
+                    kSeqlockOrder);
+    slot.published.store(shard_version, kSeqlockOrder);
+    slot.seq.store(s + 2, std::memory_order_release);
+  }
+
+ private:
+  static constexpr size_t kDataWords = (kMaxName + kMaxValue) / 8;
+  static_assert((kMaxName + kMaxValue) % 8 == 0);
+
+  static constexpr size_t WordsFor(size_t bytes) { return (bytes + 7) / 8; }
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    /// Packed (value_len << 24) | (name_len << 8) | state.
+    std::atomic<uint64_t> meta{0};
+    /// Shard version at publish time; only an exact match hits.
+    std::atomic<uint64_t> published{0};
+    std::atomic<uint64_t> data[kDataWords] = {};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace epidemic::runtime
+
+#endif  // EPIDEMIC_RUNTIME_READ_CACHE_H_

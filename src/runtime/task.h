@@ -1,0 +1,63 @@
+#ifndef EPIDEMIC_RUNTIME_TASK_H_
+#define EPIDEMIC_RUNTIME_TASK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace epidemic::runtime {
+
+/// Taxonomy of shard work. Used for the per-kind execution counters in
+/// SchedulerStats; the scheduler itself treats every kind identically.
+enum class TaskKind : uint8_t {
+  kLocalUpdate = 0,  // client Update/Delete/ResolveConflict
+  kServe = 1,        // anti-entropy serve: build a propagation segment
+  kAccept = 2,       // anti-entropy accept: apply a peer's segment
+  kSnapshot = 3,     // DBVV/checkpoint/scan snapshot work
+  kStats = 4,        // stats aggregation or reset
+  kRead = 5,         // read task (optimistic fast path missed)
+  kOther = 6,
+};
+inline constexpr size_t kNumTaskKinds = 7;
+
+inline const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kLocalUpdate: return "local_update";
+    case TaskKind::kServe: return "serve";
+    case TaskKind::kAccept: return "accept";
+    case TaskKind::kSnapshot: return "snapshot";
+    case TaskKind::kStats: return "stats";
+    case TaskKind::kRead: return "read";
+    case TaskKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+/// Capability token proving the bearer is executing inside shard
+/// `shard()`'s single-writer section (its gate is held by the invoking
+/// drain loop). Only ShardScheduler can mint one, so a function taking a
+/// `const ShardToken&` is statically reachable only from scheduled tasks —
+/// the REQUIRES(mu)-style discipline of PR 2, with channel ownership
+/// standing in for the mutex.
+class ShardToken {
+ public:
+  size_t shard() const { return shard_; }
+
+ private:
+  friend class ShardScheduler;
+  explicit ShardToken(size_t shard) : shard_(shard) {}
+  size_t shard_;
+};
+
+/// A unit of shard work queued on the owner's channel.
+struct Task {
+  TaskKind kind = TaskKind::kOther;
+  /// Mutating tasks are bracketed by the shard's OptimisticVersion
+  /// (WriteBegin/WriteEnd), which invalidates optimistic readers.
+  bool mutates = false;
+  std::function<void(const ShardToken&)> fn;
+};
+
+}  // namespace epidemic::runtime
+
+#endif  // EPIDEMIC_RUNTIME_TASK_H_

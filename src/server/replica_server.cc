@@ -15,6 +15,9 @@ using net::ClientReadRequest;
 using net::ClientReply;
 using net::ClientUpdateRequest;
 using net::Message;
+using runtime::ShardReadCache;
+using runtime::ShardToken;
+using runtime::TaskKind;
 
 namespace {
 
@@ -33,6 +36,22 @@ Result<std::string> ReplyToResult(const ClientReply& reply) {
   return Status(static_cast<StatusCode>(reply.code), reply.payload);
 }
 
+Status NotFoundFor(std::string_view item) {
+  // Must match Replica::Read's wording: optimistic hits on absent items
+  // return exactly what the task path would have.
+  return Status::NotFound("no item named '" + std::string(item) + "'");
+}
+
+runtime::ShardScheduler::Options SchedulerOptions(size_t num_shards,
+                                                  size_t workers,
+                                                  size_t read_cache_slots) {
+  runtime::ShardScheduler::Options opts;
+  opts.num_shards = num_shards;
+  opts.workers = workers;
+  opts.read_cache_slots = read_cache_slots;
+  return opts;
+}
+
 }  // namespace
 
 ReplicaServer::ReplicaServer(NodeId id, size_t num_nodes,
@@ -41,11 +60,13 @@ ReplicaServer::ReplicaServer(NodeId id, size_t num_nodes,
       transport_(transport),
       options_(std::move(options)),
       memory_(std::make_unique<ShardedReplica>(
-          id, num_nodes, options_.num_shards, &listener_)),
-      pool_(options_.ae_workers) {
-  shard_mu_ = std::make_unique<Mutex[]>(memory_->num_shards());
+          id, num_nodes, options_.num_shards, &listener_)) {
+  sched_ = std::make_unique<runtime::ShardScheduler>(SchedulerOptions(
+      memory_->num_shards(), options_.ae_workers, options_.read_cache_slots));
+  InitShardList();
   peer_wire_count_ = num_nodes;
   peer_wire_ = std::make_unique<std::atomic<uint8_t>[]>(peer_wire_count_);
+  peer_epoch_ = std::make_unique<std::atomic<uint64_t>[]>(peer_wire_count_);
 }
 
 ReplicaServer::ReplicaServer(std::unique_ptr<JournaledShardedReplica> durable,
@@ -53,11 +74,13 @@ ReplicaServer::ReplicaServer(std::unique_ptr<JournaledShardedReplica> durable,
     : id_(durable->view().id()),
       transport_(transport),
       options_(std::move(options)),
-      durable_(std::move(durable)),
-      pool_(options_.ae_workers) {
-  shard_mu_ = std::make_unique<Mutex[]>(durable_->num_shards());
+      durable_(std::move(durable)) {
+  sched_ = std::make_unique<runtime::ShardScheduler>(SchedulerOptions(
+      durable_->num_shards(), options_.ae_workers, options_.read_cache_slots));
+  InitShardList();
   peer_wire_count_ = durable_->view().num_nodes();
   peer_wire_ = std::make_unique<std::atomic<uint8_t>[]>(peer_wire_count_);
+  peer_epoch_ = std::make_unique<std::atomic<uint64_t>[]>(peer_wire_count_);
 }
 
 ReplicaServer::~ReplicaServer() { Stop(); }
@@ -126,58 +149,6 @@ void ReplicaServer::AntiEntropyLoop() {
   }
 }
 
-void ReplicaServer::RunStriped(
-    std::vector<std::pair<size_t, std::function<void()>>> work) {
-  const size_t n = work.size();
-  if (n == 0) return;
-  if (n == 1) {
-    MutexLock lock(shard_mutex(work[0].first));
-    work[0].second();
-    return;
-  }
-  // One claim flag per entry; the shard mutex makes the claim + run
-  // exclusive, the flag makes it exactly-once.
-  auto claimed = std::make_unique<std::atomic<bool>[]>(n);
-  for (size_t i = 0; i < n; ++i) {
-    claimed[i].store(false, std::memory_order_relaxed);
-  }
-
-  auto participant = [this, &work, &claimed, n] {
-    for (;;) {
-      bool any_unclaimed = false;
-      bool progressed = false;
-      for (size_t i = 0; i < n; ++i) {
-        if (claimed[i].load(std::memory_order_acquire)) continue;
-        any_unclaimed = true;
-        if (!shard_mutex(work[i].first).try_lock()) continue;
-        MutexLock lock(shard_mutex(work[i].first), kAdoptLock);
-        if (claimed[i].exchange(true, std::memory_order_acq_rel)) continue;
-        work[i].second();
-        progressed = true;
-      }
-      if (!any_unclaimed) return;
-      if (progressed) continue;
-      // Every unclaimed shard is currently held (by a writer or another
-      // participant): block on the first one so the batch always advances.
-      for (size_t i = 0; i < n; ++i) {
-        if (claimed[i].load(std::memory_order_acquire)) continue;
-        MutexLock lock(shard_mutex(work[i].first));
-        if (claimed[i].exchange(true, std::memory_order_acq_rel)) continue;
-        work[i].second();
-        break;
-      }
-    }
-  };
-
-  const size_t participants = std::min(pool_.threads() + 1, n);
-  if (participants <= 1) {
-    participant();
-    return;
-  }
-  std::vector<std::function<void()>> tasks(participants, participant);
-  pool_.Run(std::move(tasks));
-}
-
 ShardedPropagationResponse ReplicaServer::ServeShardedPropagation(
     const ShardedPropagationRequest& req) {
   ShardedReplica& rep = sharded();
@@ -186,42 +157,54 @@ ShardedPropagationResponse ReplicaServer::ServeShardedPropagation(
   ShardedPropagationResponse resp;
   if (v3) resp.wire_version = kWireV3;
   resp.num_shards = static_cast<uint32_t>(num_shards);
+  if (v3) {
+    // Sampled *before* any shard is served: a mutation racing with the
+    // serve lands with a later epoch, so the requester's next probe
+    // mismatches and re-pulls — stale probes are conservative, never
+    // lossy (every mutation goes through a mutating task, which is
+    // exactly what bumps the epoch).
+    resp.epoch = sched_->MutationEpoch();
+    if ((req.flags & kPropFlagEpochProbe) != 0) {
+      if (req.last_epoch == resp.epoch) return resp;  // O(1) quiescent round
+      resp.resp_flags = kPropRespFlagResend;
+      return resp;
+    }
+  }
   if (req.shard_dbvvs.size() != num_shards) {
     // Topology mismatch: reply "current" carrying our shard count so the
     // requester rejects it instead of applying garbage.
     return resp;
   }
-  // Each shard builds and encodes its reply under only its own lock; the
-  // per-shard bodies are then stitched together serially. On the v3 path
-  // each worker serves its shard zero-copy (the view borrows the shard's
-  // store, so encoding completes under that shard's lock — the §4.1/§8
-  // discipline the views rely on) straight into a pooled buffer.
+  // One anti-entropy round is S tasks fanned out to the shard owners and
+  // joined — not S lock acquisitions. Each shard builds and encodes its
+  // reply inside its own single-writer section; the per-shard bodies are
+  // then stitched together serially. On the v3 path each task serves its
+  // shard zero-copy (the view borrows the shard's store, so encoding
+  // completes inside that shard's section — the §4.1/§8 discipline the
+  // views rely on) straight into a pooled buffer.
   wire::V3SegmentOptions opts;
   opts.compress = v3 && (req.flags & kPropFlagAcceptCompressed) != 0;
   std::vector<std::string> bodies(num_shards);
   std::vector<char> has_body(num_shards, 0);
-  std::vector<std::pair<size_t, std::function<void()>>> work;
-  work.reserve(num_shards);
-  for (size_t k = 0; k < num_shards; ++k) {
-    work.emplace_back(k, [this, &rep, &req, &opts, &bodies, &has_body, v3,
-                          k] {
-      if (v3) {
-        const PropagationResponseView& view = rep.HandleShardPropagationView(
-            k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
-        if (view.you_are_current) return;  // constructs nothing at all
-        bodies[k] = buffer_pool_.Get();
-        wire::EncodeShardSegmentBodyV3(view, rep.shard(k).dbvv(), opts,
-                                       &buffer_pool_, &bodies[k]);
-      } else {
-        PropagationResponse shard_resp = rep.HandleShardPropagation(
-            k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
-        if (shard_resp.you_are_current) return;
-        bodies[k] = wire::EncodeShardSegmentBody(shard_resp);
-      }
-      has_body[k] = 1;
-    });
-  }
-  RunStriped(std::move(work));
+  sched_->ExecuteBatchIndexed(
+      AllShardsList(), TaskKind::kServe, /*mutates=*/false,
+      [this, &rep, &req, &opts, &bodies, &has_body, v3](const ShardToken&,
+                                                        size_t k) {
+        if (v3) {
+          const PropagationResponseView& view = rep.HandleShardPropagationView(
+              k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
+          if (view.you_are_current) return;
+          bodies[k] = buffer_pool_.Get();
+          wire::EncodeShardSegmentBodyV3(view, rep.shard(k).dbvv(), opts,
+                                         &buffer_pool_, &bodies[k]);
+        } else {
+          PropagationResponse shard_resp = rep.HandleShardPropagation(
+              k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
+          if (shard_resp.you_are_current) return;
+          bodies[k] = wire::EncodeShardSegmentBody(shard_resp);
+        }
+        has_body[k] = 1;
+      });
   for (size_t k = 0; k < num_shards; ++k) {
     if (has_body[k] != 0) {
       resp.segments.push_back(ShardedPropagationSegment{
@@ -231,59 +214,119 @@ ShardedPropagationResponse ReplicaServer::ServeShardedPropagation(
   return resp;
 }
 
+std::string ReplicaServer::ServeShardedPropagationFrameV3(
+    const ShardedPropagationRequest& req) {
+  ShardedReplica& rep = sharded();
+  const size_t num_shards = rep.num_shards();
+  ByteWriter w;
+  const size_t hint = serve_frame_bytes_hint_.load(std::memory_order_relaxed);
+  w.Reserve(std::max<size_t>(hint + hint / 8, 256));
+  w.PutU8(
+      static_cast<uint8_t>(net::MessageType::kShardedPropagationResponseV3));
+  w.PutU8(0);                              // resp_flags: plain full reply
+  w.PutVarint64(sched_->MutationEpoch());  // sampled before any shard serves
+  w.PutVarint64(num_shards);
+  // The segment count precedes the segments but is only known after the
+  // serve; reserve a padded-varint slot and patch it in at the end. Same
+  // trick for each segment's length prefix (5 bytes covers the 1 GiB
+  // segment cap). GetVarint64 accepts the padded encodings verbatim.
+  const size_t count_pos = w.size();
+  w.PutPaddedVarint(0, 3);
+  uint64_t count = 0;
+  size_t k = 0;
+  // The shard tasks share `w`, which is only sound because Execute runs
+  // them one at a time: inline behind the gate, or joined with acquire
+  // semantics before the loop advances. One std::function is reused for
+  // every shard (it reads `k` through the reference capture), so the loop
+  // allocates nothing.
+  const std::function<void(const ShardToken&)> serve_one =
+      [&](const ShardToken&) {
+        const PropagationResponseView& view = rep.HandleShardPropagationView(
+            k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
+        if (view.you_are_current) return;
+        ++count;
+        w.PutVarint64(k);
+        const size_t len_pos = w.size();
+        w.PutPaddedVarint(0, 5);
+        const size_t body_start = w.size();
+        wire::EncodeShardSegmentBodyV3Into(w, view, rep.shard(k).dbvv());
+        w.OverwritePaddedVarint(len_pos, w.size() - body_start, 5);
+      };
+  for (k = 0; k < num_shards; ++k) {
+    sched_->Execute(k, TaskKind::kServe, /*mutates=*/false, serve_one);
+  }
+  w.OverwritePaddedVarint(count_pos, count, 3);
+  std::string frame = w.Release();
+  serve_frame_bytes_hint_.store(frame.size(), std::memory_order_relaxed);
+  return frame;
+}
+
 Status ReplicaServer::AcceptShardedPropagation(
     const ShardedPropagationResponse& resp) {
+  std::vector<wire::ShardedSegmentView> segments;
+  segments.reserve(resp.segments.size());
+  for (const ShardedPropagationSegment& seg : resp.segments) {
+    segments.push_back(wire::ShardedSegmentView{seg.shard, seg.body});
+  }
+  return AcceptShardedSegments(resp.num_shards, segments,
+                               resp.wire_version >= kWireV3);
+}
+
+Status ReplicaServer::AcceptShardedSegments(
+    uint32_t num_shards, const std::vector<wire::ShardedSegmentView>& segments,
+    bool v3) {
   ShardedReplica& rep = sharded();
-  if (resp.num_shards != rep.num_shards()) {
+  if (num_shards != rep.num_shards()) {
     return Status::InvalidArgument(
-        "peer runs " + std::to_string(resp.num_shards) + " shards, we run " +
+        "peer runs " + std::to_string(num_shards) + " shards, we run " +
         std::to_string(rep.num_shards()));
   }
-  for (const ShardedPropagationSegment& seg : resp.segments) {
+  for (const wire::ShardedSegmentView& seg : segments) {
     if (seg.shard >= rep.num_shards()) {
       return Status::InvalidArgument("segment shard out of range");
     }
   }
-  // Each segment decodes and applies under only its shard's lock; the
+  // Each segment decodes and applies as one task on its shard; the
   // segments name distinct shards (the codec enforces strictly increasing
-  // indices), so the entries share nothing but the scheduler. v3 segments
-  // decode zero-copy: the views (string_views into the segment bytes,
-  // IVVs in the per-segment storage) are consumed by the shard's accept
-  // before the worker moves on, so nothing outlives its backing.
-  const bool v3 = resp.wire_version >= kWireV3;
-  std::vector<Status> statuses(resp.segments.size());
-  std::vector<wire::SegmentViewStorage> storages(v3 ? resp.segments.size()
-                                                    : 0);
-  std::vector<std::pair<size_t, std::function<void()>>> work;
-  work.reserve(resp.segments.size());
-  for (size_t i = 0; i < resp.segments.size(); ++i) {
-    const ShardedPropagationSegment& seg = resp.segments[i];
-    work.emplace_back(seg.shard, [this, &rep, &seg, &statuses, &storages, v3,
-                                  i] {
-      if (v3) {
-        if (durable_ != nullptr) {
+  // indices), so the tasks share nothing but the join. v3 segments decode
+  // zero-copy: the views (string_views into the segment bytes, IVVs in
+  // the per-segment storage) are consumed by the shard's accept inside
+  // the task, so nothing outlives its backing.
+  std::vector<Status> statuses(segments.size());
+  std::vector<wire::SegmentViewStorage> storages(v3 ? segments.size() : 0);
+  std::vector<size_t> shards;
+  shards.reserve(segments.size());
+  for (const wire::ShardedSegmentView& seg : segments) {
+    shards.push_back(seg.shard);
+  }
+  sched_->ExecuteBatchIndexed(
+      shards, TaskKind::kAccept, /*mutates=*/true,
+      [this, &rep, &segments, &statuses, &storages, v3](const ShardToken&,
+                                                        size_t i) {
+        const wire::ShardedSegmentView& seg = segments[i];
+        if (v3) {
+          if (durable_ != nullptr) {
+            statuses[i] =
+                durable_->AcceptShardPropagationSegmentV3(seg.shard, seg.body);
+            return;
+          }
+          PropagationResponseView view;
+          Status s =
+              wire::DecodeShardSegmentBodyV3(seg.body, &storages[i], &view);
           statuses[i] =
-              durable_->AcceptShardPropagationSegmentV3(seg.shard, seg.body);
+              s.ok() ? rep.AcceptShardPropagation(seg.shard, view) : s;
           return;
         }
-        PropagationResponseView view;
-        Status s =
-            wire::DecodeShardSegmentBodyV3(seg.body, &storages[i], &view);
-        statuses[i] = s.ok() ? rep.AcceptShardPropagation(seg.shard, view) : s;
-        return;
-      }
-      Result<PropagationResponse> decoded =
-          wire::DecodeShardSegmentBody(seg.body);
-      if (!decoded.ok()) {
-        statuses[i] = decoded.status();
-        return;
-      }
-      statuses[i] = durable_ != nullptr
-                        ? durable_->AcceptShardPropagation(seg.shard, *decoded)
-                        : rep.AcceptShardPropagation(seg.shard, *decoded);
-    });
-  }
-  RunStriped(std::move(work));
+        Result<PropagationResponse> decoded =
+            wire::DecodeShardSegmentBody(seg.body);
+        if (!decoded.ok()) {
+          statuses[i] = decoded.status();
+          return;
+        }
+        statuses[i] = durable_ != nullptr
+                          ? durable_->AcceptShardPropagation(seg.shard, *decoded)
+                          : rep.AcceptShardPropagation(seg.shard, *decoded);
+      });
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
@@ -300,6 +343,15 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
       // Emulate a pre-v3 node: its codec would have failed on tag 17 with
       // exactly this error reply — the requester's fallback signal.
       return EncodeStatusReply(Status::Corruption("unknown message tag 17"));
+    }
+    if (sharded_req->wire_version >= kWireV3 && !sched_->Parallel() &&
+        (sharded_req->flags &
+         (kPropFlagEpochProbe | kPropFlagAcceptCompressed)) == 0 &&
+        sharded_req->shard_dbvvs.size() == sharded().num_shards()) {
+      // Serial scheduler, plain uncompressed full serve: encode straight
+      // into the frame. Probes, topology mismatches and compressed serves
+      // keep the generic owned-response path below.
+      return ServeShardedPropagationFrameV3(*sharded_req);
     }
     Message reply(ServeShardedPropagation(*sharded_req));
     std::string frame = net::Encode(reply);
@@ -320,14 +372,23 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
       return EncodeStatusReply(Status::InvalidArgument(
           "server is sharded; use the sharded propagation handshake"));
     }
-    MutexLock lock(shard_mutex(0));
-    return net::Encode(
-        Message(sharded().HandleShardPropagation(0, *prop_req)));
+    std::string frame;
+    sched_->Execute(0, TaskKind::kServe, /*mutates=*/false,
+                    [this, prop_req, &frame](const ShardToken&) {
+                      frame = net::Encode(Message(
+                          sharded().HandleShardPropagation(0, *prop_req)));
+                    });
+    return frame;
   }
   if (auto* oob_req = std::get_if<OobRequest>(&msg)) {
     const size_t k = sharded().ShardOf(oob_req->item_name);
-    MutexLock lock(shard_mutex(k));
-    return net::Encode(Message(sharded().HandleOobRequest(*oob_req)));
+    std::string frame;
+    sched_->Execute(k, TaskKind::kServe, /*mutates=*/false,
+                    [this, oob_req, &frame](const ShardToken&) {
+                      frame = net::Encode(
+                          Message(sharded().HandleOobRequest(*oob_req)));
+                    });
+    return frame;
   }
   if (auto* update = std::get_if<ClientUpdateRequest>(&msg)) {
     return EncodeStatusReply(Update(update->item_name, update->value));
@@ -344,14 +405,16 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
     return EncodeStatusReply(Status::OK(), Stats());
   }
   if (std::get_if<net::ClientResetStatsRequest>(&msg) != nullptr) {
-    // Snapshot the summary and zero the counters in one critical section
-    // over all shards, so no concurrent operation falls between the two.
+    // Snapshot the summary and zero the counters inside one cross-shard
+    // barrier, so no concurrent operation falls between the two.
     std::string summary;
-    {
-      AllShardsLock lock(*this);
+    sched_->ExecuteExclusive(/*mutates=*/false, [this, &summary] {
       summary = sharded().DebugString();
       sharded().ResetStats();
-    }
+    });
+    AppendSchedulerSummary(&summary);
+    sched_->Stats(/*reset=*/true);
+    optimistic_read_hits_.store(0, std::memory_order_relaxed);
     return EncodeStatusReply(Status::OK(), std::move(summary));
   }
   if (auto* scan = std::get_if<net::ClientScanRequest>(&msg)) {
@@ -380,33 +443,77 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
 
 Status ReplicaServer::Update(std::string_view item, std::string_view value) {
   const size_t k = sharded().ShardOf(item);
-  MutexLock lock(shard_mutex(k));
-  if (durable_ != nullptr) return durable_->Update(item, value);
-  return memory_->Update(item, value);
+  Status status;
+  sched_->Execute(k, TaskKind::kLocalUpdate, /*mutates=*/true,
+                  [this, item, value, &status](const ShardToken&) {
+                    status = durable_ != nullptr
+                                 ? durable_->Update(item, value)
+                                 : memory_->Update(item, value);
+                  });
+  return status;
 }
 
 Status ReplicaServer::Delete(std::string_view item) {
   const size_t k = sharded().ShardOf(item);
-  MutexLock lock(shard_mutex(k));
-  if (durable_ != nullptr) return durable_->Delete(item);
-  return memory_->Delete(item);
+  Status status;
+  sched_->Execute(k, TaskKind::kLocalUpdate, /*mutates=*/true,
+                  [this, item, &status](const ShardToken&) {
+                    status = durable_ != nullptr ? durable_->Delete(item)
+                                                 : memory_->Delete(item);
+                  });
+  return status;
 }
 
 Result<std::string> ReplicaServer::Read(std::string_view item) {
   const size_t k = sharded().ShardOf(item);
-  MutexLock lock(shard_mutex(k));
-  return sharded().Read(item);
+
+  // Optimistic lock-free path: a version sample, a cache probe, and a
+  // re-validation — no gate, no task, no queue. Any mutating task on the
+  // shard bumps the version and sends us to the fallback below.
+  ShardReadCache* cache = sched_->read_cache(k);
+  if (cache != nullptr) {
+    const uint64_t sample = sched_->ReadVersion(k);
+    std::string value;
+    const ShardReadCache::Outcome outcome = cache->Lookup(item, sample, &value);
+    if (outcome != ShardReadCache::Outcome::kMiss &&
+        sched_->ValidateVersion(k, sample)) {
+      optimistic_read_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome == ShardReadCache::Outcome::kAbsent) return NotFoundFor(item);
+      return value;
+    }
+  }
+
+  // Fallback: read inside the shard's section and publish the result for
+  // the next optimistic reader at the version current while we hold it.
+  Result<std::string> result = Status::Internal("read task did not run");
+  sched_->Execute(k, TaskKind::kRead, /*mutates=*/false,
+                  [this, item, cache, &result](const ShardToken& token) {
+                    result = sharded().Read(item);
+                    if (cache == nullptr) return;
+                    const uint64_t version = sched_->CurrentVersion(token);
+                    if (result.ok()) {
+                      cache->Publish(item, *result, /*absent=*/false, version);
+                    } else if (result.status().IsNotFound()) {
+                      cache->Publish(item, {}, /*absent=*/true, version);
+                    }
+                  });
+  return result;
 }
 
 Status ReplicaServer::ResolveConflict(std::string_view item,
                                       const VersionVector& remote_vv,
                                       std::string_view value) {
   const size_t k = sharded().ShardOf(item);
-  MutexLock lock(shard_mutex(k));
-  if (durable_ != nullptr) {
-    return durable_->ResolveConflict(item, remote_vv, value);
-  }
-  return memory_->ResolveConflict(item, remote_vv, value);
+  Status status;
+  sched_->Execute(k, TaskKind::kLocalUpdate, /*mutates=*/true,
+                  [this, item, &remote_vv, value, &status](const ShardToken&) {
+                    status = durable_ != nullptr
+                                 ? durable_->ResolveConflict(item, remote_vv,
+                                                             value)
+                                 : memory_->ResolveConflict(item, remote_vv,
+                                                            value);
+                  });
+  return status;
 }
 
 std::vector<std::pair<std::string, std::string>> ReplicaServer::Scan(
@@ -416,65 +523,79 @@ std::vector<std::pair<std::string, std::string>> ReplicaServer::Scan(
   std::vector<std::pair<std::string, std::string>> out;
   const ShardedReplica& rep = sharded();
   for (size_t k = 0; k < rep.num_shards(); ++k) {
-    MutexLock lock(shard_mutex(k));
-    auto part = rep.shard(k).Scan(prefix, /*limit=*/0);
-    out.insert(out.end(), std::make_move_iterator(part.begin()),
-               std::make_move_iterator(part.end()));
+    sched_->Execute(k, TaskKind::kSnapshot, /*mutates=*/false,
+                    [&rep, &out, prefix, k](const ShardToken&) {
+                      auto part = rep.shard(k).Scan(prefix, /*limit=*/0);
+                      out.insert(out.end(),
+                                 std::make_move_iterator(part.begin()),
+                                 std::make_move_iterator(part.end()));
+                    });
   }
   std::sort(out.begin(), out.end());
   if (limit > 0 && out.size() > limit) out.resize(limit);
   return out;
 }
 
+void ReplicaServer::AppendSchedulerSummary(std::string* out) const {
+  const runtime::SchedulerStats s = sched_->Stats(false);
+  out->append("\nsched: tasks=" + std::to_string(s.TotalTasks()) +
+              " inline=" + std::to_string(s.inline_tasks) +
+              " fast_path=" + std::to_string(s.fast_path_runs) +
+              " barriers=" + std::to_string(s.exclusive_barriers) +
+              " queue_peak=" + std::to_string(s.queue_depth_peak) +
+              " opt_read_hits=" + std::to_string(optimistic_read_hits()));
+  for (size_t w = 0; w < s.workers.size(); ++w) {
+    out->append(" w" + std::to_string(w) + "=" +
+                std::to_string(s.workers[w].tasks_executed) + "/" +
+                std::to_string(s.workers[w].queue_depth_peak));
+  }
+}
+
 std::string ReplicaServer::Stats() const {
   const ShardedReplica& rep = sharded();
-  AllShardsLock lock(*this);
-  return rep.DebugString();
+  std::string summary;
+  sched_->ExecuteExclusive(/*mutates=*/false,
+                           [&rep, &summary] { summary = rep.DebugString(); });
+  AppendSchedulerSummary(&summary);
+  return summary;
 }
 
 ReplicaStats ReplicaServer::TotalStats(bool reset) {
   ShardedReplica& rep = sharded();
-  AllShardsLock lock(*this);
-  ReplicaStats total = rep.TotalStats();
-  if (reset) rep.ResetStats();
+  ReplicaStats total;
+  sched_->ExecuteExclusive(/*mutates=*/false, [&rep, &total, reset] {
+    total = rep.TotalStats();
+    if (reset) rep.ResetStats();
+  });
+  // Scheduler health and the lock-free read path ride along: optimistic
+  // hits never entered a shard section, so the per-shard counters cannot
+  // have seen them.
+  const runtime::SchedulerStats sched = sched_->Stats(reset);
+  total.sched_tasks_executed = sched.TotalTasks();
+  total.sched_queue_depth_peak = sched.queue_depth_peak;
+  total.reads += reset ? optimistic_read_hits_.exchange(
+                             0, std::memory_order_relaxed)
+                       : optimistic_read_hits_.load(std::memory_order_relaxed);
   return total;
 }
 
 Status ReplicaServer::PullFrom(NodeId peer) {
-  // Build the per-shard DBVV handshake taking one shard lock at a time,
-  // release everything for the RPC, and merge the response per shard.
-  // Shards mutated between build and accept simply make the peer ship a
-  // little extra; AcceptPropagation is idempotent about duplicates.
+  // Snapshot the per-shard DBVV handshake as one scheduler batch, release
+  // everything for the RPC, and merge the response per shard. Shards
+  // mutated between build and accept simply make the peer ship a little
+  // extra; AcceptPropagation is idempotent about duplicates.
   ShardedReplica& rep = sharded();
   const size_t num_shards = rep.num_shards();
   ShardedPropagationRequest req;
   req.requester = id_;
-  req.shard_dbvvs.resize(num_shards);
-  // Snapshot each shard's DBVV, free shards first (try_lock) so a shard
-  // held by a writer doesn't stall the sweep; block only on the stragglers.
-  std::vector<char> got(num_shards, 0);
-  size_t remaining = num_shards;
-  while (remaining > 0) {
-    bool progressed = false;
-    for (size_t k = 0; k < num_shards; ++k) {
-      if (got[k] != 0) continue;
-      if (!shard_mutex(k).try_lock()) continue;
-      MutexLock lock(shard_mutex(k), kAdoptLock);
-      req.shard_dbvvs[k] = rep.shard(k).dbvv();
-      got[k] = 1;
-      --remaining;
-      progressed = true;
-    }
-    if (progressed) continue;
-    for (size_t k = 0; k < num_shards; ++k) {
-      if (got[k] != 0) continue;
-      MutexLock lock(shard_mutex(k));
-      req.shard_dbvvs[k] = rep.shard(k).dbvv();
-      got[k] = 1;
-      --remaining;
-      break;
-    }
-  }
+  const auto snapshot_dbvvs = [this, &rep, &req, num_shards] {
+    req.shard_dbvvs.resize(num_shards);
+    sched_->ExecuteBatchIndexed(AllShardsList(), TaskKind::kSnapshot,
+                                /*mutates=*/false,
+                                [&rep, &req](const ShardToken&, size_t k) {
+                                  req.shard_dbvvs[k] = rep.shard(k).dbvv();
+                                });
+  };
   // Version negotiation: try v3 unless disabled or the sticky cache says
   // this peer already rejected it; a v3 rejection (the error reply an old
   // node's codec sends for tag 17) downgrades the cache and retries the
@@ -483,22 +604,84 @@ Status ReplicaServer::PullFrom(NodeId peer) {
       peer < peer_wire_count_ &&
       peer_wire_[peer].load(std::memory_order_relaxed) == kWireV2;
   bool trying_v3 = options_.enable_wire_v3 && !peer_known_v2;
+  // Probe first when this peer's mutation epoch is cached from a previous
+  // completed pull: if the source is unchanged, the round is O(1) — no
+  // DBVV snapshots built, shipped, or compared. A changed source costs
+  // one extra (tiny) round trip before the full handshake.
+  const uint64_t cached_epoch =
+      trying_v3 && peer < peer_wire_count_
+          ? peer_epoch_[peer].load(std::memory_order_relaxed)
+          : 0;
+  bool probing = cached_epoch != 0;
   if (trying_v3) {
     req.wire_version = kWireV3;
     if (options_.accept_compressed_segments) {
       req.flags |= kPropFlagAcceptCompressed;
     }
+    if (probing) {
+      req.flags |= kPropFlagEpochProbe;
+      req.last_epoch = cached_epoch;
+    }
   }
+  if (!probing) snapshot_dbvvs();
   for (;;) {
     Result<std::string> wire = transport_->Call(peer, net::Encode(Message(req)));
     if (!wire.ok()) return wire.status();
+    // v3 reply fast path: decode the envelope as views into the received
+    // frame (`*wire` outlives the accept below), so the segment bodies —
+    // the bulk of the frame — are never copied out of it.
+    if (trying_v3 && !wire->empty() &&
+        static_cast<uint8_t>((*wire)[0]) ==
+            static_cast<uint8_t>(
+                net::MessageType::kShardedPropagationResponseV3)) {
+      ByteReader reader(std::string_view(*wire).substr(1));
+      wire::ShardedResponseEnvelopeView env;
+      Status ds = wire::DecodeShardedPropagationResponseEnvelopeV3(reader,
+                                                                   &env);
+      if (!ds.ok()) return ds;
+      if (!reader.AtEnd()) {
+        return Status::Corruption("trailing bytes after message body");
+      }
+      if (peer < peer_wire_count_) {
+        peer_wire_[peer].store(kWireV3, std::memory_order_relaxed);
+      }
+      if (env.resend_requested()) {
+        // Probe missed: repeat the round as the full per-shard handshake.
+        probing = false;
+        req.flags &= static_cast<uint8_t>(~kPropFlagEpochProbe);
+        req.last_epoch = 0;
+        snapshot_dbvvs();
+        continue;
+      }
+      if (probing) return Status::OK();  // current by epoch; nothing to apply
+      Status s = AcceptShardedSegments(env.num_shards, env.segments,
+                                       /*v3=*/true);
+      if (s.ok() && env.epoch != 0 && peer < peer_wire_count_) {
+        peer_epoch_[peer].store(env.epoch, std::memory_order_relaxed);
+      }
+      return s;
+    }
     Result<Message> decoded = net::Decode(*wire);
     if (!decoded.ok()) return decoded.status();
     if (auto* resp = std::get_if<ShardedPropagationResponse>(&*decoded)) {
       if (trying_v3 && peer < peer_wire_count_) {
         peer_wire_[peer].store(kWireV3, std::memory_order_relaxed);
       }
-      return AcceptShardedPropagation(*resp);
+      if (resp->resend_requested()) {
+        // Probe missed: repeat the round as the full per-shard handshake.
+        probing = false;
+        req.flags &= static_cast<uint8_t>(~kPropFlagEpochProbe);
+        req.last_epoch = 0;
+        snapshot_dbvvs();
+        continue;
+      }
+      if (probing) return Status::OK();  // current by epoch; nothing to apply
+      Status s = AcceptShardedPropagation(*resp);
+      if (s.ok() && resp->wire_version >= kWireV3 && resp->epoch != 0 &&
+          peer < peer_wire_count_) {
+        peer_epoch_[peer].store(resp->epoch, std::memory_order_relaxed);
+      }
+      return s;
     }
     if (trying_v3 && std::get_if<ClientReply>(&*decoded) != nullptr) {
       if (peer < peer_wire_count_) {
@@ -507,6 +690,11 @@ Status ReplicaServer::PullFrom(NodeId peer) {
       trying_v3 = false;
       req.wire_version = kWireV2;
       req.flags = 0;
+      req.last_epoch = 0;
+      if (probing) {
+        probing = false;
+        snapshot_dbvvs();
+      }
       continue;
     }
     return Status::Corruption("peer sent a non-propagation reply");
@@ -516,10 +704,10 @@ Status ReplicaServer::PullFrom(NodeId peer) {
 Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
   const size_t k = sharded().ShardOf(item);
   OobRequest req;
-  {
-    MutexLock lock(shard_mutex(k));
-    req = sharded().BuildOobRequest(item);
-  }
+  sched_->Execute(k, TaskKind::kSnapshot, /*mutates=*/false,
+                  [this, item, &req](const ShardToken&) {
+                    req = sharded().BuildOobRequest(item);
+                  });
   Result<std::string> wire =
       transport_->Call(peer, net::Encode(Message(std::move(req))));
   if (!wire.ok()) return wire.status();
@@ -529,16 +717,20 @@ Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
   if (resp == nullptr) {
     return Status::Corruption("peer sent a non-OOB reply");
   }
-  MutexLock lock(shard_mutex(k));
-  if (durable_ != nullptr) return durable_->AcceptOobResponse(*resp);
-  return memory_->AcceptOobResponse(*resp);
+  Status status;
+  sched_->Execute(k, TaskKind::kAccept, /*mutates=*/true,
+                  [this, resp, &status](const ShardToken&) {
+                    status = durable_ != nullptr
+                                 ? durable_->AcceptOobResponse(*resp)
+                                 : memory_->AcceptOobResponse(*resp);
+                  });
+  return status;
 }
 
 void ReplicaServer::WithReplica(
     const std::function<void(const ShardedReplica&)>& fn) const {
   const ShardedReplica& rep = sharded();
-  AllShardsLock lock(*this);
-  fn(rep);
+  sched_->ExecuteExclusive(/*mutates=*/false, [&rep, &fn] { fn(rep); });
 }
 
 Status ReplicaServer::Checkpoint() {
@@ -549,9 +741,11 @@ Status ReplicaServer::Checkpoint() {
   // shard's whole protocol state), so no global barrier is needed.
   Status first_error = Status::OK();
   for (size_t k = 0; k < durable_->num_shards(); ++k) {
-    MutexLock lock(shard_mutex(k));
-    Status s = durable_->CheckpointShard(k);
-    if (!s.ok() && first_error.ok()) first_error = s;
+    sched_->Execute(k, TaskKind::kSnapshot, /*mutates=*/false,
+                    [this, k, &first_error](const ShardToken&) {
+                      Status s = durable_->CheckpointShard(k);
+                      if (!s.ok() && first_error.ok()) first_error = s;
+                    });
   }
   return first_error;
 }
@@ -560,8 +754,10 @@ uint64_t ReplicaServer::conflicts_detected() const {
   const ShardedReplica& rep = sharded();
   uint64_t total = 0;
   for (size_t k = 0; k < rep.num_shards(); ++k) {
-    MutexLock lock(shard_mutex(k));
-    total += rep.shard(k).stats().conflicts_detected;
+    sched_->Execute(k, TaskKind::kStats, /*mutates=*/false,
+                    [&rep, &total, k](const ShardToken&) {
+                      total += rep.shard(k).stats().conflicts_detected;
+                    });
   }
   return total;
 }

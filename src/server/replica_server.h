@@ -14,12 +14,13 @@
 #include "common/buffer_pool.h"
 #include "common/clock.h"
 #include "common/thread_annotations.h"
-#include "common/worker_pool.h"
 #include "core/conflict.h"
 #include "core/journal.h"
 #include "core/replica.h"
 #include "core/sharded_replica.h"
+#include "core/wire.h"
 #include "net/transport.h"
+#include "runtime/scheduler.h"
 
 namespace epidemic::server {
 
@@ -48,24 +49,26 @@ class LockedConflictListener : public ConflictListener {
   std::vector<ConflictEvent> events_ GUARDED_BY(mu_);
 };
 
-/// A deployable replica node: wraps a core::ShardedReplica behind striped
-/// per-shard locks, serves protocol and client RPCs as a
-/// net::RequestHandler, and (optionally) runs a background anti-entropy
-/// thread that periodically pulls updates from its peers in round-robin
-/// order — the "separate activity" of the epidemic model (§1).
+/// A deployable replica node: wraps a core::ShardedReplica behind a
+/// single-writer shard scheduler (runtime/scheduler.h), serves protocol and
+/// client RPCs as a net::RequestHandler, and (optionally) runs a background
+/// anti-entropy thread that periodically pulls updates from its peers in
+/// round-robin order — the "separate activity" of the epidemic model (§1).
 ///
-/// Locking: one mutex per shard. User operations and single-shard protocol
-/// steps take exactly their shard's lock, so operations on different shards
-/// never contend. Whole-database operations (stats, WithReplica) take every
-/// lock in index order via AllShardsLock; everything else takes at most one
-/// at a time, so the lock graph is acyclic. The discipline is enforced by
-/// Clang's `-Wthread-safety` where statically expressible (see
-/// common/thread_annotations.h and DESIGN.md §8). No lock is ever held
-/// across a transport call, so
-/// two servers pulling from each other cannot deadlock; an anti-entropy
-/// round is build-handshake (locked per shard) → RPC (unlocked) →
-/// per-shard accept (each under its own lock, in parallel on the worker
-/// pool when `ae_workers > 0`).
+/// Concurrency model (DESIGN.md §11): there are no shard mutexes. Every
+/// shard is pinned to one owner and all access to it runs as tasks inside
+/// its single-writer section; the `runtime::ShardToken` a task receives is
+/// the REQUIRES-style capability proving it. User operations and
+/// single-shard protocol steps are one task on one shard; a sharded
+/// anti-entropy exchange fans S tasks out to the owners and joins
+/// (ExecuteBatch) instead of taking S locks; whole-database operations
+/// (stats, WithReplica) run under the scheduler's cross-shard barrier
+/// (ExecuteExclusive), which replaced the old AllShardsLock — and with it
+/// the codebase's last NO_THREAD_SAFETY_ANALYSIS escape. Reads go through
+/// a lock-free optimistic path (seqlock version + per-shard read cache)
+/// and fall back to a task only on miss or version churn. No shard is ever
+/// held across a transport call, so two servers pulling from each other
+/// cannot deadlock.
 class ReplicaServer : public net::RequestHandler {
  public:
   struct Options {
@@ -87,9 +90,14 @@ class ReplicaServer : public net::RequestHandler {
     /// cluster must agree.
     size_t num_shards = ShardedReplica::kDefaultShards;
 
-    /// Extra worker threads for per-shard anti-entropy processing; 0 means
-    /// shards are processed serially on the calling thread.
+    /// Shard-owner worker threads for the scheduler; 0 means callers run
+    /// every task inline behind the per-shard gates (still correct, no
+    /// extra threads).
     size_t ae_workers = 0;
+
+    /// Per-shard optimistic read-cache slots (0 disables the lock-free
+    /// read path; reads then always run as shard tasks).
+    size_t read_cache_slots = 256;
 
     /// Speak wire v3 (tags 17/18: delta-encoded IVVs, indexed tails,
     /// zero-copy serve/accept, pooled buffers — DESIGN.md §10). Pulls try
@@ -149,8 +157,10 @@ class ReplicaServer : public net::RequestHandler {
       std::string_view prefix, size_t limit = 0) const;
   std::string Stats() const;
 
-  /// Atomic read of the aggregated protocol counters (all shard locks
-  /// held); optionally resets them in the same critical section.
+  /// Atomic read of the aggregated protocol counters (taken under the
+  /// cross-shard barrier); optionally resets them in the same critical
+  /// section. Scheduler health counters (tasks executed, queue-depth
+  /// peak) ride along in the sched_* fields.
   ReplicaStats TotalStats(bool reset = false);
 
   /// One anti-entropy exchange pulling from `peer` over the transport —
@@ -160,7 +170,7 @@ class ReplicaServer : public net::RequestHandler {
   /// Out-of-bound fetch of `item` from `peer` over the transport (§5.2).
   Status OobFetch(NodeId peer, std::string_view item);
 
-  /// Runs `fn` with every shard locked (a consistent whole-database view)
+  /// Runs `fn` with every shard owned (a consistent whole-database view)
   /// — for inspection in tests/examples.
   void WithReplica(const std::function<void(const ShardedReplica&)>& fn) const;
 
@@ -177,60 +187,63 @@ class ReplicaServer : public net::RequestHandler {
   size_t num_shards() const { return sharded().num_shards(); }
   uint64_t conflicts_detected() const;
 
+  /// Scheduler health, as surfaced through `epidemic_cli stats`.
+  runtime::SchedulerStats SchedulerHealth() const {
+    return sched_->Stats(false);
+  }
+  uint64_t optimistic_read_hits() const {
+    return optimistic_read_hits_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AntiEntropyLoop() EXCLUDES(thread_mu_);
 
   /// The sharded state, durable or in-memory. Per-shard access requires
-  /// that shard's lock in shard_mu_.
+  /// being inside that shard's single-writer section (hold a ShardToken
+  /// for it).
   ShardedReplica& sharded() { return durable_ ? durable_->view() : *memory_; }
   const ShardedReplica& sharded() const {
     return durable_ ? durable_->view() : *memory_;
   }
 
-  Mutex& shard_mutex(size_t k) const { return shard_mu_[k]; }
-
-  /// RAII for the whole-database lock-order rule (DESIGN.md §8): acquires
-  /// every shard lock in index order, releases in reverse. The one place a
-  /// thread ever holds more than one shard lock, so the shard lock graph
-  /// stays acyclic. The lock set is runtime-indexed, which is outside the
-  /// static analysis' model — hence the annotation escape hatch here, and
-  /// only here.
-  class AllShardsLock {
-   public:
-    explicit AllShardsLock(const ReplicaServer& server)
-        NO_THREAD_SAFETY_ANALYSIS
-        : server_(server) {
-      for (size_t k = 0; k < server_.num_shards(); ++k) {
-        server_.shard_mutex(k).lock();
-      }
-    }
-    ~AllShardsLock() NO_THREAD_SAFETY_ANALYSIS {
-      for (size_t k = server_.num_shards(); k > 0; --k) {
-        server_.shard_mutex(k - 1).unlock();
-      }
-    }
-    AllShardsLock(const AllShardsLock&) = delete;
-    AllShardsLock& operator=(const AllShardsLock&) = delete;
-
-   private:
-    const ReplicaServer& server_;
-  };
-
-  /// Serves a sharded handshake: every shard processed under its own lock,
-  /// in parallel on the pool.
+  /// Serves a sharded handshake: every shard builds and encodes its
+  /// segment inside its own single-writer section, fanned out as one
+  /// scheduler batch.
   ShardedPropagationResponse ServeShardedPropagation(
       const ShardedPropagationRequest& req);
 
-  /// Applies a sharded response: every segment decoded and accepted under
-  /// its shard's lock, in parallel on the pool (journaled when durable).
+  /// Serial-scheduler fast path of the serve: encodes every stale shard's
+  /// v3 segment *directly into the tagged response frame* (backpatched
+  /// padded-varint length slots), eliminating both the per-segment staging
+  /// buffers and the segment→frame stitch copy of the generic path. Only
+  /// valid when the scheduler is not parallel — the shard-at-a-time
+  /// Execute loop serializes the tasks, so they may share the frame
+  /// writer — and only for uncompressed v3 replies. Returns the complete
+  /// wire frame (tag byte included).
+  std::string ServeShardedPropagationFrameV3(
+      const ShardedPropagationRequest& req);
+
+  /// Applies a sharded response: every segment decoded and accepted as a
+  /// task on its shard (journaled when durable), fanned out as one batch.
   Status AcceptShardedPropagation(const ShardedPropagationResponse& resp);
 
-  /// Runs each (shard, fn) entry exactly once with that shard's lock held,
-  /// on the calling thread plus the worker pool. Entries must name
-  /// distinct shards. Shards are claimed opportunistically — free
-  /// (try_lock) shards first, blocking only when every unclaimed shard is
-  /// writer-held — so one busy shard never stalls the rest of the batch.
-  void RunStriped(std::vector<std::pair<size_t, std::function<void()>>> work);
+  /// Shared core of the accept path: segment bodies are borrowed views —
+  /// into an owned response, or directly into the received wire frame
+  /// (PullFrom's zero-copy v3 path). The backing must outlive the call.
+  Status AcceptShardedSegments(uint32_t num_shards,
+                               const std::vector<wire::ShardedSegmentView>& segments,
+                               bool v3);
+
+  /// Appends the scheduler/optimistic-read health line to a stats summary.
+  void AppendSchedulerSummary(std::string* out) const;
+
+  /// The cached [0, S) index list the all-shard batches fan out over;
+  /// built once so the anti-entropy hot loop never re-materializes it.
+  const std::vector<size_t>& AllShardsList() const { return all_shards_; }
+  void InitShardList() {
+    all_shards_.resize(sched_->num_shards());
+    for (size_t k = 0; k < all_shards_.size(); ++k) all_shards_[k] = k;
+  }
 
   NodeId id_;
   net::Transport* transport_;
@@ -239,16 +252,18 @@ class ReplicaServer : public net::RequestHandler {
   LockedConflictListener listener_;
   std::unique_ptr<ShardedReplica> memory_;              // in-memory mode
   std::unique_ptr<JournaledShardedReplica> durable_;    // durable mode
-  /// One lock per shard; shard_mu_[k] guards shard k of the sharded
-  /// replica (a runtime-indexed slice GUARDED_BY cannot express).
-  /// NOLINT-PROTOCOL(unguarded-mutex): the guarded data lives behind
-  /// memory_/durable_, striped per shard at runtime; the discipline is
-  /// documented above the class and in DESIGN.md §8.
-  mutable std::unique_ptr<Mutex[]> shard_mu_;
-  mutable WorkerPool pool_;
+
+  /// Single-writer shard runtime. Declared after the replica state so it
+  /// is destroyed (and drained) first — tasks capture `sharded()`.
+  std::unique_ptr<runtime::ShardScheduler> sched_;
+  std::vector<size_t> all_shards_;
+
+  /// Reads served lock-free from the optimistic cache (never entered a
+  /// shard section). Folded into TotalStats().reads.
+  mutable std::atomic<uint64_t> optimistic_read_hits_{0};
 
   /// Recycles v3 segment and compression buffers across exchanges
-  /// (internally synchronized; shared by all shard workers).
+  /// (internally synchronized; shared by all shard tasks).
   BufferPool buffer_pool_;
 
   /// Sticky per-peer wire-version cache for PullFrom: 0 = unknown (try
@@ -257,6 +272,16 @@ class ReplicaServer : public net::RequestHandler {
   /// fallback round trip.
   std::unique_ptr<std::atomic<uint8_t>[]> peer_wire_;
   size_t peer_wire_count_ = 0;
+  /// Last mutation epoch observed per peer (0 = never pulled). Lets
+  /// PullFrom open with an O(1) epoch probe instead of the full per-shard
+  /// DBVV handshake; a stale value only costs one resend round trip.
+  std::unique_ptr<std::atomic<uint64_t>[]> peer_epoch_;
+
+  /// Size of the last frame built by ServeShardedPropagationFrameV3, used
+  /// as the reserve hint for the next one (steady-state rounds serve
+  /// similar payloads, so one up-front reservation replaces a doubling
+  /// series). Relaxed — a stale hint only costs extra growth copies.
+  std::atomic<size_t> serve_frame_bytes_hint_{0};
 
   Mutex thread_mu_;
   std::condition_variable_any cv_;

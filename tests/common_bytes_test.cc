@@ -166,5 +166,38 @@ TEST(BytesTest, PutBytesRaw) {
   EXPECT_EQ(w.data()[1], 2);
 }
 
+TEST(BytesTest, PaddedVarintDecodesLikeCanonical) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 20, (uint64_t{1} << 35) - 1}) {
+    ByteWriter w;
+    w.PutPaddedVarint(v, 5);
+    EXPECT_EQ(w.size(), 5u);
+    ByteReader r(w.data());
+    auto got = r.GetVarint64();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(BytesTest, OverwritePaddedVarintBackpatches) {
+  // The serve path's framing trick: reserve a slot, write the payload,
+  // then patch the slot with the now-known length.
+  ByteWriter w;
+  w.PutU8(0xaa);
+  const size_t slot = w.size();
+  w.PutPaddedVarint(0, 5);
+  w.PutString("payload");
+  w.OverwritePaddedVarint(slot, (uint64_t{1} << 34) + 3, 5);
+  ByteReader r(w.data());
+  ASSERT_TRUE(r.GetU8().ok());
+  auto got = r.GetVarint64();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (uint64_t{1} << 34) + 3);
+  auto s = r.GetString();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "payload");
+}
+
 }  // namespace
 }  // namespace epidemic

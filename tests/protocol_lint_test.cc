@@ -114,6 +114,27 @@ TEST_F(ProtocolLintTest, WireV3RangeFixtureIsReported) {
       << result.output;
 }
 
+// The striped-shard-lock fixture: the mutex array, the shard-named mutex
+// and the indexed acquisition are each reported (plus unguarded-mutex for
+// the two un-annotated declarations, as any real relapse would trip too).
+TEST_F(ProtocolLintTest, ShardLockFixtureIsReported) {
+  const RunResult result = RunLint(
+      std::string(EPI_SOURCE_DIR) + "/tests/testdata/lint/bad_shard_lock.h");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("shard-lock-outside-runtime"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("striped-shard-lock shape"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("indexed acquisition of a per-shard mutex"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("named after shards"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("5 violation(s)"), std::string::npos)
+      << result.output;
+}
+
 // A waiver that suppresses nothing is itself a finding.
 TEST_F(ProtocolLintTest, StaleWaiverIsReported) {
   const RunResult result = RunLint(

@@ -1,0 +1,247 @@
+// Concurrency stress for the shard-ownership runtime (runtime/scheduler.h),
+// aimed squarely at the TSAN CI leg: writers, optimistic readers, batch
+// fan-outs, and cross-shard barriers all race on the same scheduler while
+// every read asserts it saw no torn value.
+//
+// The shard state here is deliberately a plain (non-atomic) map per shard —
+// exactly what the server keeps behind the scheduler. If the single-writer
+// discipline leaked anywhere (a task running outside its gate, a barrier
+// that misses a queued task, a read-cache publish racing a lookup), TSAN
+// flags the data race and the self-describing "<key>=<tag>" values catch
+// torn bytes even without TSAN.
+
+#include "runtime/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace epidemic::runtime {
+namespace {
+
+constexpr size_t kShards = 8;
+
+/// Plain mutable state, one per shard; only ever touched inside that
+/// shard's single-writer section.
+struct ShardState {
+  std::map<std::string, std::string> items;
+  uint64_t mutations = 0;
+};
+
+/// A value is torn if it is not exactly "<key>=<tag>" for its key.
+void AssertUntorn(const std::string& key, const std::string& value) {
+  ASSERT_EQ(value.rfind(key + "=", 0), 0u)
+      << "torn read: key '" << key << "' returned '" << value << "'";
+}
+
+TEST(SchedulerStressTest, WritersReadersBatchesAndBarriers) {
+  constexpr int kWriters = 3;
+  constexpr int kOpsPerWriter = 1500;
+  constexpr int kKeysPerShard = 4;
+
+  ShardScheduler::Options options;
+  options.num_shards = kShards;
+  options.workers = 2;
+  options.channel_capacity = 32;  // small: exercise backpressure
+  ShardScheduler sched(options);
+  std::vector<ShardState> state(kShards);
+  // Total completed mutations; incremented inside the mutating task so the
+  // barrier invariant below is exact, not racy.
+  std::atomic<uint64_t> total_mutations{0};
+
+  auto key_for = [](size_t shard, int k) {
+    return "s" + std::to_string(shard) + "-k" + std::to_string(k);
+  };
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  // Writers: every op is one kLocalUpdate task on its shard, mutating the
+  // plain map and republishing the fresh value to the optimistic cache.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const size_t shard = static_cast<size_t>(i) % kShards;
+        const std::string key = key_for(shard, i % kKeysPerShard);
+        const std::string value =
+            key + "=w" + std::to_string(w) + "u" + std::to_string(i);
+        sched.Execute(shard, TaskKind::kLocalUpdate, /*mutates=*/true,
+                      [&, key, value](const ShardToken& token) {
+                        state[shard].items[key] = value;
+                        ++state[shard].mutations;
+                        total_mutations.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                        if (ShardReadCache* cache = sched.read_cache(shard)) {
+                          cache->Publish(key, value, /*absent=*/false,
+                                         sched.CurrentVersion(token));
+                        }
+                      });
+      }
+    });
+  }
+
+  // Optimistic readers: sample version, probe the cache, validate; fall
+  // back to a kRead task on miss (and publish so the next probe can hit).
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      uint64_t probes = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t shard = probes++ % kShards;
+        const std::string key =
+            key_for(shard, static_cast<int>(probes) % kKeysPerShard);
+        const uint64_t sample = sched.ReadVersion(shard);
+        ShardReadCache* cache = sched.read_cache(shard);
+        if (cache != nullptr) {
+          std::string value;
+          const auto outcome = cache->Lookup(key, sample, &value);
+          if (outcome == ShardReadCache::Outcome::kValue &&
+              sched.ValidateVersion(shard, sample)) {
+            AssertUntorn(key, value);
+            continue;
+          }
+        }
+        std::string value;
+        bool found = false;
+        sched.Execute(shard, TaskKind::kRead, /*mutates=*/false,
+                      [&](const ShardToken& token) {
+                        auto it = state[shard].items.find(key);
+                        if (it != state[shard].items.end()) {
+                          found = true;
+                          value = it->second;
+                        }
+                        if (cache != nullptr) {
+                          cache->Publish(key, value, /*absent=*/!found,
+                                         sched.CurrentVersion(token));
+                        }
+                      });
+        if (found) AssertUntorn(key, value);
+      }
+      (void)r;
+    });
+  }
+
+  // Batch fan-outs: one join over all shards per round, like an
+  // anti-entropy exchange. Each round's snapshot must be internally
+  // untorn and the join must not return before every task ran.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<size_t> sizes(kShards, SIZE_MAX);
+      std::vector<ShardScheduler::BatchItem> items;
+      items.reserve(kShards);
+      for (size_t shard = 0; shard < kShards; ++shard) {
+        items.push_back({shard, TaskKind::kSnapshot, /*mutates=*/false,
+                         [&, shard](const ShardToken&) {
+                           sizes[shard] = state[shard].items.size();
+                         }});
+      }
+      sched.ExecuteBatch(std::move(items));
+      for (size_t shard = 0; shard < kShards; ++shard) {
+        ASSERT_NE(sizes[shard], SIZE_MAX) << "batch task never ran";
+        ASSERT_LE(sizes[shard], static_cast<size_t>(kKeysPerShard));
+      }
+    }
+  });
+
+  // Cross-shard barriers: while every gate is held, the per-shard
+  // mutation counters must sum exactly to the global completion counter —
+  // the AllShardsLock replacement really does quiesce all writers.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      sched.ExecuteExclusive(/*mutates=*/false, [&] {
+        uint64_t sum = 0;
+        for (const ShardState& s : state) sum += s.mutations;
+        ASSERT_EQ(sum, total_mutations.load(std::memory_order_relaxed));
+      });
+      std::this_thread::yield();
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Fire-and-forget tasks queued with Post must all run by the time the
+  // next barrier drains the channels.
+  std::atomic<uint64_t> posted_ran{0};
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    for (int i = 0; i < 8; ++i) {
+      sched.Post(shard, TaskKind::kOther, /*mutates=*/false,
+                 [&posted_ran](const ShardToken&) {
+                   posted_ran.fetch_add(1, std::memory_order_relaxed);
+                 });
+    }
+  }
+  uint64_t final_sum = 0;
+  sched.ExecuteExclusive(/*mutates=*/false, [&] {
+    for (const ShardState& s : state) final_sum += s.mutations;
+  });
+  EXPECT_EQ(posted_ran.load(), kShards * 8u);
+  EXPECT_EQ(final_sum, static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  EXPECT_EQ(final_sum, total_mutations.load());
+
+  const SchedulerStats stats = sched.Stats();
+  EXPECT_GE(stats.TotalTasks(),
+            final_sum + posted_ran.load());  // plus reads/batches
+  EXPECT_GT(stats.exclusive_barriers, 0u);
+  EXPECT_EQ(stats.workers.size(), 2u);
+  EXPECT_GE(stats.tasks_by_kind[static_cast<size_t>(TaskKind::kLocalUpdate)],
+            final_sum);
+}
+
+// Mutating tasks must bracket the shard version (odd while running), so a
+// reader that sampled before a mutation can never validate across it.
+TEST(SchedulerStressTest, VersionBracketsInvalidateOptimisticReads) {
+  ShardScheduler::Options options;
+  options.num_shards = 2;
+  options.workers = 0;
+  ShardScheduler sched(options);
+
+  const uint64_t before = sched.ReadVersion(0);
+  ASSERT_NE(before, OptimisticVersion::kUnstable);
+  uint64_t inside = 0;
+  sched.Execute(0, TaskKind::kLocalUpdate, /*mutates=*/true,
+                [&](const ShardToken& token) {
+                  inside = sched.ReadVersion(token.shard());
+                });
+  EXPECT_EQ(inside, OptimisticVersion::kUnstable);  // odd mid-mutation
+  EXPECT_FALSE(sched.ValidateVersion(0, before));
+  // Non-mutating tasks leave the version alone: reads stay cacheable.
+  const uint64_t after = sched.ReadVersion(0);
+  sched.Execute(0, TaskKind::kRead, /*mutates=*/false, [](const ShardToken&) {});
+  EXPECT_TRUE(sched.ValidateVersion(0, after));
+  // The other shard's version never moved.
+  EXPECT_TRUE(sched.ValidateVersion(1, before));
+}
+
+// Manual mode is the model checker's pump: nothing runs until an explicit
+// Pump step, and PumpAll sweeps shards in ascending order — the
+// determinism contract epicheck relies on.
+TEST(SchedulerStressTest, ManualModeRunsOnlyWhenPumped) {
+  ShardScheduler::Options options;
+  options.num_shards = 4;
+  options.manual = true;
+  ShardScheduler sched(options);
+  ASSERT_TRUE(sched.manual());
+  ASSERT_EQ(sched.num_workers(), 0u);
+
+  std::vector<size_t> order;
+  for (size_t shard : {2, 0, 3, 1}) {
+    sched.Post(shard, TaskKind::kOther, /*mutates=*/false,
+               [&order, shard](const ShardToken& token) {
+                 ASSERT_EQ(token.shard(), shard);
+                 order.push_back(shard);
+               });
+  }
+  EXPECT_TRUE(order.empty());  // queued, not run
+  EXPECT_EQ(sched.PumpAll(), 4u);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3}));  // ascending sweep
+  EXPECT_EQ(sched.PumpAll(), 0u);
+}
+
+}  // namespace
+}  // namespace epidemic::runtime

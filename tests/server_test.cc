@@ -357,6 +357,45 @@ TEST(ShardedServerTest, ParallelShardWorkersConverge) {
   hub.Register(1, nullptr);
 }
 
+TEST(ShardedServerTest, EpochProbeSkipsQuiescentRounds) {
+  using runtime::TaskKind;
+  net::InProcHub hub(2);
+  net::InProcTransport transport(&hub);
+  ReplicaServer::Options opts;
+  opts.num_shards = 8;
+  ReplicaServer s0(0, 2, &transport, opts);
+  ReplicaServer s1(1, 2, &transport, opts);
+  hub.Register(0, &s0);
+  hub.Register(1, &s1);
+
+  ASSERT_TRUE(s0.Update("a", "1").ok());
+  // First pull runs the full handshake and caches the source's epoch.
+  ASSERT_TRUE(s1.PullFrom(0).ok());
+  EXPECT_EQ(*s1.Read("a"), "1");
+
+  const auto serve_kind = static_cast<size_t>(TaskKind::kServe);
+  const auto snap_kind = static_cast<size_t>(TaskKind::kSnapshot);
+  const uint64_t serves = s0.SchedulerHealth().tasks_by_kind[serve_kind];
+  const uint64_t snaps = s1.SchedulerHealth().tasks_by_kind[snap_kind];
+
+  // Quiescent round: the epoch probe matches, so neither side touches a
+  // single shard — no snapshot tasks at the requester, no serve tasks at
+  // the source.
+  ASSERT_TRUE(s1.PullFrom(0).ok());
+  EXPECT_EQ(s0.SchedulerHealth().tasks_by_kind[serve_kind], serves);
+  EXPECT_EQ(s1.SchedulerHealth().tasks_by_kind[snap_kind], snaps);
+
+  // A write bumps the source epoch: the probe misses, the requester
+  // resends the full handshake, and the update still arrives.
+  ASSERT_TRUE(s0.Update("late", "2").ok());
+  ASSERT_TRUE(s1.PullFrom(0).ok());
+  EXPECT_EQ(*s1.Read("late"), "2");
+  EXPECT_GT(s0.SchedulerHealth().tasks_by_kind[serve_kind], serves);
+
+  hub.Register(0, nullptr);
+  hub.Register(1, nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // The same server stack over real TCP sockets.
 

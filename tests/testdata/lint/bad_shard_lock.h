@@ -1,0 +1,29 @@
+// Lint fixture (never compiled): the striped shard-lock shape the
+// shard-owner scheduler retired. Every hazard sits on its own line so the
+// shard-lock-outside-runtime rule's report can be asserted precisely; the
+// un-annotated mutexes additionally trip unguarded-mutex, as any real
+// relapse would.
+#ifndef TESTS_TESTDATA_LINT_BAD_SHARD_LOCK_H_
+#define TESTS_TESTDATA_LINT_BAD_SHARD_LOCK_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "common/thread_annotations.h"
+
+namespace epidemic {
+
+class StripedShardedThing {
+ public:
+  void Update(size_t shard) {
+    MutexLock lock(shard_mu_[shard]);
+  }
+
+ private:
+  std::unique_ptr<Mutex[]> shard_mu_;
+  Mutex shard_state_mu_;
+};
+
+}  // namespace epidemic
+
+#endif  // TESTS_TESTDATA_LINT_BAD_SHARD_LOCK_H_

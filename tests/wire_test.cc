@@ -402,5 +402,87 @@ TEST(WireV3Test, SegmentBodyPropertyRoundTrip) {
   }
 }
 
+TEST(WireV3Test, EpochProbeRequestRoundTrip) {
+  ShardedPropagationRequest m;
+  m.requester = 4;
+  m.wire_version = kWireV3;
+  m.flags = kPropFlagEpochProbe | kPropFlagAcceptCompressed;
+  m.last_epoch = 123456789;
+  ByteWriter w;
+  EncodeShardedPropagationRequestBodyV3(w, m);
+  ByteReader r(w.data());
+  auto out = DecodeShardedPropagationRequestBodyV3(r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->requester, 4u);
+  EXPECT_EQ(out->flags, m.flags);
+  EXPECT_EQ(out->last_epoch, 123456789u);
+  EXPECT_TRUE(out->shard_dbvvs.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireV3Test, EpochProbeWithDbvvsRejected) {
+  // A probe by definition carries no per-shard handshake; a frame that
+  // claims both is malformed, not "a probe with extra hints".
+  ShardedPropagationRequest m;
+  m.wire_version = kWireV3;
+  m.flags = kPropFlagEpochProbe;
+  m.last_epoch = 7;
+  m.shard_dbvvs.push_back(Vv({1}));
+  ByteWriter w;
+  EncodeShardedPropagationRequestBodyV3(w, m);
+  ByteReader r(w.data());
+  EXPECT_TRUE(DecodeShardedPropagationRequestBodyV3(r).status().IsCorruption());
+}
+
+TEST(WireV3Test, ResponseEnvelopeCarriesEpochAndFlags) {
+  ShardedPropagationResponse m;
+  m.wire_version = kWireV3;
+  m.num_shards = 4;
+  m.epoch = 42;
+  m.resp_flags = kPropRespFlagResend;
+  ByteWriter w;
+  EncodeShardedPropagationResponseBodyV3(w, m);
+  ByteReader r(w.data());
+  auto out = DecodeShardedPropagationResponseBodyV3(r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->wire_version, kWireV3);
+  EXPECT_EQ(out->num_shards, 4u);
+  EXPECT_EQ(out->epoch, 42u);
+  EXPECT_TRUE(out->resend_requested());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireV3Test, ResponseEnvelopeRejectsBadFlagCombos) {
+  // Unknown flag bits must fail decode (forward-compat discipline).
+  {
+    ShardedPropagationResponse m;
+    m.wire_version = kWireV3;
+    m.num_shards = 1;
+    m.resp_flags = 0x80;
+    ByteWriter w;
+    EncodeShardedPropagationResponseBodyV3(w, m);
+    ByteReader r(w.data());
+    EXPECT_TRUE(
+        DecodeShardedPropagationResponseBodyV3(r).status().IsCorruption());
+  }
+  // A resend request is a control frame; payload segments alongside it
+  // mean the source is confused (or the frame was tampered with).
+  {
+    ShardedPropagationResponse m;
+    m.wire_version = kWireV3;
+    m.num_shards = 2;
+    m.resp_flags = kPropRespFlagResend;
+    ShardedPropagationSegment seg;
+    seg.shard = 0;
+    seg.body = "x";
+    m.segments.push_back(std::move(seg));
+    ByteWriter w;
+    EncodeShardedPropagationResponseBodyV3(w, m);
+    ByteReader r(w.data());
+    EXPECT_TRUE(
+        DecodeShardedPropagationResponseBodyV3(r).status().IsCorruption());
+  }
+}
+
 }  // namespace
 }  // namespace epidemic::wire

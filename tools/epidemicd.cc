@@ -37,7 +37,7 @@ struct Options {
   int port = 0;
   long ae_interval_ms = 500;
   int shards = 16;      // every node of a cluster must agree
-  int ae_workers = 0;   // extra threads for per-shard anti-entropy work
+  int ae_workers = 0;   // shard-owner worker threads (0 = callers inline)
   std::string data_dir;  // empty = in-memory
   std::vector<std::pair<int, int>> peers;  // (id, port)
 };

@@ -17,7 +17,14 @@ Catches hazards the compiler (even with -Wthread-safety) cannot see:
   unguarded-mutex       a raw std::mutex declaration (must use the
                         annotated epidemic::Mutex), or an epidemic::Mutex
                         member no GUARDED_BY/PT_GUARDED_BY/REQUIRES names
-  nondeterminism        protocol code (src/core, src/log, src/vv, src/sim)
+  shard-lock-outside-runtime
+                        shard state synchronized with mutexes outside
+                        src/runtime: a striped mutex array, a shard-named
+                        mutex, or an indexed per-shard MutexLock. Shards
+                        are single-writer — all access runs as tasks on
+                        runtime::ShardScheduler (DESIGN.md §11)
+  nondeterminism        protocol code (src/core, src/log, src/vv, src/sim,
+                        src/runtime)
                         reads wall clocks, host entropy, C-library RNG
                         state, std <random> engines, or iterates/hashes by
                         pointer address — any of which would make epicheck's
@@ -110,8 +117,28 @@ NONDET_PATTERNS: list[tuple[re.Pattern[str], str]] = [
 ]
 
 # Directories under src/ whose code feeds the model checker's state space
-# and therefore must be schedule-deterministic.
-NONDET_DIRS = ("core", "log", "vv", "sim")
+# and therefore must be schedule-deterministic. "runtime" is here because
+# the scheduler's manual mode IS the checker's pump: a clock or entropy
+# read in the task runtime would leak into every sharded exploration.
+NONDET_DIRS = ("core", "log", "vv", "sim", "runtime")
+
+# Striped shard locking, the shape the shard-owner scheduler retired
+# (DESIGN.md §11): an array of mutexes indexed by shard, a mutex named
+# after shards, or an indexed per-shard lock acquisition. Shard state is
+# single-writer — access runs as tasks on runtime::ShardScheduler, and
+# only src/runtime may implement the synchronization underneath.
+SHARD_LOCK_PATTERNS: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"std::unique_ptr<\s*(?:epidemic::|std::)?[Mm]utex\s*"
+                r"\[\s*\]\s*>|"
+                r"std::(?:vector|array)<\s*(?:epidemic::|std::)?[Mm]utex\b"),
+     "an array of mutexes is the striped-shard-lock shape the scheduler "
+     "replaced"),
+    (re.compile(r"^\s*(?:mutable\s+)?(?:epidemic::)?Mutex\s+"
+                r"\w*[Ss]hard\w*\s*(?:;|=|\{)"),
+     "a mutex named after shards guards shard state directly"),
+    (re.compile(r"\bMutexLock\s+\w+\s*\(\s*[^)]*[Ss]hard[^)]*\["),
+     "indexed acquisition of a per-shard mutex (striped-lock relapse)"),
+]
 
 
 class Linter:
@@ -328,6 +355,28 @@ class Linter:
                         "NOLINT-PROTOCOL(unguarded-mutex): <reason>",
                     )
 
+    # -- rule: shard-lock-outside-runtime --------------------------------
+
+    def check_shard_locks(self, path: Path) -> None:
+        if not path.exists():
+            return
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            for pattern, why in SHARD_LOCK_PATTERNS:
+                if not pattern.search(code):
+                    continue
+                if not self.waived(path, lines, i,
+                                   "shard-lock-outside-runtime"):
+                    self.report(
+                        path, i + 1, "shard-lock-outside-runtime",
+                        f"{why} — shard state is single-writer: route the "
+                        "access through a runtime::ShardScheduler task "
+                        "(DESIGN.md §11); only src/runtime implements shard "
+                        "synchronization",
+                    )
+                break  # one finding per line
+
     # -- rule: nondeterminism --------------------------------------------
 
     def check_nondeterminism(self, path: Path) -> None:
@@ -389,10 +438,13 @@ class Linter:
         sources = sorted((self.root / "src").rglob("*.h")) + sorted(
             (self.root / "src").rglob("*.cc")
         )
+        runtime_dir = self.root / "src" / "runtime"
         for path in sources:
             if path == skip:
                 continue
             self.check_mutexes(path)
+            if runtime_dir not in path.parents:
+                self.check_shard_locks(path)
         for sub in NONDET_DIRS:
             for path in sorted((self.root / "src" / sub).rglob("*.h")) + sorted(
                 (self.root / "src" / sub).rglob("*.cc")
@@ -408,6 +460,7 @@ class Linter:
             self.check_wire_tags(path)
             if path.suffix in (".h", ".cc"):
                 self.check_mutexes(path)
+                self.check_shard_locks(path)
                 self.check_nondeterminism(path)
             if path.name == "replica.cc":
                 self.check_store_mutations(path)
