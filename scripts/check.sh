@@ -6,6 +6,8 @@
 #   scripts/check.sh --tsan   # ThreadSanitizer build in build-tsan/
 #   scripts/check.sh --ubsan  # standalone UBSan build in build-ubsan/
 #   scripts/check.sh --tidy   # clang-tidy over the compilation database
+#   scripts/check.sh --lint-ast  # protocol_lint + epilint (AST rules when
+#                                # libclang is available; lexical rule always)
 #   scripts/check.sh --model  # build + exhaustive epicheck model runs
 #   scripts/check.sh --bench-smoke  # build + one fast benchmark pass (JSON)
 #
@@ -48,6 +50,21 @@ case "$mode" in
     echo "clang-tidy: clean"
     exit 0
     ;;
+  --lint-ast)
+    shift
+    build_dir=build
+    # Configure only: epilint_ast.py reads build/compile_commands.json when
+    # present so each TU is parsed with its real flags.
+    cmake -B "$build_dir" -S . > /dev/null
+    python3 tools/protocol_lint.py
+    # The probe is informational here: without libclang the AST rules skip
+    # with a diagnostic and only the lexical rule is enforced; the CI
+    # lint-ast job pins libclang so the full set always runs there.
+    python3 tools/epilint_ast.py --probe || true
+    python3 tools/epilint_ast.py --build-dir "$build_dir" "$@"
+    echo "lint-ast: clean"
+    exit 0
+    ;;
   --model)
     shift
     build_dir=build
@@ -79,7 +96,7 @@ case "$mode" in
     ;;
   --*)
     echo "error: unknown mode '$mode'" >&2
-    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy|--model|--bench-smoke] [ctest args]" >&2
+    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy|--lint-ast|--model|--bench-smoke] [ctest args]" >&2
     exit 2
     ;;
   *)

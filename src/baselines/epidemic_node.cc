@@ -17,6 +17,9 @@ EpidemicNode::EpidemicNode(NodeId id, size_t num_nodes)
     : replica_(id, num_nodes, &listener_) {}
 
 Status EpidemicNode::SyncWith(ProtocolNode& peer) {
+  // Single-owner escape: the simulator harness runs exchanges from one
+  // thread, which is the single writer of both replicas in this round.
+  AssertShardContextHeld();
   auto& source = static_cast<EpidemicNode&>(peer);
   ++sync_stats_.exchanges;
 
@@ -52,6 +55,8 @@ Status EpidemicNode::SyncWith(ProtocolNode& peer) {
 }
 
 Status EpidemicNode::OobFetch(ProtocolNode& peer, std::string_view item) {
+  // Single-owner escape: see SyncWith.
+  AssertShardContextHeld();
   auto& source = static_cast<EpidemicNode&>(peer);
   OobRequest req = replica_.BuildOobRequest(item);
   sync_stats_.control_bytes += StringWireSize(req.item_name);

@@ -27,10 +27,15 @@ class EpidemicNode : public ProtocolNode {
   std::string_view protocol_name() const override { return "epidemic-dbvv"; }
 
   Status ClientUpdate(std::string_view item, std::string_view value) override {
+    // Single-owner escape: the simulator harness drives each node from one
+    // thread, which IS this replica's single writer (no scheduler here).
+    AssertShardContextHeld();
     return replica_.Update(item, value);
   }
 
   Result<std::string> ClientRead(std::string_view item) override {
+    // Single-owner escape: see ClientUpdate.
+    AssertShardContextHeld();
     return replica_.Read(item);
   }
 

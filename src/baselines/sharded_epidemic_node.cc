@@ -17,6 +17,9 @@ ShardedEpidemicNode::ShardedEpidemicNode(NodeId id, size_t num_nodes,
     : replica_(id, num_nodes, num_shards, &listener_) {}
 
 Status ShardedEpidemicNode::SyncWith(ProtocolNode& peer) {
+  // Single-owner escape: the simulator harness runs exchanges from one
+  // thread, which is the single writer of every shard on both nodes.
+  AssertShardContextHeld();
   auto& source = static_cast<ShardedEpidemicNode&>(peer);
   ++sync_stats_.exchanges;
 
@@ -65,6 +68,8 @@ Status ShardedEpidemicNode::SyncWith(ProtocolNode& peer) {
 
 Status ShardedEpidemicNode::OobFetch(ProtocolNode& peer,
                                      std::string_view item) {
+  // Single-owner escape: see SyncWith.
+  AssertShardContextHeld();
   auto& source = static_cast<ShardedEpidemicNode&>(peer);
   OobRequest req = replica_.BuildOobRequest(item);
   sync_stats_.control_bytes += StringWireSize(req.item_name);

@@ -29,10 +29,15 @@ class ShardedEpidemicNode : public ProtocolNode {
   }
 
   Status ClientUpdate(std::string_view item, std::string_view value) override {
+    // Single-owner escape: the simulator harness drives each node from one
+    // thread, which IS every shard's single writer (no scheduler here).
+    AssertShardContextHeld();
     return replica_.Update(item, value);
   }
 
   Result<std::string> ClientRead(std::string_view item) override {
+    // Single-owner escape: see ClientUpdate.
+    AssertShardContextHeld();
     return replica_.Read(item);
   }
 

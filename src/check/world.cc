@@ -99,6 +99,11 @@ ConflictListener* World::listener_for(Node& node) {
 }
 
 Status World::Apply(const Action& action) {
+  // Single-owner escape: the checker drives every node from one thread, so
+  // that thread IS each plain replica's single writer. Sharded nodes still
+  // go through their manual scheduler below, whose tokens re-assert the
+  // capability inside each task.
+  AssertShardContextHeld();
   const size_t n = nodes_.size();
   if (action.a >= n) return Status::InvalidArgument("acting node out of range");
   Node& node = *nodes_[action.a];
@@ -126,7 +131,8 @@ Status World::Apply(const Action& action) {
       Status status;
       node.sched->Execute(node.sharded->ShardOf(name),
                           runtime::TaskKind::kLocalUpdate, /*mutates=*/true,
-                          [&](const runtime::ShardToken&) {
+                          [&](const runtime::ShardToken& token) {
+                            runtime::AssertShardContext(token);
                             status = node.sharded->Update(name, value);
                           });
       return status;
@@ -139,7 +145,8 @@ Status World::Apply(const Action& action) {
       Status status;
       node.sched->Execute(node.sharded->ShardOf(name),
                           runtime::TaskKind::kLocalUpdate, /*mutates=*/true,
-                          [&](const runtime::ShardToken&) {
+                          [&](const runtime::ShardToken& token) {
+                            runtime::AssertShardContext(token);
                             status = node.sharded->Delete(name);
                           });
       return status;
@@ -176,12 +183,14 @@ Status World::Apply(const Action& action) {
                             });
         source.sched->Execute(shard, runtime::TaskKind::kServe,
                               /*mutates=*/false,
-                              [&](const runtime::ShardToken&) {
+                              [&](const runtime::ShardToken& token) {
+                                runtime::AssertShardContext(token);
                                 resp = source.sharded->HandleOobRequest(req);
                               });
         node.sched->Execute(shard, runtime::TaskKind::kAccept,
                             /*mutates=*/true,
-                            [&](const runtime::ShardToken&) {
+                            [&](const runtime::ShardToken& token) {
+                              runtime::AssertShardContext(token);
                               s = node.sharded->AcceptOobResponse(resp);
                             });
       }
@@ -197,7 +206,10 @@ Status World::Apply(const Action& action) {
         // Touches every shard: run under the scheduler's cross-shard
         // barrier, like the server's whole-database operations.
         node.sched->ExecuteExclusive(
-            /*mutates=*/true, [&] { node.sharded->PumpIntraNode(); });
+            /*mutates=*/true, [&](const runtime::ExclusiveToken& token) {
+              runtime::AssertShardContext(token);
+              node.sharded->PumpIntraNode();
+            });
       }
       return Status::OK();
     case ActionKind::kCrash:
@@ -207,6 +219,9 @@ Status World::Apply(const Action& action) {
 }
 
 Status World::ApplySync(size_t recipient, size_t source) {
+  // Single-owner escape: same as Apply — the checker's one driver thread
+  // is the single writer of both plain replicas in this exchange.
+  AssertShardContextHeld();
   Node& r = *nodes_[recipient];
   Node& s = *nodes_[source];
   if (r.plain) {
@@ -259,7 +274,8 @@ Status World::ApplySync(size_t recipient, size_t source) {
       work.push_back(
           {k, runtime::TaskKind::kServe, /*mutates=*/false,
            [this, &srep, &req, &opts, &bodies, &has_body, v3,
-            k](const runtime::ShardToken&) {
+            k](const runtime::ShardToken& token) {
+             runtime::AssertShardContext(token);
              const PropagationRequest shard_req{req.requester,
                                                 req.shard_dbvvs[k]};
              if (v3) {
@@ -292,7 +308,8 @@ Status World::ApplySync(size_t recipient, size_t source) {
       work.push_back(
           {k, runtime::TaskKind::kAccept, /*mutates=*/true,
            [&rrep, &bodies, &statuses, &storages, v3,
-            k](const runtime::ShardToken&) {
+            k](const runtime::ShardToken& token) {
+             runtime::AssertShardContext(token);
              if (v3) {
                PropagationResponseView view;
                Status st = wire::DecodeShardSegmentBodyV3(bodies[k],

@@ -31,10 +31,13 @@ const char* LevelTag(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  // relaxed: the level is an isolated filter knob — no other state is
+  // published under it, and a briefly stale read only mis-filters a line.
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  // relaxed: isolated filter knob (see SetLogLevel).
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
@@ -42,6 +45,7 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
+      // relaxed: isolated filter knob (see SetLogLevel).
       enabled_(static_cast<int>(level) >=
                g_min_level.load(std::memory_order_relaxed)) {
   if (enabled_) {

@@ -3,15 +3,22 @@
 
 #include <mutex>
 
-/// Clang `-Wthread-safety` annotations plus the annotated locking
-/// primitives the rest of the tree uses. The striped shard-locking
-/// discipline introduced with `ShardedReplica` ("client ops lock only their
-/// shard, whole-DB ops lock in index order, no lock held across transport")
-/// is documented in DESIGN.md §8; these macros make the per-mutex half of
-/// that discipline machine-checked: every guarded member says which mutex
-/// guards it, every locking function says what it acquires, and the build
-/// fails under `EPIDEMIC_WERROR_THREAD_SAFETY=ON` (Clang) when code
-/// touches a guarded member without its lock.
+/// Clang `-Wthread-safety` annotations plus the annotated primitives the
+/// rest of the tree uses. Two disciplines are machine-checked here:
+///
+///  1. Classic mutexes (`Mutex`/`MutexLock` below): every guarded member
+///     says which mutex guards it, every locking function says what it
+///     acquires, and the build fails under `EPIDEMIC_WERROR_THREAD_SAFETY=ON`
+///     (Clang) when code touches a guarded member without its lock.
+///
+///  2. The shard-context capability (`ShardContext` below, DESIGN.md §12):
+///     since the shard-owned task runtime replaced striped locks, shard
+///     state is protected by *channel ownership*, not mutexes. The phantom
+///     `shard_context` capability makes that statically visible — mutating
+///     replica/log/store methods carry `REQUIRES_SHARD_CONTEXT`, and the
+///     only code that legitimately asserts the capability is the
+///     scheduler's task trampoline (plus a handful of audited single-owner
+///     escapes, see AssertShardContextHeld).
 ///
 /// Under compilers without the attributes (GCC) every macro expands to
 /// nothing, so the annotations are free documentation there.
@@ -72,16 +79,59 @@
 /// On a function: runtime-asserts the capability is held.
 #define ASSERT_CAPABILITY(x) EPI_TSA_ATTR(assert_capability(x))
 
-/// Escape hatch for locking patterns outside the static model — in this
-/// tree that is exactly the dynamic striped-lock sets of ReplicaServer
-/// (lock shards 0..S-1 in index order, or try_lock-claim an arbitrary
-/// subset), which name a runtime-indexed mutex the analysis cannot
-/// resolve. Every use must carry a comment saying why, and the code it
-/// covers must keep to the DESIGN.md §8 lock-order rule.
+/// Escape hatch for locking patterns outside the static model (e.g. a
+/// runtime-indexed capability the analysis cannot resolve). Prefer
+/// AssertShardContextHeld() for shard-state escapes — it is visible to the
+/// analysis and greppable. Every use must carry a comment saying why.
 #define NO_THREAD_SAFETY_ANALYSIS \
   EPI_TSA_ATTR(no_thread_safety_analysis)
 
 namespace epidemic {
+
+/// Phantom capability representing "the current thread is inside a shard's
+/// single-writer section" — i.e. it is the scheduler worker (or manual-mode
+/// pump) that holds the shard's gate and is draining its channel. There is
+/// no lock to acquire: the capability is *asserted* at the task boundary
+/// (ShardScheduler's trampoline, via runtime::AssertShardContext) and
+/// *required* by every mutating method on Replica, ShardedReplica,
+/// OriginLog/LogVector, AuxLog and ItemStore. Clang's analysis then rejects
+/// any call chain that reaches shard state without passing through the
+/// scheduler. See DESIGN.md §12.
+class CAPABILITY("shard_context") ShardContext {
+ public:
+  ShardContext() = default;
+  ShardContext(const ShardContext&) = delete;
+  ShardContext& operator=(const ShardContext&) = delete;
+};
+
+/// The single global instance the annotations name. Zero-size phantom —
+/// never locked, never inspected at runtime.
+inline ShardContext shard_context;
+
+/// `REQUIRES_SHARD_CONTEXT` marks a function as "may only run inside a
+/// shard's single-writer section". Enforcement is gated per-TU on
+/// EPIDEMIC_CHECK_SHARD_CONTEXT (defined for src/ and tools/ by CMake):
+/// library and server code is checked, while tests/benches — which drive
+/// single-owner replicas directly from their own thread — compile the same
+/// headers with the attribute expanded away. Function attributes do not
+/// participate in mangling or the ODR, so mixing checked and unchecked TUs
+/// is well-defined.
+#if defined(EPIDEMIC_CHECK_SHARD_CONTEXT)
+#define REQUIRES_SHARD_CONTEXT REQUIRES(::epidemic::shard_context)
+#else
+#define REQUIRES_SHARD_CONTEXT  // unchecked TU (tests/bench/examples)
+#endif
+
+/// Audited escape: asserts the shard-context capability for the rest of
+/// the calling function without any runtime proof. Legitimate only where
+/// exactly one actor can possibly reach the state being mutated:
+///   * replay/decode of a freshly constructed, not-yet-published replica
+///     (journal recovery, snapshot decode),
+///   * single-threaded reference drivers (baselines, multidb, epicheck's
+///     plain-path executor),
+///   * scheduler-external code that holds every gate (ExecuteExclusive).
+/// Every call site must carry a comment naming the single owner.
+inline void AssertShardContextHeld() ASSERT_CAPABILITY(shard_context) {}
 
 /// std::mutex with capability annotations: `-Wthread-safety` only tracks
 /// acquisitions made through annotated functions, so the tree locks this

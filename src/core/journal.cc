@@ -39,6 +39,10 @@ std::string SnapshotPath(const std::string& dir) {
 
 /// Applies one journal record through the replica's normal code paths.
 Status ReplayRecord(Replica& replica, std::string_view payload) {
+  // Single-owner escape: recovery replays into a freshly constructed
+  // replica that Open() has not yet published — no other thread can reach
+  // it, so the recovery thread IS the shard's single writer.
+  AssertShardContextHeld();
   ByteReader r(payload);
   auto tag = r.GetU8();
   if (!tag.ok()) return tag.status();

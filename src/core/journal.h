@@ -46,40 +46,46 @@ class JournaledReplica {
   JournaledReplica& operator=(const JournaledReplica&) = delete;
 
   // Journaled mutating operations — logged, then applied.
-  Status Update(std::string_view name, std::string_view value);
-  Status Delete(std::string_view name);
+  Status Update(std::string_view name, std::string_view value)
+      REQUIRES_SHARD_CONTEXT;
+  Status Delete(std::string_view name) REQUIRES_SHARD_CONTEXT;
   Status ResolveConflict(std::string_view name, const VersionVector& remote_vv,
-                         std::string_view value);
-  Status AcceptPropagation(const PropagationResponse& resp);
-  Status AcceptOobResponse(const OobResponse& resp);
+                         std::string_view value) REQUIRES_SHARD_CONTEXT;
+  Status AcceptPropagation(const PropagationResponse& resp)
+      REQUIRES_SHARD_CONTEXT;
+  Status AcceptOobResponse(const OobResponse& resp) REQUIRES_SHARD_CONTEXT;
 
   /// Journaled accept of a raw wire-v3 segment body: the body is decoded
   /// zero-copy (which also validates it *before* anything is journaled),
   /// appended verbatim under its own record tag, and applied through the
   /// view path — the owned PropagationResponse is never materialized, on
   /// the live path or on replay.
-  Status AcceptPropagationSegmentV3(std::string_view body);
+  Status AcceptPropagationSegmentV3(std::string_view body)
+      REQUIRES_SHARD_CONTEXT;
 
-  // Read-only operations pass straight through.
-  Result<std::string> Read(std::string_view name) {
+  // Pass-throughs. Read/serve paths touch replica counters/scratch, so
+  // they inherit the shard-context requirement of the wrapped methods.
+  Result<std::string> Read(std::string_view name) REQUIRES_SHARD_CONTEXT {
     return replica_->Read(name);
   }
   PropagationRequest BuildPropagationRequest() const {
     return replica_->BuildPropagationRequest();
   }
-  PropagationResponse HandlePropagationRequest(const PropagationRequest& r) {
+  PropagationResponse HandlePropagationRequest(const PropagationRequest& r)
+      REQUIRES_SHARD_CONTEXT {
     return replica_->HandlePropagationRequest(r);
   }
   OobRequest BuildOobRequest(std::string_view name) const {
     return replica_->BuildOobRequest(name);
   }
-  OobResponse HandleOobRequest(const OobRequest& r) {
+  OobResponse HandleOobRequest(const OobRequest& r) REQUIRES_SHARD_CONTEXT {
     return replica_->HandleOobRequest(r);
   }
 
   /// Writes a snapshot and truncates the journal. Recovery afterwards is
-  /// snapshot + (empty) journal.
-  Status Checkpoint();
+  /// snapshot + (empty) journal. Requires the shard context: the snapshot
+  /// must observe a quiescent replica (no concurrent mutation mid-encode).
+  Status Checkpoint() REQUIRES_SHARD_CONTEXT;
 
   const Replica& replica() const { return *replica_; }
   Replica& replica() { return *replica_; }
@@ -108,9 +114,9 @@ class JournaledReplica {
 /// Shards journal and checkpoint independently — a full-database fsync
 /// barrier never exists, and recovery replays each shard's suffix through
 /// the ordinary code paths. Thread-compatibility matches ShardedReplica:
-/// no locking here; the server guards each shard with its own lock (the
-/// journaled entry points below touch exactly one shard each, so the
-/// caller may hold just that shard's lock).
+/// no locking here; the server runs each journaled entry point inside the
+/// owning shard's single-writer task section (each touches exactly one
+/// shard), which is what the REQUIRES_SHARD_CONTEXT annotations check.
 class JournaledShardedReplica {
  public:
   /// Recovers (or freshly creates) the sharded state under `dir`, which
@@ -123,37 +129,42 @@ class JournaledShardedReplica {
   JournaledShardedReplica& operator=(const JournaledShardedReplica&) = delete;
 
   // Journaled mutating operations, each touching exactly one shard.
-  Status Update(std::string_view name, std::string_view value) {
+  Status Update(std::string_view name, std::string_view value)
+      REQUIRES_SHARD_CONTEXT {
     return shards_[view_->ShardOf(name)]->Update(name, value);
   }
-  Status Delete(std::string_view name) {
+  Status Delete(std::string_view name) REQUIRES_SHARD_CONTEXT {
     return shards_[view_->ShardOf(name)]->Delete(name);
   }
   Status ResolveConflict(std::string_view name, const VersionVector& remote_vv,
-                         std::string_view value) {
+                         std::string_view value) REQUIRES_SHARD_CONTEXT {
     return shards_[view_->ShardOf(name)]->ResolveConflict(name, remote_vv,
                                                           value);
   }
-  Status AcceptShardPropagation(size_t shard, const PropagationResponse& r) {
+  Status AcceptShardPropagation(size_t shard, const PropagationResponse& r)
+      REQUIRES_SHARD_CONTEXT {
     return shards_[shard]->AcceptPropagation(r);
   }
   /// Journaled accept of one shard's raw v3 segment body (see
   /// JournaledReplica::AcceptPropagationSegmentV3).
-  Status AcceptShardPropagationSegmentV3(size_t shard, std::string_view body) {
+  Status AcceptShardPropagationSegmentV3(size_t shard, std::string_view body)
+      REQUIRES_SHARD_CONTEXT {
     return shards_[shard]->AcceptPropagationSegmentV3(body);
   }
-  Status AcceptOobResponse(const OobResponse& resp) {
+  Status AcceptOobResponse(const OobResponse& resp) REQUIRES_SHARD_CONTEXT {
     return shards_[view_->ShardOf(resp.item_name)]->AcceptOobResponse(resp);
   }
 
   /// Applies a full sharded response, journaling each segment to its
   /// shard. Applies every segment even if one fails; first error wins.
-  Status AcceptPropagation(const ShardedPropagationResponse& resp);
+  Status AcceptPropagation(const ShardedPropagationResponse& resp)
+      REQUIRES_SHARD_CONTEXT;
 
   /// Checkpoints every shard (first error wins, but all are attempted).
-  Status Checkpoint();
-  /// Checkpoints one shard; callers with striped locks need only that one.
-  Status CheckpointShard(size_t shard) {
+  Status Checkpoint() REQUIRES_SHARD_CONTEXT;
+  /// Checkpoints one shard; callers inside that shard's task section need
+  /// nothing more.
+  Status CheckpointShard(size_t shard) REQUIRES_SHARD_CONTEXT {
     return shards_[shard]->Checkpoint();
   }
 

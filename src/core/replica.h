@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/conflict.h"
 #include "core/messages.h"
 #include "log/aux_log.h"
@@ -117,12 +118,15 @@ struct ReplicaStats {
 ///
 /// or, in-process, `PropagateOnce(j, i)`.
 ///
-/// Thread-compatibility: a Replica is confined to one thread (the server
-/// module serializes access); all methods are non-blocking and never throw.
-/// The class deliberately owns no mutex — the lock that serializes it lives
-/// in the caller (`server::ReplicaServer::shard_mu_[k]` for shard replicas,
-/// `multidb::MultiDbServer::mu_` for per-database ones), where Clang's
-/// `-Wthread-safety` annotations enforce the discipline (DESIGN.md §8).
+/// Thread-compatibility: a Replica is confined to one writer at a time;
+/// all methods are non-blocking and never throw. The class deliberately
+/// owns no mutex — serialization comes from the owner that drives it: the
+/// shard-owned task runtime (runtime/scheduler.h) for shard replicas,
+/// `multidb::MultiDbServer::mu_` for per-database ones, or plain
+/// single-threaded confinement in tests and reference drivers. Every
+/// mutating method carries REQUIRES_SHARD_CONTEXT, so under Clang
+/// `-Wthread-safety` a library call chain can only reach one from inside a
+/// scheduled task (or an audited single-owner escape) — DESIGN.md §12.
 class Replica {
  public:
   /// `id` is this node's index in the fixed replica set of `num_nodes`
@@ -138,18 +142,21 @@ class Replica {
 
   /// Applies a user update, writing `value` as the item's new contents.
   /// Uses the auxiliary copy when one exists, the regular copy otherwise.
-  Status Update(std::string_view name, std::string_view value);
+  Status Update(std::string_view name, std::string_view value)
+      REQUIRES_SHARD_CONTEXT;
 
   /// Deletes the item by writing a tombstone — an ordinary update whose
   /// state is "deleted", so it propagates (and conflicts) exactly like a
   /// value write. The control state persists; a later Update revives the
   /// item.
-  Status Delete(std::string_view name);
+  Status Delete(std::string_view name) REQUIRES_SHARD_CONTEXT;
 
   /// User-facing read: auxiliary copy when present (it is never older than
   /// the regular copy), regular otherwise. NotFound for unknown or
-  /// tombstoned items.
-  Result<std::string> Read(std::string_view name);
+  /// tombstoned items. Mutating in the capability sense: it bumps the read
+  /// counter, so it still requires the shard context (the optimistic
+  /// seqlock read path in the server bypasses this method entirely).
+  Result<std::string> Read(std::string_view name) REQUIRES_SHARD_CONTEXT;
 
   /// Resolves a detected conflict on `name` by writing `value` as a new
   /// update that *supersedes both branches*: the item's IVV becomes the
@@ -165,7 +172,7 @@ class Replica {
   /// out-of-bound (resolve after the auxiliary copy retires).
   Status ResolveConflict(std::string_view name,
                          const VersionVector& remote_vv,
-                         std::string_view value);
+                         std::string_view value) REQUIRES_SHARD_CONTEXT;
 
   /// Lists live (non-tombstoned) items whose name starts with `prefix`,
   /// sorted by name, with their user-visible values. `limit` 0 = no limit.
@@ -186,7 +193,8 @@ class Replica {
   /// using the IsSelected flags (§6). This owned form materializes one
   /// string per name/value — the staged pipeline; the wire-v3 serve path
   /// uses HandlePropagationView instead.
-  PropagationResponse HandlePropagationRequest(const PropagationRequest& req);
+  PropagationResponse HandlePropagationRequest(const PropagationRequest& req)
+      REQUIRES_SHARD_CONTEXT;
 
   /// Zero-copy SendPropagation (Fig. 2): identical protocol decisions and
   /// bookkeeping, but the returned response *borrows* — names and values
@@ -199,19 +207,21 @@ class Replica {
   /// that serializes this replica (DESIGN.md §10). Tail records carry
   /// `item_index` into S, ready for the v3 segment encoder.
   const PropagationResponseView& HandlePropagationView(
-      const PropagationRequest& req);
+      const PropagationRequest& req) REQUIRES_SHARD_CONTEXT;
 
   /// AcceptPropagation (Fig. 3) followed by IntraNodePropagation (Fig. 4)
   /// over the items copied, executed at the recipient. The owned form
   /// wraps the view form below.
-  Status AcceptPropagation(const PropagationResponse& resp);
+  Status AcceptPropagation(const PropagationResponse& resp)
+      REQUIRES_SHARD_CONTEXT;
 
   /// Zero-copy AcceptPropagation: applies a borrowed response (views into
   /// a decode buffer or a peer replica's store). Each adopted name/value
   /// is copied exactly once, into this store; nothing else is
   /// materialized. The backing storage only needs to stay alive for the
   /// duration of the call.
-  Status AcceptPropagation(const PropagationResponseView& resp);
+  Status AcceptPropagation(const PropagationResponseView& resp)
+      REQUIRES_SHARD_CONTEXT;
 
   /// Runs the Fig. 4 intra-node propagation loop over every out-of-bound
   /// item, not just ones copied by the last exchange: replays auxiliary
@@ -223,7 +233,7 @@ class Replica {
   /// auxiliary operations replayed. Used by the model checker (epicheck)
   /// as an explicit schedule action and by callers that want auxiliary
   /// copies retired without waiting for the next exchange.
-  size_t PumpIntraNode();
+  size_t PumpIntraNode() REQUIRES_SHARD_CONTEXT;
 
   // ---------------------------------------------------------------------
   // Out-of-bound copying (§5.2).
@@ -232,13 +242,13 @@ class Replica {
 
   /// Source side: replies with the auxiliary copy if it exists (never older
   /// than the regular one), else the regular copy.
-  OobResponse HandleOobRequest(const OobRequest& req);
+  OobResponse HandleOobRequest(const OobRequest& req) REQUIRES_SHARD_CONTEXT;
 
   /// Recipient side: adopts the received copy as (new) auxiliary data if it
   /// strictly dominates the local user-visible copy; ignores it otherwise;
   /// reports a conflict when the IVVs are concurrent. Never touches the
   /// DBVV, the log vector, or existing auxiliary-log records.
-  Status AcceptOobResponse(const OobResponse& resp);
+  Status AcceptOobResponse(const OobResponse& resp) REQUIRES_SHARD_CONTEXT;
 
   // ---------------------------------------------------------------------
   // Introspection.
@@ -250,7 +260,7 @@ class Replica {
   const LogVector& log_vector() const { return logs_; }
   const AuxLog& aux_log() const { return aux_log_; }
   const ReplicaStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ReplicaStats{}; }
+  void ResetStats() REQUIRES_SHARD_CONTEXT { stats_ = ReplicaStats{}; }
 
   /// Regular copy of an item (ignores auxiliary data); nullptr if absent.
   const Item* FindItem(std::string_view name) const {
@@ -314,14 +324,14 @@ class Replica {
  private:
   /// Shared implementation of Update/Delete (§5.3).
   Status ApplyUserWrite(std::string_view name, std::string_view value,
-                        bool deleted);
+                        bool deleted) REQUIRES_SHARD_CONTEXT;
 
   /// Read-only structural validation of a propagation response, run before
   /// any state is touched so malformed input is rejected atomically.
   Status ValidatePropagationResponse(const PropagationResponseView& resp) const;
 
   /// Runs the Fig. 4 loop for one item that was copied by AcceptPropagation.
-  void IntraNodePropagation(Item& item);
+  void IntraNodePropagation(Item& item) REQUIRES_SHARD_CONTEXT;
 
   void ReportConflict(const Item& item, const VersionVector& remote,
                       ConflictSource source);
@@ -362,13 +372,15 @@ class Replica {
 /// `recipient` (both in-process). Returns the number of items copied, or an
 /// error status. Uses the staged (owned-string) pipeline — the historical
 /// baseline the benches compare against.
-Result<size_t> PropagateOnce(Replica& source, Replica& recipient);
+Result<size_t> PropagateOnce(Replica& source, Replica& recipient)
+    REQUIRES_SHARD_CONTEXT;
 
 /// Same exchange over the zero-copy pipeline: the source's response view
 /// (borrowing its store) is applied directly by the recipient, with no
 /// intermediate owned strings. `source` and `recipient` must be distinct
 /// replicas confined to the calling thread for the duration.
-Result<size_t> PropagateOnceFast(Replica& source, Replica& recipient);
+Result<size_t> PropagateOnceFast(Replica& source, Replica& recipient)
+    REQUIRES_SHARD_CONTEXT;
 
 }  // namespace epidemic
 

@@ -30,14 +30,15 @@ namespace epidemic {
 ///     this with per-shard striped locks and parallel shard processing.
 ///
 /// Thread-compatibility matches Replica: this class does no locking itself.
-/// Callers either confine it to one thread or guard each shard with its own
-/// lock (two operations may run concurrently iff they touch different
-/// shards; the routed convenience methods below touch exactly one shard
-/// unless documented otherwise). The canonical guarded deployment is
-/// `server::ReplicaServer`, whose striped `shard_mu_[k]` locks carry the
-/// `-Wthread-safety` annotations and whose lock-order rule (per-shard ops
-/// take one lock, whole-DB ops take all in index order, never across a
-/// transport call) is recorded in DESIGN.md §8.
+/// Two operations may run concurrently iff they touch different shards; the
+/// routed convenience methods below touch exactly one shard unless
+/// documented otherwise. The canonical concurrent deployment is the
+/// shard-owned task runtime (runtime/scheduler.h): each shard index maps to
+/// a scheduler shard whose single-writer section is the only place mutating
+/// calls may run, which is why every mutating method here carries
+/// REQUIRES_SHARD_CONTEXT (DESIGN.md §11-§12). Single-threaded callers
+/// (simulator, benchmarks, tests) compile without enforcement and drive the
+/// methods directly.
 class ShardedReplica {
  public:
   static constexpr size_t kDefaultShards = 16;
@@ -75,15 +76,18 @@ class ShardedReplica {
   // ---------------------------------------------------------------------
   // User operations (§5.3), routed to the owning shard.
 
-  Status Update(std::string_view name, std::string_view value) {
+  Status Update(std::string_view name, std::string_view value)
+      REQUIRES_SHARD_CONTEXT {
     return route(name).Update(name, value);
   }
-  Status Delete(std::string_view name) { return route(name).Delete(name); }
-  Result<std::string> Read(std::string_view name) {
+  Status Delete(std::string_view name) REQUIRES_SHARD_CONTEXT {
+    return route(name).Delete(name);
+  }
+  Result<std::string> Read(std::string_view name) REQUIRES_SHARD_CONTEXT {
     return route(name).Read(name);
   }
   Status ResolveConflict(std::string_view name, const VersionVector& remote_vv,
-                         std::string_view value) {
+                         std::string_view value) REQUIRES_SHARD_CONTEXT {
     return route(name).ResolveConflict(name, remote_vv, value);
   }
 
@@ -109,7 +113,7 @@ class ShardedReplica {
   /// under striped locks; this serial form serves single-threaded callers
   /// (simulator, benchmarks, tests).
   ShardedPropagationResponse HandlePropagationRequest(
-      const ShardedPropagationRequest& req);
+      const ShardedPropagationRequest& req) REQUIRES_SHARD_CONTEXT;
 
   /// Source side, wire v3: each stale shard is served zero-copy
   /// (HandlePropagationView) and encoded straight into a v3 segment body —
@@ -119,7 +123,8 @@ class ShardedReplica {
   /// compression buffers; bodies are moved into the reply, so callers that
   /// want reuse return them to the pool after the frame is encoded.
   ShardedPropagationResponse HandlePropagationRequestV3(
-      const ShardedPropagationRequest& req, BufferPool* pool = nullptr);
+      const ShardedPropagationRequest& req, BufferPool* pool = nullptr)
+      REQUIRES_SHARD_CONTEXT;
 
   /// Recipient side: AcceptPropagation (Fig. 3-4) per received segment.
   /// Touches the shards named by the response. Applies every segment even
@@ -127,14 +132,16 @@ class ShardedReplica {
   /// `resp.wire_version`: v3 segments decode zero-copy (views into the
   /// segment bytes, applied directly); v2 segments take the historical
   /// owned decode.
-  Status AcceptPropagation(const ShardedPropagationResponse& resp);
+  Status AcceptPropagation(const ShardedPropagationResponse& resp)
+      REQUIRES_SHARD_CONTEXT;
 
   // Per-shard building blocks for callers that hold per-shard locks.
 
   /// Fig. 2 for one shard; `req.dbvv` is the requester's DBVV *of this
   /// shard*.
   PropagationResponse HandleShardPropagation(size_t shard,
-                                             const PropagationRequest& req) {
+                                             const PropagationRequest& req)
+      REQUIRES_SHARD_CONTEXT {
     return shards_[shard]->HandlePropagationRequest(req);
   }
 
@@ -142,26 +149,28 @@ class ShardedReplica {
   /// shard's store and serve scratch, so it is valid only while the caller
   /// holds that shard's lock and until the shard next mutates or serves.
   const PropagationResponseView& HandleShardPropagationView(
-      size_t shard, const PropagationRequest& req) {
+      size_t shard, const PropagationRequest& req) REQUIRES_SHARD_CONTEXT {
     return shards_[shard]->HandlePropagationView(req);
   }
 
   /// Fig. 3-4 for one shard.
   Status AcceptShardPropagation(size_t shard,
-                                const PropagationResponse& resp) {
+                                const PropagationResponse& resp)
+      REQUIRES_SHARD_CONTEXT {
     return shards_[shard]->AcceptPropagation(resp);
   }
 
   /// Fig. 3-4 for one shard over a borrowed response view.
   Status AcceptShardPropagation(size_t shard,
-                                const PropagationResponseView& resp) {
+                                const PropagationResponseView& resp)
+      REQUIRES_SHARD_CONTEXT {
     return shards_[shard]->AcceptPropagation(resp);
   }
 
   /// Runs Replica::PumpIntraNode on every shard (replays pending auxiliary
   /// redo records, retires caught-up auxiliary copies). Touches every
   /// shard; returns the total operations replayed.
-  size_t PumpIntraNode();
+  size_t PumpIntraNode() REQUIRES_SHARD_CONTEXT;
 
   // ---------------------------------------------------------------------
   // Out-of-bound copying (§5.2), routed by item name.
@@ -169,10 +178,10 @@ class ShardedReplica {
   OobRequest BuildOobRequest(std::string_view name) const {
     return route(name).BuildOobRequest(name);
   }
-  OobResponse HandleOobRequest(const OobRequest& req) {
+  OobResponse HandleOobRequest(const OobRequest& req) REQUIRES_SHARD_CONTEXT {
     return route(req.item_name).HandleOobRequest(req);
   }
-  Status AcceptOobResponse(const OobResponse& resp) {
+  Status AcceptOobResponse(const OobResponse& resp) REQUIRES_SHARD_CONTEXT {
     return route(resp.item_name).AcceptOobResponse(resp);
   }
 
@@ -194,7 +203,7 @@ class ShardedReplica {
   ReplicaStats TotalStats() const;
 
   /// Resets every shard's counters. Touches every shard.
-  void ResetStats();
+  void ResetStats() REQUIRES_SHARD_CONTEXT;
 
   /// Total regular items across shards. Touches every shard.
   size_t TotalItems() const;
@@ -233,7 +242,8 @@ class ShardedReplica {
 /// through the real wire encoding of the per-shard segments. Returns the
 /// number of items copied.
 Result<size_t> PropagateOnceSharded(ShardedReplica& source,
-                                    ShardedReplica& recipient);
+                                    ShardedReplica& recipient)
+    REQUIRES_SHARD_CONTEXT;
 
 /// PropagateOnceSharded over wire v3: the source serves zero-copy into v3
 /// segment bodies (optionally compressed) and the recipient applies them
@@ -241,7 +251,8 @@ Result<size_t> PropagateOnceSharded(ShardedReplica& source,
 Result<size_t> PropagateOnceShardedV3(ShardedReplica& source,
                                       ShardedReplica& recipient,
                                       bool compress = false,
-                                      BufferPool* pool = nullptr);
+                                      BufferPool* pool = nullptr)
+    REQUIRES_SHARD_CONTEXT;
 
 }  // namespace epidemic
 

@@ -111,6 +111,10 @@ class SnapshotCodec {
 
   static Result<std::unique_ptr<Replica>> Decode(std::string_view blob,
                                                  ConflictListener* listener) {
+    // Single-owner escape: the replica built below is freshly constructed
+    // and unpublished until this function returns it — the decoding thread
+    // IS its single writer.
+    AssertShardContextHeld();
     if (blob.size() < kMagicLen + 4 ||
         blob.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
       return Status::Corruption("not an epidemic snapshot (bad magic)");

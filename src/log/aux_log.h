@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "log/log_vector.h"
 #include "vv/version_vector.h"
 
@@ -43,10 +44,10 @@ struct AuxRecord {
 /// via a global doubly-linked list threaded with per-item sublists.
 ///
 /// Thread-compatible, not thread-safe: owned by exactly one Replica and
-/// serialized by whatever lock serializes that replica (the owning shard's
-/// `shard_mu_[k]` in the server deployment — see DESIGN.md §8). Its
-/// intrusive pointers must never be observed mid-splice, which is exactly
-/// what the per-shard lock guarantees.
+/// serialized by whatever serializes that replica (the owning shard's
+/// single-writer task section in the server deployment — DESIGN.md §11).
+/// Its intrusive pointers must never be observed mid-splice, which is why
+/// the mutating methods require the shard context (DESIGN.md §12).
 class AuxLog {
  public:
   AuxLog() = default;
@@ -57,17 +58,18 @@ class AuxLog {
 
   /// Appends a record for `item`. `vv_before` is the auxiliary IVV at apply
   /// time, excluding the update being logged.
-  AuxRecord* Append(ItemId item, const VersionVector& vv_before, UpdateOp op);
+  AuxRecord* Append(ItemId item, const VersionVector& vv_before, UpdateOp op)
+      REQUIRES_SHARD_CONTEXT;
 
   /// Earliest(x): the oldest record referring to `item`, or nullptr. O(1).
   AuxRecord* Earliest(ItemId item) const;
 
   /// Unlinks and frees `record`. O(1).
-  void Remove(AuxRecord* record);
+  void Remove(AuxRecord* record) REQUIRES_SHARD_CONTEXT;
 
   /// Drops every record referring to `item` (used when an auxiliary copy is
   /// abandoned). Linear in the number of records for that item.
-  void RemoveAllForItem(ItemId item);
+  void RemoveAllForItem(ItemId item) REQUIRES_SHARD_CONTEXT;
 
   AuxRecord* head() const { return head_; }
   size_t size() const { return size_; }

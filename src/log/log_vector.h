@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "vv/version_vector.h"
 
 namespace epidemic {
@@ -49,12 +50,13 @@ class OriginLog {
   /// records arrive in origin order; linear in the displacement when a
   /// conflict-induced record drop at a third party delivered them out of
   /// order (post-§5.1 executions only).
-  void AddLogRecord(ItemId item, UpdateCount seq, LogRecord** slot);
+  void AddLogRecord(ItemId item, UpdateCount seq, LogRecord** slot)
+      REQUIRES_SHARD_CONTEXT;
 
   /// Removes a record (used when conflict handling drops records referring
   /// to a conflicting item from a received tail — §5.1 step 2 — and by
   /// tests). `*slot` must equal `record`; it is reset to null. O(1).
-  void Remove(LogRecord* record, LogRecord** slot);
+  void Remove(LogRecord* record, LogRecord** slot) REQUIRES_SHARD_CONTEXT;
 
   /// Oldest / newest records, or nullptr when empty.
   LogRecord* head() const { return head_; }
@@ -87,7 +89,9 @@ class LogVector {
  public:
   explicit LogVector(size_t num_nodes) : logs_(num_nodes) {}
 
-  OriginLog& ForOrigin(NodeId j) { return logs_[j]; }
+  /// Mutable access hands out the component for AddLogRecord/Remove, so it
+  /// requires the owner's context; const inspection is capability-free.
+  OriginLog& ForOrigin(NodeId j) REQUIRES_SHARD_CONTEXT { return logs_[j]; }
   const OriginLog& ForOrigin(NodeId j) const { return logs_[j]; }
 
   size_t num_nodes() const { return logs_.size(); }

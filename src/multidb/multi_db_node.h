@@ -47,15 +47,22 @@ class MultiDbNode {
 
   // -------------------------------------------------------------------
   // Convenience client operations addressed as <db, item>.
+  //
+  // MultiDbNode is thread-compatible like the replicas it owns: whoever
+  // calls a mutating entry point must be the node's single writer (the
+  // server serializes through its own mutex and asserts the capability
+  // under it), which is what REQUIRES_SHARD_CONTEXT checks.
 
   Status Update(std::string_view db, std::string_view item,
-                std::string_view value) {
+                std::string_view value) REQUIRES_SHARD_CONTEXT {
     return OpenDatabase(db).Update(item, value);
   }
-  Status Delete(std::string_view db, std::string_view item) {
+  Status Delete(std::string_view db, std::string_view item)
+      REQUIRES_SHARD_CONTEXT {
     return OpenDatabase(db).Delete(item);
   }
-  Result<std::string> Read(std::string_view db, std::string_view item);
+  Result<std::string> Read(std::string_view db, std::string_view item)
+      REQUIRES_SHARD_CONTEXT;
 
   // -------------------------------------------------------------------
   // Cross-node synchronization.
@@ -71,11 +78,13 @@ class MultiDbNode {
 
   /// Pulls every database of `source` that this node lags on (databases
   /// this node has never opened are created). Returns the number of
-  /// databases that actually transferred items.
-  Result<size_t> PullAllFrom(MultiDbNode& source);
+  /// databases that actually transferred items. The caller must own both
+  /// nodes (it serves from `source` and accepts into this one).
+  Result<size_t> PullAllFrom(MultiDbNode& source) REQUIRES_SHARD_CONTEXT;
 
   /// Pulls one named database. NotFound if the source doesn't host it.
-  Result<size_t> PullFrom(MultiDbNode& source, std::string_view db);
+  Result<size_t> PullFrom(MultiDbNode& source, std::string_view db)
+      REQUIRES_SHARD_CONTEXT;
 
  private:
   NodeId id_;

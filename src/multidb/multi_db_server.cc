@@ -94,6 +94,9 @@ std::string MultiDbServer::HandleRequest(std::string_view request) {
 
 std::string MultiDbServer::HandleRoutedLocked(std::string_view db,
                                               std::string_view inner) {
+  // Single-owner escape: the caller holds mu_, which serializes every
+  // access to node_ — the lock holder IS the node's single writer.
+  AssertShardContextHeld();
   auto decoded = net::Decode(inner);
   if (!decoded.ok()) return EncodeErrorReply(decoded.status());
   Replica& replica = node_.OpenDatabase(db);
@@ -133,17 +136,23 @@ std::string MultiDbServer::HandleRoutedLocked(std::string_view db,
 Status MultiDbServer::Update(std::string_view db, std::string_view item,
                              std::string_view value) {
   MutexLock lock(mu_);
+  // Single-owner escape: mu_ serializes all access to node_.
+  AssertShardContextHeld();
   return node_.Update(db, item, value);
 }
 
 Status MultiDbServer::Delete(std::string_view db, std::string_view item) {
   MutexLock lock(mu_);
+  // Single-owner escape: mu_ serializes all access to node_.
+  AssertShardContextHeld();
   return node_.Delete(db, item);
 }
 
 Result<std::string> MultiDbServer::Read(std::string_view db,
                                         std::string_view item) {
   MutexLock lock(mu_);
+  // Single-owner escape: mu_ serializes all access to node_.
+  AssertShardContextHeld();
   return node_.Read(db, item);
 }
 
@@ -168,6 +177,8 @@ Status MultiDbServer::PullFrom(NodeId peer, std::string_view db) {
     return Status::Corruption("peer sent a non-propagation reply");
   }
   MutexLock lock(mu_);
+  // Single-owner escape: mu_ serializes all access to node_.
+  AssertShardContextHeld();
   return node_.OpenDatabase(db).AcceptPropagation(*resp);
 }
 

@@ -20,6 +20,8 @@ inline constexpr std::memory_order kSeqlockOrder = std::memory_order_seq_cst;
 inline void SeqlockAcquireFence() {}
 inline void SeqlockReleaseFence() {}
 #else
+// relaxed: the standalone acquire/release fences below carry the ordering
+// for every kSeqlockOrder access (classic seqlock fence+relaxed pairing).
 inline constexpr std::memory_order kSeqlockOrder = std::memory_order_relaxed;
 inline void SeqlockAcquireFence() {
   std::atomic_thread_fence(std::memory_order_acquire);

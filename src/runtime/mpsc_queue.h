@@ -35,6 +35,8 @@ class MpscQueue {
     mask_ = cap - 1;
     cells_ = std::make_unique<Cell[]>(cap);
     for (size_t i = 0; i < cap; ++i) {
+      // relaxed: constructor runs before the queue is shared; publication
+      // of the object itself (e.g. unique_ptr hand-off) does the ordering.
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -48,6 +50,8 @@ class MpscQueue {
   /// (bounded backpressure — callers decide whether to drain or park).
   bool TryPush(T&& value) {
     Cell* cell;
+    // relaxed: the cursor is only a ticket counter — the acquire load of
+    // cell->seq below is what synchronizes with the consumer's recycle.
     size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
@@ -55,6 +59,8 @@ class MpscQueue {
       const intptr_t dif =
           static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
       if (dif == 0) {
+        // relaxed: the CAS only claims the ticket; the value hand-off is
+        // published by the release store to cell->seq after the copy.
         if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
           break;
@@ -62,6 +68,7 @@ class MpscQueue {
       } else if (dif < 0) {
         return false;  // the cell is still occupied: channel full
       } else {
+        // relaxed: re-read of the ticket counter; same argument as above.
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
     }
@@ -73,6 +80,8 @@ class MpscQueue {
   /// Single-consumer dequeue (serialize callers externally). Returns false
   /// when no completed push is visible.
   bool TryPop(T* out) {
+    // relaxed: single-consumer — only this thread ever writes the dequeue
+    // cursor, so it reads its own last store.
     const size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     Cell& cell = cells_[pos & mask_];
     const size_t seq = cell.seq.load(std::memory_order_acquire);
@@ -97,6 +106,9 @@ class MpscQueue {
 
   /// Reserved-but-unpopped cell count; an upper bound on completed pushes.
   size_t SizeApprox() const {
+    // relaxed: advisory size — the contract is one-sided (never empty
+    // while a completed push is unpopped, which the caller's gate-held
+    // re-check guarantees); exact ordering buys nothing here.
     const size_t tail = dequeue_pos_.load(std::memory_order_relaxed);
     const size_t head = enqueue_pos_.load(std::memory_order_relaxed);
     return head >= tail ? head - tail : 0;

@@ -106,6 +106,9 @@ class ShardReadCache {
       return;
     }
     Slot& slot = slots_[Crc32c(name) & mask_];
+    // relaxed: the slot writer is unique (caller holds the shard gate), so
+    // this reads our own previous store; the odd/even protocol plus the
+    // release fence below orders the publish for readers.
     const uint64_t s = slot.seq.load(std::memory_order_relaxed);
     slot.seq.store(s + 1, kSeqlockOrder);
     SeqlockReleaseFence();

@@ -12,12 +12,16 @@ namespace epidemic::runtime {
 // mode ever block here; everything else uses TryLock.
 void ShardScheduler::Gate::Lock() {
   uint32_t c = 0;
+  // relaxed: failure order — losing the CAS publishes nothing; the retry
+  // path below re-reads with its own acquire exchange.
   if (state.compare_exchange_strong(c, 1, std::memory_order_acquire,
                                     std::memory_order_relaxed)) {
     return;
   }
   if (c != 2) c = state.exchange(2, std::memory_order_acquire);
   while (c != 0) {
+    // relaxed: the wait is only a parking hint; the acquire exchange on
+    // wake is what synchronizes with the releasing Unlock.
     state.wait(2, std::memory_order_relaxed);
     c = state.exchange(2, std::memory_order_acquire);
   }
@@ -71,7 +75,15 @@ ShardScheduler::~ShardScheduler() {
 void ShardScheduler::RunTask(size_t shard, Task& task) {
   Shard& sh = shards_[shard];
   const ShardToken token = Token(shard);
+  // The task boundary: RunTask is only reached by the thread holding this
+  // shard's gate inside a drain loop, so the body executes with the
+  // shard-context capability. The assert makes that visible to Clang's
+  // thread-safety analysis for the bracket code below; the task body
+  // itself (a lambda, analyzed separately) re-asserts from its token.
+  AssertShardContext(token);
   if (task.mutates) {
+    // relaxed: the epoch probe is conservative-not-lossy (sampled before
+    // serving); the seqlock WriteBegin below is the publishing fence.
     mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
     sh.version.WriteBegin();
     task.fn(token);
@@ -79,6 +91,7 @@ void ShardScheduler::RunTask(size_t shard, Task& task) {
   } else {
     task.fn(token);
   }
+  // relaxed: monotonic stats counter, read only by Stats() reporting.
   tasks_by_kind_[static_cast<size_t>(task.kind)].fetch_add(
       1, std::memory_order_relaxed);
 }
@@ -93,6 +106,7 @@ size_t ShardScheduler::DrainLocked(size_t shard,
     ++ran;
   }
   if (ran > 0) {
+    // relaxed: monotonic stats counter, read only by Stats() reporting.
     executed_counter->fetch_add(ran, std::memory_order_relaxed);
   }
   return ran;
@@ -125,8 +139,11 @@ void ShardScheduler::PushWithBackpressure(size_t shard, Task task) {
     }
   }
   const uint64_t depth = sh.channel->SizeApprox();
+  // relaxed: best-effort high-water mark for Stats(); the CAS loop keeps
+  // it monotonic, and no other state is ordered against it.
   uint64_t peak = sh.depth_peak.load(std::memory_order_relaxed);
   while (depth > peak &&
+         // relaxed: same best-effort high-water mark as the load above.
          !sh.depth_peak.compare_exchange_weak(peak, depth,
                                               std::memory_order_relaxed)) {
   }
@@ -154,6 +171,7 @@ void ShardScheduler::Execute(size_t shard, TaskKind kind, bool mutates,
     DrainLocked(shard, &inline_tasks_);  // racing push may have landed
     Task task{kind, mutates, [&fn](const ShardToken& token) { fn(token); }};
     RunTask(shard, task);
+    // relaxed: monotonic stats counters, read only by Stats() reporting.
     inline_tasks_.fetch_add(1, std::memory_order_relaxed);
     fast_path_runs_.fetch_add(1, std::memory_order_relaxed);
     DrainAndUnlock(shard, &inline_tasks_);
@@ -225,6 +243,7 @@ void ShardScheduler::ExecuteBatch(std::vector<BatchItem> items) {
       DrainLocked(item.shard, &inline_tasks_);
       Task task{item.kind, item.mutates, std::move(item.fn)};
       RunTask(item.shard, task);
+      // relaxed: monotonic stats counter, read only by Stats() reporting.
       inline_tasks_.fetch_add(1, std::memory_order_relaxed);
       DrainAndUnlock(item.shard, &inline_tasks_);
     }
@@ -310,6 +329,7 @@ void ShardScheduler::ExecuteBatchIndexed(
       Task task{kind, mutates,
                 [&fn, i](const ShardToken& token) { fn(token, i); }};
       RunTask(shard, task);
+      // relaxed: monotonic stats counter, read only by Stats() reporting.
       inline_tasks_.fetch_add(1, std::memory_order_relaxed);
       DrainAndUnlock(shard, &inline_tasks_);
     }
@@ -328,17 +348,21 @@ void ShardScheduler::ExecuteBatchIndexed(
   ExecuteBatch(std::move(queued));
 }
 
-void ShardScheduler::ExecuteExclusive(bool mutates,
-                                      const std::function<void()>& fn) {
+void ShardScheduler::ExecuteExclusive(
+    bool mutates, const std::function<void(const ExclusiveToken&)>& fn) {
+  // relaxed: monotonic stats counter, read only by Stats() reporting.
   exclusive_barriers_.fetch_add(1, std::memory_order_relaxed);
+  const ExclusiveToken token;
 
   if (options_.manual) {
     PumpAll();  // queued work is ordered before the barrier
     if (mutates) {
+      // relaxed: epoch probe is conservative-not-lossy; WriteBegin below
+      // is the publishing fence.
       mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
       for (size_t i = 0; i < num_shards_; ++i) shards_[i].version.WriteBegin();
     }
-    fn();
+    fn(token);
     if (mutates) {
       for (size_t i = 0; i < num_shards_; ++i) shards_[i].version.WriteEnd();
     }
@@ -353,10 +377,12 @@ void ShardScheduler::ExecuteExclusive(bool mutates,
     DrainLocked(i, &inline_tasks_);
   }
   if (mutates) {
+    // relaxed: epoch probe is conservative-not-lossy; WriteBegin below is
+    // the publishing fence.
     mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
     for (size_t i = 0; i < num_shards_; ++i) shards_[i].version.WriteBegin();
   }
-  fn();
+  fn(token);
   if (mutates) {
     for (size_t i = 0; i < num_shards_; ++i) shards_[i].version.WriteEnd();
   }
@@ -413,16 +439,22 @@ void ShardScheduler::WorkerLoop(size_t worker_index) {
   }
 }
 
+// relaxed (whole function): every atomic below is a monotonic stats
+// counter with no payload ordered behind it; a torn-across-counters
+// snapshot is acceptable in a stats report, and exchange keeps each
+// individual counter exact across reset.
 SchedulerStats ShardScheduler::Stats(bool reset) const {
   SchedulerStats out;
   out.workers.resize(workers_.size());
   for (size_t w = 0; w < workers_.size(); ++w) {
+    // relaxed: stats counter (see function comment).
     out.workers[w].tasks_executed =
         reset ? workers_[w]->tasks_executed.exchange(
                     0, std::memory_order_relaxed)
               : workers_[w]->tasks_executed.load(std::memory_order_relaxed);
   }
   for (size_t i = 0; i < num_shards_; ++i) {
+    // relaxed: stats counter (see function comment).
     const uint64_t peak =
         reset ? shards_[i].depth_peak.exchange(0, std::memory_order_relaxed)
               : shards_[i].depth_peak.load(std::memory_order_relaxed);
@@ -432,16 +464,20 @@ SchedulerStats ShardScheduler::Stats(bool reset) const {
       w.queue_depth_peak = std::max(w.queue_depth_peak, peak);
     }
   }
+  // relaxed: stats counter (see function comment).
   out.inline_tasks =
       reset ? inline_tasks_.exchange(0, std::memory_order_relaxed)
             : inline_tasks_.load(std::memory_order_relaxed);
+  // relaxed: stats counter (see function comment).
   out.fast_path_runs =
       reset ? fast_path_runs_.exchange(0, std::memory_order_relaxed)
             : fast_path_runs_.load(std::memory_order_relaxed);
+  // relaxed: stats counter (see function comment).
   out.exclusive_barriers =
       reset ? exclusive_barriers_.exchange(0, std::memory_order_relaxed)
             : exclusive_barriers_.load(std::memory_order_relaxed);
   for (size_t k = 0; k < kNumTaskKinds; ++k) {
+    // relaxed: stats counter (see function comment).
     out.tasks_by_kind[k] =
         reset ? tasks_by_kind_[k].exchange(0, std::memory_order_relaxed)
               : tasks_by_kind_[k].load(std::memory_order_relaxed);

@@ -72,7 +72,8 @@ struct SchedulerStats {
 ///
 /// Tasks must not re-enter the scheduler (no Execute/ExecuteBatch/
 /// ExecuteExclusive from inside a task): the caller may already hold the
-/// task's gate, and nested acquisition would deadlock.
+/// task's gate, and nested acquisition would deadlock. Enforced statically
+/// by epilint_ast's `scheduler-reentry` rule (tools/epilint_ast.py).
 ///
 /// Mutating tasks are bracketed by the shard's OptimisticVersion, which
 /// invalidates the lock-free read path (read_cache.h) in one increment.
@@ -139,9 +140,12 @@ class ShardScheduler {
   /// Cross-shard barrier, the AllShardsLock replacement: acquires every
   /// gate in ascending order (draining each channel on the way, so queued
   /// work is ordered before the barrier), runs `fn` while owning all
-  /// shards, then releases in descending order. `fn` receives a token per
-  /// shard via Token(); use sparingly (stats, snapshots, reset).
-  void ExecuteExclusive(bool mutates, const std::function<void()>& fn);
+  /// shards, then releases in descending order. `fn` receives an
+  /// ExclusiveToken proving it owns every shard's single-writer section
+  /// (assert it via AssertShardContext to call REQUIRES_SHARD_CONTEXT
+  /// methods); use sparingly (stats, snapshots, reset).
+  void ExecuteExclusive(bool mutates,
+                        const std::function<void(const ExclusiveToken&)>& fn);
 
   /// Deterministic step functions (any mode, required for manual mode):
   /// run queued tasks shard-by-shard in ascending order until a full
@@ -175,6 +179,9 @@ class ShardScheduler {
   /// (an O(1) "anything new since my last pull?" check). Starts at 1 so
   /// 0 can serve as a "never sampled" sentinel.
   uint64_t MutationEpoch() const {
+    // relaxed: conservative-not-lossy probe — the epoch is sampled BEFORE
+    // serving, so a stale read only causes an extra propagation round,
+    // never a missed update (DESIGN.md §11).
     return mutation_epoch_.load(std::memory_order_relaxed);
   }
 
@@ -196,6 +203,8 @@ class ShardScheduler {
     std::atomic<uint32_t> state{0};
     bool TryLock() {
       uint32_t expected = 0;
+      // relaxed: failure order — a failed try-lock publishes nothing and
+      // reads nothing the caller acts on beyond "gate busy".
       return state.compare_exchange_strong(expected, 1,
                                            std::memory_order_acquire,
                                            std::memory_order_relaxed);

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/thread_annotations.h"
+
 namespace epidemic::runtime {
 
 /// Taxonomy of shard work. Used for the per-kind execution counters in
@@ -48,6 +50,40 @@ class ShardToken {
   explicit ShardToken(size_t shard) : shard_(shard) {}
   size_t shard_;
 };
+
+/// Capability token proving the bearer is inside an ExecuteExclusive
+/// section: every shard's gate is held (in ascending index order) and every
+/// channel has been drained, so the bearer is the sole writer of the whole
+/// replica. Strictly stronger than any single ShardToken. Only
+/// ShardScheduler can mint one.
+class ExclusiveToken {
+ public:
+  ExclusiveToken(const ExclusiveToken&) = delete;
+  ExclusiveToken& operator=(const ExclusiveToken&) = delete;
+
+ private:
+  friend class ShardScheduler;
+  ExclusiveToken() = default;
+};
+
+/// Converts a scheduler-minted token into the static `shard_context`
+/// capability (see common/thread_annotations.h). Called by the scheduler's
+/// trampoline before invoking the task body, and by task lambdas whose body
+/// the analysis examines separately from the trampoline (lambdas are
+/// analyzed as independent functions). Possession of a token IS the proof:
+/// the scheduler only passes one to code running inside the owner's
+/// drain loop, so the assert carries no runtime check.
+inline void AssertShardContext(const ShardToken& token)
+    ASSERT_CAPABILITY(::epidemic::shard_context) {
+  (void)token;
+}
+
+/// ExclusiveToken overload: all gates held implies every shard's
+/// single-writer section is ours.
+inline void AssertShardContext(const ExclusiveToken& token)
+    ASSERT_CAPABILITY(::epidemic::shard_context) {
+  (void)token;
+}
 
 /// A unit of shard work queued on the owner's channel.
 struct Task {

@@ -15,6 +15,8 @@ using net::ClientReadRequest;
 using net::ClientReply;
 using net::ClientUpdateRequest;
 using net::Message;
+using runtime::AssertShardContext;
+using runtime::ExclusiveToken;
 using runtime::ShardReadCache;
 using runtime::ShardToken;
 using runtime::TaskKind;
@@ -188,8 +190,9 @@ ShardedPropagationResponse ReplicaServer::ServeShardedPropagation(
   std::vector<char> has_body(num_shards, 0);
   sched_->ExecuteBatchIndexed(
       AllShardsList(), TaskKind::kServe, /*mutates=*/false,
-      [this, &rep, &req, &opts, &bodies, &has_body, v3](const ShardToken&,
+      [this, &rep, &req, &opts, &bodies, &has_body, v3](const ShardToken& token,
                                                         size_t k) {
+        AssertShardContext(token);
         if (v3) {
           const PropagationResponseView& view = rep.HandleShardPropagationView(
               k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
@@ -219,6 +222,7 @@ std::string ReplicaServer::ServeShardedPropagationFrameV3(
   ShardedReplica& rep = sharded();
   const size_t num_shards = rep.num_shards();
   ByteWriter w;
+  // relaxed: advisory sizing hint; a stale value only mis-sizes the reserve.
   const size_t hint = serve_frame_bytes_hint_.load(std::memory_order_relaxed);
   w.Reserve(std::max<size_t>(hint + hint / 8, 256));
   w.PutU8(
@@ -240,7 +244,8 @@ std::string ReplicaServer::ServeShardedPropagationFrameV3(
   // every shard (it reads `k` through the reference capture), so the loop
   // allocates nothing.
   const std::function<void(const ShardToken&)> serve_one =
-      [&](const ShardToken&) {
+      [&](const ShardToken& token) {
+        AssertShardContext(token);
         const PropagationResponseView& view = rep.HandleShardPropagationView(
             k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
         if (view.you_are_current) return;
@@ -257,6 +262,7 @@ std::string ReplicaServer::ServeShardedPropagationFrameV3(
   }
   w.OverwritePaddedVarint(count_pos, count, 3);
   std::string frame = w.Release();
+  // relaxed: advisory sizing hint (see the load above); no ordering needed.
   serve_frame_bytes_hint_.store(frame.size(), std::memory_order_relaxed);
   return frame;
 }
@@ -301,8 +307,9 @@ Status ReplicaServer::AcceptShardedSegments(
   }
   sched_->ExecuteBatchIndexed(
       shards, TaskKind::kAccept, /*mutates=*/true,
-      [this, &rep, &segments, &statuses, &storages, v3](const ShardToken&,
+      [this, &rep, &segments, &statuses, &storages, v3](const ShardToken& token,
                                                         size_t i) {
+        AssertShardContext(token);
         const wire::ShardedSegmentView& seg = segments[i];
         if (v3) {
           if (durable_ != nullptr) {
@@ -374,7 +381,8 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
     }
     std::string frame;
     sched_->Execute(0, TaskKind::kServe, /*mutates=*/false,
-                    [this, prop_req, &frame](const ShardToken&) {
+                    [this, prop_req, &frame](const ShardToken& token) {
+                      AssertShardContext(token);
                       frame = net::Encode(Message(
                           sharded().HandleShardPropagation(0, *prop_req)));
                     });
@@ -384,7 +392,8 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
     const size_t k = sharded().ShardOf(oob_req->item_name);
     std::string frame;
     sched_->Execute(k, TaskKind::kServe, /*mutates=*/false,
-                    [this, oob_req, &frame](const ShardToken&) {
+                    [this, oob_req, &frame](const ShardToken& token) {
+                      AssertShardContext(token);
                       frame = net::Encode(
                           Message(sharded().HandleOobRequest(*oob_req)));
                     });
@@ -408,12 +417,16 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
     // Snapshot the summary and zero the counters inside one cross-shard
     // barrier, so no concurrent operation falls between the two.
     std::string summary;
-    sched_->ExecuteExclusive(/*mutates=*/false, [this, &summary] {
-      summary = sharded().DebugString();
-      sharded().ResetStats();
-    });
+    sched_->ExecuteExclusive(
+        /*mutates=*/false, [this, &summary](const ExclusiveToken& token) {
+          AssertShardContext(token);
+          summary = sharded().DebugString();
+          sharded().ResetStats();
+        });
     AppendSchedulerSummary(&summary);
     sched_->Stats(/*reset=*/true);
+    // relaxed: stats counter reset; an optimistic hit racing the reset lands
+    // on one side or the other, both acceptable for reporting.
     optimistic_read_hits_.store(0, std::memory_order_relaxed);
     return EncodeStatusReply(Status::OK(), std::move(summary));
   }
@@ -445,7 +458,8 @@ Status ReplicaServer::Update(std::string_view item, std::string_view value) {
   const size_t k = sharded().ShardOf(item);
   Status status;
   sched_->Execute(k, TaskKind::kLocalUpdate, /*mutates=*/true,
-                  [this, item, value, &status](const ShardToken&) {
+                  [this, item, value, &status](const ShardToken& token) {
+                    AssertShardContext(token);
                     status = durable_ != nullptr
                                  ? durable_->Update(item, value)
                                  : memory_->Update(item, value);
@@ -457,7 +471,8 @@ Status ReplicaServer::Delete(std::string_view item) {
   const size_t k = sharded().ShardOf(item);
   Status status;
   sched_->Execute(k, TaskKind::kLocalUpdate, /*mutates=*/true,
-                  [this, item, &status](const ShardToken&) {
+                  [this, item, &status](const ShardToken& token) {
+                    AssertShardContext(token);
                     status = durable_ != nullptr ? durable_->Delete(item)
                                                  : memory_->Delete(item);
                   });
@@ -477,6 +492,7 @@ Result<std::string> ReplicaServer::Read(std::string_view item) {
     const ShardReadCache::Outcome outcome = cache->Lookup(item, sample, &value);
     if (outcome != ShardReadCache::Outcome::kMiss &&
         sched_->ValidateVersion(k, sample)) {
+      // relaxed: monotonic stats counter, read only for reporting.
       optimistic_read_hits_.fetch_add(1, std::memory_order_relaxed);
       if (outcome == ShardReadCache::Outcome::kAbsent) return NotFoundFor(item);
       return value;
@@ -488,6 +504,7 @@ Result<std::string> ReplicaServer::Read(std::string_view item) {
   Result<std::string> result = Status::Internal("read task did not run");
   sched_->Execute(k, TaskKind::kRead, /*mutates=*/false,
                   [this, item, cache, &result](const ShardToken& token) {
+                    AssertShardContext(token);
                     result = sharded().Read(item);
                     if (cache == nullptr) return;
                     const uint64_t version = sched_->CurrentVersion(token);
@@ -506,7 +523,9 @@ Status ReplicaServer::ResolveConflict(std::string_view item,
   const size_t k = sharded().ShardOf(item);
   Status status;
   sched_->Execute(k, TaskKind::kLocalUpdate, /*mutates=*/true,
-                  [this, item, &remote_vv, value, &status](const ShardToken&) {
+                  [this, item, &remote_vv, value,
+                   &status](const ShardToken& token) {
+                    AssertShardContext(token);
                     status = durable_ != nullptr
                                  ? durable_->ResolveConflict(item, remote_vv,
                                                              value)
@@ -555,7 +574,9 @@ std::string ReplicaServer::Stats() const {
   const ShardedReplica& rep = sharded();
   std::string summary;
   sched_->ExecuteExclusive(/*mutates=*/false,
-                           [&rep, &summary] { summary = rep.DebugString(); });
+                           [&rep, &summary](const ExclusiveToken&) {
+                             summary = rep.DebugString();
+                           });
   AppendSchedulerSummary(&summary);
   return summary;
 }
@@ -563,16 +584,20 @@ std::string ReplicaServer::Stats() const {
 ReplicaStats ReplicaServer::TotalStats(bool reset) {
   ShardedReplica& rep = sharded();
   ReplicaStats total;
-  sched_->ExecuteExclusive(/*mutates=*/false, [&rep, &total, reset] {
-    total = rep.TotalStats();
-    if (reset) rep.ResetStats();
-  });
+  sched_->ExecuteExclusive(
+      /*mutates=*/false, [&rep, &total, reset](const ExclusiveToken& token) {
+        AssertShardContext(token);
+        total = rep.TotalStats();
+        if (reset) rep.ResetStats();
+      });
   // Scheduler health and the lock-free read path ride along: optimistic
   // hits never entered a shard section, so the per-shard counters cannot
   // have seen them.
   const runtime::SchedulerStats sched = sched_->Stats(reset);
   total.sched_tasks_executed = sched.TotalTasks();
   total.sched_queue_depth_peak = sched.queue_depth_peak;
+  // relaxed: monotonic stats counter folded into a report; a hit racing the
+  // exchange lands in this report or the next, both acceptable.
   total.reads += reset ? optimistic_read_hits_.exchange(
                              0, std::memory_order_relaxed)
                        : optimistic_read_hits_.load(std::memory_order_relaxed);
@@ -592,7 +617,9 @@ Status ReplicaServer::PullFrom(NodeId peer) {
     req.shard_dbvvs.resize(num_shards);
     sched_->ExecuteBatchIndexed(AllShardsList(), TaskKind::kSnapshot,
                                 /*mutates=*/false,
-                                [&rep, &req](const ShardToken&, size_t k) {
+                                [&rep, &req](const ShardToken& token,
+                                             size_t k) {
+                                  AssertShardContext(token);
                                   req.shard_dbvvs[k] = rep.shard(k).dbvv();
                                 });
   };
@@ -600,6 +627,8 @@ Status ReplicaServer::PullFrom(NodeId peer) {
   // this peer already rejected it; a v3 rejection (the error reply an old
   // node's codec sends for tag 17) downgrades the cache and retries the
   // same handshake as v2.
+  // relaxed: sticky negotiation cache; a stale read only costs one extra
+  // rejected v3 attempt before the downgrade is re-learned.
   const bool peer_known_v2 =
       peer < peer_wire_count_ &&
       peer_wire_[peer].load(std::memory_order_relaxed) == kWireV2;
@@ -608,6 +637,8 @@ Status ReplicaServer::PullFrom(NodeId peer) {
   // completed pull: if the source is unchanged, the round is O(1) — no
   // DBVV snapshots built, shipped, or compared. A changed source costs
   // one extra (tiny) round trip before the full handshake.
+  // relaxed: conservative epoch cache; a stale epoch makes the probe miss
+  // and fall back to the full handshake — never lossy.
   const uint64_t cached_epoch =
       trying_v3 && peer < peer_wire_count_
           ? peer_epoch_[peer].load(std::memory_order_relaxed)
@@ -643,6 +674,7 @@ Status ReplicaServer::PullFrom(NodeId peer) {
         return Status::Corruption("trailing bytes after message body");
       }
       if (peer < peer_wire_count_) {
+        // relaxed: sticky negotiation cache (see the load above).
         peer_wire_[peer].store(kWireV3, std::memory_order_relaxed);
       }
       if (env.resend_requested()) {
@@ -657,6 +689,7 @@ Status ReplicaServer::PullFrom(NodeId peer) {
       Status s = AcceptShardedSegments(env.num_shards, env.segments,
                                        /*v3=*/true);
       if (s.ok() && env.epoch != 0 && peer < peer_wire_count_) {
+        // relaxed: conservative epoch cache; stale probes re-pull.
         peer_epoch_[peer].store(env.epoch, std::memory_order_relaxed);
       }
       return s;
@@ -665,6 +698,7 @@ Status ReplicaServer::PullFrom(NodeId peer) {
     if (!decoded.ok()) return decoded.status();
     if (auto* resp = std::get_if<ShardedPropagationResponse>(&*decoded)) {
       if (trying_v3 && peer < peer_wire_count_) {
+        // relaxed: sticky negotiation cache (see the load above).
         peer_wire_[peer].store(kWireV3, std::memory_order_relaxed);
       }
       if (resp->resend_requested()) {
@@ -679,12 +713,14 @@ Status ReplicaServer::PullFrom(NodeId peer) {
       Status s = AcceptShardedPropagation(*resp);
       if (s.ok() && resp->wire_version >= kWireV3 && resp->epoch != 0 &&
           peer < peer_wire_count_) {
+        // relaxed: conservative epoch cache; stale probes re-pull.
         peer_epoch_[peer].store(resp->epoch, std::memory_order_relaxed);
       }
       return s;
     }
     if (trying_v3 && std::get_if<ClientReply>(&*decoded) != nullptr) {
       if (peer < peer_wire_count_) {
+        // relaxed: sticky negotiation cache downgrade (see the load above).
         peer_wire_[peer].store(kWireV2, std::memory_order_relaxed);
       }
       trying_v3 = false;
@@ -719,7 +755,8 @@ Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
   }
   Status status;
   sched_->Execute(k, TaskKind::kAccept, /*mutates=*/true,
-                  [this, resp, &status](const ShardToken&) {
+                  [this, resp, &status](const ShardToken& token) {
+                    AssertShardContext(token);
                     status = durable_ != nullptr
                                  ? durable_->AcceptOobResponse(*resp)
                                  : memory_->AcceptOobResponse(*resp);
@@ -730,7 +767,8 @@ Status ReplicaServer::OobFetch(NodeId peer, std::string_view item) {
 void ReplicaServer::WithReplica(
     const std::function<void(const ShardedReplica&)>& fn) const {
   const ShardedReplica& rep = sharded();
-  sched_->ExecuteExclusive(/*mutates=*/false, [&rep, &fn] { fn(rep); });
+  sched_->ExecuteExclusive(/*mutates=*/false,
+                           [&rep, &fn](const ExclusiveToken&) { fn(rep); });
 }
 
 Status ReplicaServer::Checkpoint() {
@@ -742,7 +780,8 @@ Status ReplicaServer::Checkpoint() {
   Status first_error = Status::OK();
   for (size_t k = 0; k < durable_->num_shards(); ++k) {
     sched_->Execute(k, TaskKind::kSnapshot, /*mutates=*/false,
-                    [this, k, &first_error](const ShardToken&) {
+                    [this, k, &first_error](const ShardToken& token) {
+                      AssertShardContext(token);
                       Status s = durable_->CheckpointShard(k);
                       if (!s.ok() && first_error.ok()) first_error = s;
                     });

@@ -192,6 +192,7 @@ class ReplicaServer : public net::RequestHandler {
     return sched_->Stats(false);
   }
   uint64_t optimistic_read_hits() const {
+    // relaxed: monotonic stats counter; no payload is ordered behind it.
     return optimistic_read_hits_.load(std::memory_order_relaxed);
   }
 

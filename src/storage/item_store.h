@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "log/log_vector.h"
 #include "vv/version_vector.h"
 
@@ -77,13 +78,15 @@ class ItemStore {
   /// Returns the item named `name`, creating an empty replica (zero IVV,
   /// empty value) on first reference — a fresh replica that has seen no
   /// updates, per the initialization rule of §3.
-  Item& GetOrCreate(std::string_view name);
+  Item& GetOrCreate(std::string_view name) REQUIRES_SHARD_CONTEXT;
 
-  /// Returns the item or nullptr.
-  Item* Find(std::string_view name);
+  /// Returns the item or nullptr. Mutable access hands out an Item the
+  /// caller may write, so it requires the owner's context; const
+  /// inspection is capability-free.
+  Item* Find(std::string_view name) REQUIRES_SHARD_CONTEXT;
   const Item* Find(std::string_view name) const;
 
-  Item& Get(ItemId id) { return *items_[id]; }
+  Item& Get(ItemId id) REQUIRES_SHARD_CONTEXT { return *items_[id]; }
   const Item& Get(ItemId id) const { return *items_[id]; }
 
   size_t size() const { return items_.size(); }

@@ -146,6 +146,30 @@ TEST_F(ProtocolLintTest, StaleWaiverIsReported) {
       << result.output;
 }
 
+// A waiver naming several rules where only some still fire is reported
+// per rule: the dead rule is named and the message asks for a narrowed
+// waiver, not deletion (the live rule is still doing its job).
+TEST_F(ProtocolLintTest, PartiallyStaleWaiverIsNarrowed) {
+  const RunResult result = RunLint(
+      std::string(EPI_SOURCE_DIR) +
+      "/tests/testdata/lint/stale_waiver_multi.h");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("stale-waiver"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("no longer fire here: nondeterminism"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("narrow the waiver"), std::string::npos)
+      << result.output;
+  // The live rule stays suppressed: no unguarded-mutex finding, and no
+  // "delete the waiver" demand for a waiver that is still partly earning
+  // its keep.
+  EXPECT_EQ(result.output.find("unguarded-mutex]"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("delete the waiver"), std::string::npos)
+      << result.output;
+}
+
 // Pointing the lint at a nonexistent file is a usage error (exit 2),
 // distinct from "violations found" (exit 1).
 TEST_F(ProtocolLintTest, MissingFileIsUsageError) {

@@ -152,7 +152,7 @@ TEST(SchedulerStressTest, WritersReadersBatchesAndBarriers) {
   // the AllShardsLock replacement really does quiesce all writers.
   threads.emplace_back([&] {
     while (!stop.load(std::memory_order_relaxed)) {
-      sched.ExecuteExclusive(/*mutates=*/false, [&] {
+      sched.ExecuteExclusive(/*mutates=*/false, [&](const ExclusiveToken&) {
         uint64_t sum = 0;
         for (const ShardState& s : state) sum += s.mutations;
         ASSERT_EQ(sum, total_mutations.load(std::memory_order_relaxed));
@@ -177,7 +177,7 @@ TEST(SchedulerStressTest, WritersReadersBatchesAndBarriers) {
     }
   }
   uint64_t final_sum = 0;
-  sched.ExecuteExclusive(/*mutates=*/false, [&] {
+  sched.ExecuteExclusive(/*mutates=*/false, [&](const ExclusiveToken&) {
     for (const ShardState& s : state) final_sum += s.mutations;
   });
   EXPECT_EQ(posted_ran.load(), kShards * 8u);

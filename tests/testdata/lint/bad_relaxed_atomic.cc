@@ -1,0 +1,14 @@
+// Lint fixture: memory_order_relaxed uses with no rationale comment.
+// epilint_ast.py must report relaxed-atomic-rationale twice (this rule is
+// lexical and runs even without libclang). Never linked.
+
+#include <atomic>
+
+namespace fixture {
+
+inline unsigned long BumpAndRead(std::atomic<unsigned long>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);  // BAD: no rationale
+  return counter.load(std::memory_order_relaxed);   // BAD: no rationale
+}
+
+}  // namespace fixture

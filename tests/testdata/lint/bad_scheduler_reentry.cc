@@ -1,0 +1,41 @@
+// Lint fixture: a task body that calls back into the scheduler. The task
+// already runs behind its shard gate, so re-entry self-deadlocks on the
+// inline fast path or breaks the drain-then-release invariant.
+// epilint_ast.py must report scheduler-reentry twice — for the nested
+// Execute and the nested Post. Self-contained (no repo includes) so
+// libclang parses it with -std=c++17. Never linked.
+
+namespace fixture {
+
+struct ShardToken {
+  unsigned long shard = 0;
+};
+
+class ShardScheduler {
+ public:
+  template <typename Fn>
+  void Execute(unsigned long shard, bool mutates, Fn fn) {
+    fn(ShardToken{shard});
+    (void)mutates;
+  }
+
+  template <typename Fn>
+  void Post(unsigned long shard, bool mutates, Fn fn) {
+    fn(ShardToken{shard});
+    (void)mutates;
+  }
+};
+
+void ReentrantTask(ShardScheduler& sched, int* cell) {
+  sched.Execute(0, /*mutates=*/true, [&sched, cell](const ShardToken&) {
+    *cell = 1;
+    // BAD: synchronous re-entry from inside a task — deadlocks when the
+    // outer task holds the gate the inner Execute needs.
+    sched.Execute(1, /*mutates=*/true,
+                  [cell](const ShardToken&) { *cell = 2; });
+    // BAD: even fire-and-forget re-entry violates the reentry contract.
+    sched.Post(2, /*mutates=*/false, [](const ShardToken&) {});
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Lint fixture: side effects inside an optimistic read section. Between
+// ReadBegin and Validate the snapshot is unvalidated and may be torn, so
+// writing members or retaining member addresses there is a bug.
+// epilint_ast.py must report seqlock-read-discipline twice — once for the
+// member write, once for the address-of. Self-contained (no repo
+// includes) so libclang parses it with -std=c++17. Never linked.
+
+namespace fixture {
+
+struct OptimisticVersion {
+  unsigned long ReadBegin() const { return 2; }
+  bool Validate(unsigned long sample) const { return sample == 2; }
+};
+
+class Cache {
+ public:
+  bool Lookup(int* out) {
+    const unsigned long sample = version_.ReadBegin();
+    hits_ = hits_ + 1;                // BAD: member write before Validate
+    const int* retained = &payload_;  // BAD: member address may dangle
+    *out = *retained;
+    return version_.Validate(sample);
+  }
+
+ private:
+  OptimisticVersion version_;
+  unsigned long hits_ = 0;
+  int payload_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Capability fixture: this TU MUST FAIL to compile under
+//   clang++ -fsyntax-only -std=c++20 -Wthread-safety \
+//           -Werror=thread-safety -DEPIDEMIC_CHECK_SHARD_CONTEXT=1
+// because it calls REQUIRES_SHARD_CONTEXT'd Replica mutators without
+// holding the shard-context capability — exactly the off-owner call chain
+// the annotations exist to reject. tests/CMakeLists.txt registers it as a
+// WILL_FAIL syntax-only test on Clang; gcc builds never compile it.
+
+#include "core/replica.h"
+
+int main() {
+  epidemic::Replica replica(0, 3);
+  // Neither a scheduler token nor AssertShardContextHeld() in sight:
+  // clang's thread-safety analysis must reject both calls.
+  const epidemic::Status update = replica.Update("item", "value");
+  const epidemic::Status removed = replica.Delete("item");
+  return (update.ok() && removed.ok()) ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+// Lint fixture: fire-and-forget tasks capturing stack frames by reference.
+// epilint_ast.py must report task-capture-lifetime twice — once for the
+// blanket [&], once for the named [&counter]. Self-contained on purpose:
+// libclang parses this with nothing but -std=c++17, so the fixture works
+// without the repo's include paths or a compilation database. Never linked.
+
+namespace fixture {
+
+struct ShardToken {
+  unsigned long shard = 0;
+};
+
+class ShardScheduler {
+ public:
+  // Post is fire-and-forget: the task may run after the caller returns.
+  template <typename Fn>
+  void Post(unsigned long shard, bool mutates, Fn fn) {
+    fn(ShardToken{shard});
+    (void)mutates;
+  }
+
+  // Execute joins before returning, so reference captures are fine there.
+  template <typename Fn>
+  void Execute(unsigned long shard, bool mutates, Fn fn) {
+    fn(ShardToken{shard});
+    (void)mutates;
+  }
+};
+
+int DanglingPosts(ShardScheduler& sched) {
+  int counter = 0;
+  sched.Post(0, /*mutates=*/true,
+             [&](const ShardToken&) { ++counter; });  // BAD: blanket by-ref
+  sched.Post(1, /*mutates=*/true,
+             [&counter](const ShardToken&) { ++counter; });  // BAD: named ref
+  return counter;  // both tasks may still be queued when this frame dies
+}
+
+}  // namespace fixture

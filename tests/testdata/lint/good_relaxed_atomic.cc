@@ -1,0 +1,23 @@
+// Lint fixture: the compliant twin of bad_relaxed_atomic.cc — every
+// memory_order_relaxed use carries a rationale within the comment window,
+// and one exercises the NOLINT-PROTOCOL waiver path. epilint_ast.py must
+// report nothing. Never linked.
+
+#include <atomic>
+
+namespace fixture {
+
+inline unsigned long BumpAndRead(std::atomic<unsigned long>& counter) {
+  // relaxed: monotonic stats counter, read only for reporting; readers
+  // tolerate any eventually-visible value.
+  counter.fetch_add(1, std::memory_order_relaxed);
+  return counter.load(std::memory_order_relaxed);  // relaxed: same counter.
+}
+
+inline unsigned long Drain(std::atomic<unsigned long>& counter) {
+  // NOLINT-PROTOCOL(relaxed-atomic-rationale): fixture exercising the
+  // waiver path; real code should prefer an inline rationale comment.
+  return counter.exchange(0, std::memory_order_relaxed);
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Lint fixture: the compliant twin of bad_scheduler_reentry.cc. The caller
+// sequences scheduler calls from OUTSIDE any task body — each task runs to
+// completion before the next is submitted, so epilint_ast.py must report
+// nothing. Self-contained (no repo includes), parsed with -std=c++17.
+
+namespace fixture {
+
+struct ShardToken {
+  unsigned long shard = 0;
+};
+
+class ShardScheduler {
+ public:
+  template <typename Fn>
+  void Execute(unsigned long shard, bool mutates, Fn fn) {
+    fn(ShardToken{shard});
+    (void)mutates;
+  }
+
+  template <typename Fn>
+  void Post(unsigned long shard, bool mutates, Fn fn) {
+    fn(ShardToken{shard});
+    (void)mutates;
+  }
+};
+
+void SequencedTasks(ShardScheduler& sched, int* cell) {
+  // OK: the follow-up work is decided after the first task joined; nothing
+  // re-enters the scheduler from behind a shard gate.
+  sched.Execute(0, /*mutates=*/true,
+                [cell](const ShardToken&) { *cell = 1; });
+  sched.Execute(1, /*mutates=*/true,
+                [cell](const ShardToken&) { *cell = 2; });
+  sched.Post(2, /*mutates=*/false, [](const ShardToken&) {});
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Lint fixture: the compliant twin of bad_seqlock_read.cc — the read
+// section only copies into locals, and all side effects (the hit counter,
+// publishing to *out) happen after Validate succeeds. epilint_ast.py must
+// report nothing. Self-contained (no repo includes), parsed with -std=c++17.
+
+namespace fixture {
+
+struct OptimisticVersion {
+  unsigned long ReadBegin() const { return 2; }
+  bool Validate(unsigned long sample) const { return sample == 2; }
+};
+
+class Cache {
+ public:
+  bool Lookup(int* out) {
+    const unsigned long sample = version_.ReadBegin();
+    const int copied = payload_;  // OK: buffered into a local
+    if (!version_.Validate(sample)) {
+      return false;
+    }
+    hits_ = hits_ + 1;  // OK: committed only after validation
+    *out = copied;
+    return true;
+  }
+
+ private:
+  OptimisticVersion version_;
+  unsigned long hits_ = 0;
+  int payload_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Capability fixture: the compliant twin of bad_shard_capability.cc — the
+// single-owner escape hatch asserts the shard-context capability before
+// touching the replica, so this TU MUST compile clean under
+//   clang++ -fsyntax-only -std=c++20 -Wthread-safety \
+//           -Werror=thread-safety -DEPIDEMIC_CHECK_SHARD_CONTEXT=1
+// tests/CMakeLists.txt registers it as a must-pass syntax-only test on
+// Clang; gcc builds never compile it.
+
+#include "core/replica.h"
+
+int main() {
+  epidemic::Replica replica(0, 3);
+  // Single-owner escape: main() is this process's only thread.
+  epidemic::AssertShardContextHeld();
+  const epidemic::Status update = replica.Update("item", "value");
+  const epidemic::Status removed = replica.Delete("item");
+  return (update.ok() && removed.ok()) ? 0 : 1;
+}

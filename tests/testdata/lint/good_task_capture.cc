@@ -1,0 +1,43 @@
+// Lint fixture: the compliant twin of bad_task_capture.cc. epilint_ast.py
+// must report nothing here: Post captures only by value, and the
+// by-reference captures ride on Execute, which joins before returning.
+// Self-contained (no repo includes) so libclang parses it with -std=c++17.
+
+namespace fixture {
+
+struct ShardToken {
+  unsigned long shard = 0;
+};
+
+class ShardScheduler {
+ public:
+  template <typename Fn>
+  void Post(unsigned long shard, bool mutates, Fn fn) {
+    fn(ShardToken{shard});
+    (void)mutates;
+  }
+
+  template <typename Fn>
+  void Execute(unsigned long shard, bool mutates, Fn fn) {
+    fn(ShardToken{shard});
+    (void)mutates;
+  }
+};
+
+struct Counters {
+  unsigned long posted = 0;
+};
+
+int SafeTasks(ShardScheduler& sched, Counters* counters) {
+  int local = 0;
+  // OK: Post captures the pointer by value; the pointee outlives the task
+  // by the caller's contract, not via a dangling stack reference.
+  sched.Post(0, /*mutates=*/true,
+             [counters](const ShardToken&) { ++counters->posted; });
+  // OK: Execute joins, so referencing the live frame is safe and idiomatic.
+  sched.Execute(1, /*mutates=*/true,
+                [&](const ShardToken&) { ++local; });
+  return local;
+}
+
+}  // namespace fixture

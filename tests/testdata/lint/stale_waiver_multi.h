@@ -1,0 +1,28 @@
+// Lint fixture: a waiver naming TWO rules where only one still fires.
+// protocol_lint.py must report stale-waiver with the "narrow the waiver"
+// message naming exactly the dead rule (nondeterminism), while the live
+// rule (unguarded-mutex) stays suppressed. Never compiled.
+
+#ifndef TESTS_TESTDATA_LINT_STALE_WAIVER_MULTI_H_
+#define TESTS_TESTDATA_LINT_STALE_WAIVER_MULTI_H_
+
+#include <mutex>
+
+class PartiallyExcusedThing {
+ public:
+  int value() const {
+    // NOLINT-PROTOCOL(unguarded-mutex, nondeterminism): the raw mutex below
+    // is legacy third-party glue; the rand() seed this also excused was
+    // deleted long ago, so the second rule is now dead weight.
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;
+  }
+
+ private:
+  // NOLINT-PROTOCOL(unguarded-mutex, nondeterminism): same stale pair on
+  // the declaration itself.
+  mutable std::mutex mu_;
+  int value_ = 0;
+};
+
+#endif  // TESTS_TESTDATA_LINT_STALE_WAIVER_MULTI_H_

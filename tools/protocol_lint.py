@@ -29,9 +29,9 @@ Catches hazards the compiler (even with -Wthread-safety) cannot see:
                         state, std <random> engines, or iterates/hashes by
                         pointer address — any of which would make epicheck's
                         state exploration and trace replay unsound
-  stale-waiver          a NOLINT-PROTOCOL comment that no longer suppresses
-                        any finding; stale waivers must be deleted, not
-                        waived
+  stale-waiver          a NOLINT-PROTOCOL comment (or one of the rules it
+                        names) that no longer suppresses any finding; stale
+                        waivers must be deleted or narrowed, not waived
 
 A finding can be waived with a same-function (unlogged-store-write) or
 nearby-line comment:
@@ -145,9 +145,11 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.findings: list[str] = []
-        # (path, 0-based line) of every waiver that suppressed a finding;
-        # waivers never recorded here are reported as stale.
-        self.used_waivers: set[tuple[Path, int]] = set()
+        # (path, 0-based line, rule) of every waiver rule that suppressed a
+        # finding. Tracked per rule, not per line: a waiver naming several
+        # rules is stale rule-by-rule, and one live rule must not carry its
+        # dead neighbours.
+        self.used_waivers: set[tuple[Path, int, str]] = set()
 
     def report(self, path: Path, line: int, rule: str, message: str) -> None:
         try:
@@ -168,7 +170,7 @@ class Linter:
             m = WAIVER_RE.search(lines[probe])
             if m:
                 if rule in [r.strip() for r in m.group("rules").split(",")]:
-                    self.used_waivers.add((path, probe))
+                    self.used_waivers.add((path, probe, rule))
                     return True
                 return False
             if probe < idx and not lines[probe].lstrip().startswith("//"):
@@ -278,7 +280,8 @@ class Linter:
                         in_body = bi
                         break
                 if in_body is not None:
-                    self.used_waivers.add((path, in_body))
+                    self.used_waivers.add((path, in_body,
+                                           "unlogged-store-write"))
                 if (not BOOKKEEPING_RE.search(body) and in_body is None
                         and not self.waived(path, lines, start,
                                             "unlogged-store-write")):
@@ -402,9 +405,12 @@ class Linter:
     # -- rule: stale-waiver ----------------------------------------------
 
     def check_stale_waivers(self, paths: list[Path]) -> None:
-        """Must run after every other check: reports waivers that suppressed
-        nothing. Deliberately unwaivable — a stale waiver is dead
-        documentation and gets deleted, not re-waived."""
+        """Must run after every other check: reports waiver rules that
+        suppressed nothing. Checked per rule — a waiver naming several rules
+        only stays if *every* named rule still fires; otherwise the dead
+        rules are reported individually. Deliberately unwaivable — a stale
+        waiver is dead documentation and gets deleted (or narrowed), not
+        re-waived."""
         skip = self.root / "src" / "common" / "thread_annotations.h"
         for path in sorted(set(paths)):
             if path == skip or not path.exists():
@@ -412,15 +418,27 @@ class Linter:
             lines = path.read_text().splitlines()
             for i, line in enumerate(lines):
                 m = WAIVER_RE.search(line)
-                if m and (path, i) not in self.used_waivers:
-                    rules = ", ".join(
-                        r.strip() for r in m.group("rules").split(",")
-                    )
+                if not m:
+                    continue
+                rules = [r.strip() for r in m.group("rules").split(",")]
+                dead = [r for r in rules
+                        if (path, i, r) not in self.used_waivers]
+                if not dead:
+                    continue
+                if len(dead) == len(rules):
                     self.report(
                         path, i + 1, "stale-waiver",
-                        f"NOLINT-PROTOCOL({rules}) no longer suppresses any "
-                        "finding — the waived code is gone or the rule no "
-                        "longer fires; delete the waiver",
+                        f"NOLINT-PROTOCOL({', '.join(rules)}) no longer "
+                        "suppresses any finding — the waived code is gone or "
+                        "the rule no longer fires; delete the waiver",
+                    )
+                else:
+                    self.report(
+                        path, i + 1, "stale-waiver",
+                        f"NOLINT-PROTOCOL({', '.join(rules)}) names "
+                        f"rule(s) that no longer fire here: {', '.join(dead)}"
+                        " — narrow the waiver to the rules it still "
+                        "suppresses",
                     )
 
     # -- drivers ----------------------------------------------------------
