@@ -1,0 +1,95 @@
+#ifndef EPIDEMIC_FUZZ_FIXTURE_DECODER_H_
+#define EPIDEMIC_FUZZ_FIXTURE_DECODER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// Self-test decoder for the fuzzing subsystem (DESIGN.md §13).
+///
+/// A deliberately tiny length-prefixed format — magic byte 'F', varint
+/// record count, then per record a one-byte length and that many payload
+/// bytes — decoded through RecordingCursor, a stand-in for the real
+/// ByteReader that *records* out-of-bounds reads instead of performing
+/// them. That makes the classic fuzz finding (missing length check →
+/// buffer overread) observable in plain gcc builds with no sanitizer:
+/// the oracle is the violation flag rather than an ASan report.
+///
+/// Compiled twice by fuzz/CMakeLists.txt:
+///   - clean: the bounds check below is present; the mini fuzzer must NOT
+///     trip the flag (fuzz_fixture_clean_selftest).
+///   - EPIFUZZ_SEEDED_DEFECT: the check is removed, re-creating the bug
+///     class this subsystem exists to catch; the mini fuzzer must find it
+///     within the smoke budget (fuzz_seeded_defect_selftest, WILL_FAIL).
+namespace epidemic::fuzz {
+
+/// Bounds-recording byte cursor. Reads past the end return 0 and latch
+/// `violated()` — the plain-build analogue of an ASan heap-buffer-overflow.
+class RecordingCursor {
+ public:
+  explicit RecordingCursor(std::string_view data) : data_(data) {}
+
+  uint8_t ReadByteAt(size_t i) {
+    if (i >= data_.size()) {
+      violated_ = true;
+      return 0;
+    }
+    return static_cast<uint8_t>(data_[i]);
+  }
+
+  size_t size() const { return data_.size(); }
+  bool violated() const { return violated_; }
+
+ private:
+  std::string_view data_;
+  bool violated_ = false;
+};
+
+struct FixtureDecodeResult {
+  bool ok = false;
+  uint64_t records = 0;
+  uint64_t payload_bytes = 0;
+  bool bounds_violation = false;
+};
+
+/// Decodes the fixture format. With the seeded defect, a record length
+/// larger than the remaining input walks the cursor past the end.
+inline FixtureDecodeResult DecodeFixtureFrame(std::string_view frame) {
+  FixtureDecodeResult result;
+  RecordingCursor cur(frame);
+  size_t pos = 0;
+  if (cur.size() < 2 || cur.ReadByteAt(pos++) != 'F') {
+    result.bounds_violation = cur.violated();
+    return result;
+  }
+  const uint64_t count = cur.ReadByteAt(pos++);
+  for (uint64_t rec = 0; rec < count; ++rec) {
+    if (pos >= cur.size()) {
+      result.bounds_violation = cur.violated();
+      return result;  // truncated record header
+    }
+    const size_t len = cur.ReadByteAt(pos++);
+#if !defined(EPIFUZZ_SEEDED_DEFECT)
+    // THE bounds check. The seeded-defect build compiles it out, which is
+    // precisely the bug a decoder grows when a new field's length is
+    // trusted without validation.
+    if (len > cur.size() - pos) {
+      result.bounds_violation = cur.violated();
+      return result;
+    }
+#endif
+    uint64_t sum = 0;
+    for (size_t i = 0; i < len; ++i) sum += cur.ReadByteAt(pos + i);
+    pos += len;
+    result.payload_bytes += len;
+    ++result.records;
+    (void)sum;
+  }
+  result.ok = pos == cur.size();
+  result.bounds_violation = cur.violated();
+  return result;
+}
+
+}  // namespace epidemic::fuzz
+
+#endif  // EPIDEMIC_FUZZ_FIXTURE_DECODER_H_

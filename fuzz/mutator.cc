@@ -1,0 +1,122 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/random.h"
+
+namespace epidemic::fuzz {
+
+namespace {
+
+/// Writes `v` as a LEB128 varint at data[pos...], padded with continuation
+/// bytes to exactly `width` (so non-minimal when width exceeds the
+/// canonical length). Returns bytes written; writes nothing if it would
+/// run past `size`.
+size_t SpliceVarint(uint8_t* data, size_t size, size_t pos, uint64_t v,
+                    size_t width) {
+  if (pos + width > size || width == 0) return 0;
+  for (size_t i = 0; i + 1 < width; ++i) {
+    data[pos + i] = static_cast<uint8_t>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  data[pos + width - 1] = static_cast<uint8_t>(v & 0x7f);
+  return width;
+}
+
+}  // namespace
+
+size_t MutateFrame(uint8_t* data, size_t size, size_t max_size,
+                   unsigned int seed) {
+  Rng rng(seed);
+  if (max_size == 0) return 0;
+  if (size == 0) {
+    // Grow an empty input into a plausible tagged frame.
+    size = 1 + rng.Uniform(std::min<size_t>(max_size, 16));
+    for (size_t i = 0; i < size; ++i) {
+      data[i] = static_cast<uint8_t>(rng.Next());
+    }
+    data[0] = static_cast<uint8_t>(1 + rng.Uniform(18));
+    return size;
+  }
+
+  switch (rng.Uniform(10)) {
+    case 0: {  // single bit flip
+      const size_t pos = rng.Uniform(size);
+      data[pos] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+      break;
+    }
+    case 1: {  // overwrite a byte with an interesting value
+      static constexpr uint8_t kInteresting[] = {0x00, 0x01, 0x7f, 0x80,
+                                                 0x81, 0xff, 0x10, 0x20};
+      data[rng.Uniform(size)] =
+          kInteresting[rng.Uniform(sizeof(kInteresting))];
+      break;
+    }
+    case 2: {  // truncate
+      size = 1 + rng.Uniform(size);
+      break;
+    }
+    case 3: {  // extend with random bytes
+      const size_t grow =
+          std::min(max_size - size, static_cast<size_t>(rng.Uniform(16) + 1));
+      for (size_t i = 0; i < grow; ++i) {
+        data[size + i] = static_cast<uint8_t>(rng.Next());
+      }
+      size += grow;
+      break;
+    }
+    case 4: {  // rewrite the leading message tag (valid + reserved range)
+      data[0] = static_cast<uint8_t>(1 + rng.Uniform(31));
+      break;
+    }
+    case 5: {  // varint splice: small / huge / overflowing values
+      static constexpr uint64_t kValues[] = {
+          0,      1,          127,        128,
+          16384,  (1u << 20), ~uint64_t{0} >> 1, ~uint64_t{0}};
+      const uint64_t v = kValues[rng.Uniform(sizeof(kValues) / 8)];
+      const size_t width = 1 + rng.Uniform(10);
+      SpliceVarint(data, size, rng.Uniform(size), v, width);
+      break;
+    }
+    case 6: {  // overlong varint: >10 continuation bytes
+      const size_t pos = rng.Uniform(size);
+      const size_t run = std::min<size_t>(size - pos, 12);
+      std::memset(data + pos, 0x80, run);
+      break;
+    }
+    case 7: {  // duplicate a chunk (length-prefixed structures repeat)
+      const size_t from = rng.Uniform(size);
+      const size_t len =
+          std::min({static_cast<size_t>(rng.Uniform(32) + 1), size - from,
+                    max_size - size});
+      if (len > 0) {
+        std::memmove(data + size, data + from, len);
+        size += len;
+      }
+      break;
+    }
+    case 8: {  // delete a chunk
+      if (size > 1) {
+        const size_t from = rng.Uniform(size - 1);
+        const size_t len =
+            std::min(static_cast<size_t>(rng.Uniform(16) + 1), size - from);
+        std::memmove(data + from, data + from + len, size - from - len);
+        size -= len;
+        if (size == 0) size = 1;
+      }
+      break;
+    }
+    default: {  // splice: copy a chunk over another position
+      const size_t from = rng.Uniform(size);
+      const size_t to = rng.Uniform(size);
+      const size_t len = std::min(static_cast<size_t>(rng.Uniform(16) + 1),
+                                  size - std::max(from, to));
+      std::memmove(data + to, data + from, len);
+      break;
+    }
+  }
+  return size;
+}
+
+}  // namespace epidemic::fuzz

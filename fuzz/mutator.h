@@ -1,0 +1,24 @@
+#ifndef EPIDEMIC_FUZZ_MUTATOR_H_
+#define EPIDEMIC_FUZZ_MUTATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace epidemic::fuzz {
+
+/// Structure-aware mutation of a tagged protocol frame, in place.
+/// Deterministic in (data, size, seed). Returns the new size (<= max_size).
+///
+/// Beyond generic byte-level mutations it knows the frame shapes this
+/// codebase decodes: a leading one-byte message tag (net::MessageType 1-18,
+/// with 17-31 reserved), LEB128 varints (including overlong/non-minimal and
+/// 2^64-overflow encodings — exactly the aliases the canonical decoder must
+/// reject), and length-prefixed chunks worth duplicating or truncating.
+/// Used both as the libFuzzer custom mutator and by the in-tree mini
+/// fuzzer, so gcc-only hosts exercise the same mutation space.
+size_t MutateFrame(uint8_t* data, size_t size, size_t max_size,
+                   unsigned int seed);
+
+}  // namespace epidemic::fuzz
+
+#endif  // EPIDEMIC_FUZZ_MUTATOR_H_

@@ -1,0 +1,24 @@
+#ifndef EPIDEMIC_FUZZ_SEED_CORPUS_H_
+#define EPIDEMIC_FUZZ_SEED_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+namespace epidemic::fuzz {
+
+struct SeedInput {
+  std::string label;  // filesystem-safe, stable across runs
+  std::string bytes;
+};
+
+/// Deterministic seed corpus for one target, built by running the real
+/// encoders over small live replicas: valid frames of every version and
+/// flavor (v1/v2/v3, compressed, epoch probes, conflicts, tombstones)
+/// plus a few canonical near-miss inputs (truncations, bad magic). The
+/// same inputs are exported to tests/testdata/fuzz/<target>/ by
+/// fuzz_export_corpus and replayed in-memory by fuzz_corpus_test.
+std::vector<SeedInput> BuildSeedCorpus(const std::string& target);
+
+}  // namespace epidemic::fuzz
+
+#endif  // EPIDEMIC_FUZZ_SEED_CORPUS_H_

@@ -1,0 +1,53 @@
+// Seeded-defect self-test driver (DESIGN.md §13): runs the deterministic
+// mini fuzzer against the fixture decoder and exits 1 the moment the
+// bounds oracle trips (clean exit, not abort — ctest's WILL_FAIL inverts
+// exit codes, not signals).
+//
+// Built twice: fuzz_seeded_defect_selftest compiles the fixture decoder
+// with EPIFUZZ_SEEDED_DEFECT (bounds check removed) and is registered
+// WILL_FAIL — the smoke fuzz MUST find the overread. The clean twin
+// fuzz_fixture_clean_selftest must survive the identical budget.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "fuzz/seed_corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace epidemic::fuzz;
+
+  uint64_t runs = 20000, seed = 7;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--runs") == 0) {
+      runs = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  SetCleanExitOnOracleFailure(true);
+  std::vector<std::string> seeds;
+  for (const SeedInput& s : BuildSeedCorpus("fixture")) {
+    seeds.push_back(s.bytes);
+  }
+  MiniFuzzResult result =
+      RunMiniFuzz(Target_fixture, std::move(seeds), runs, seed,
+                  /*max_len=*/512);
+#if defined(EPIFUZZ_SEEDED_DEFECT)
+  // Reaching this line means the budget expired without finding the
+  // seeded bug — the WILL_FAIL test would pass, failing the suite.
+  std::fprintf(stderr,
+               "seeded defect NOT found in %llu runs — smoke fuzz budget or "
+               "mutator regressed\n",
+               static_cast<unsigned long long>(result.runs));
+  return 0;
+#else
+  std::printf("clean fixture survived %llu mutated runs\n",
+              static_cast<unsigned long long>(result.runs));
+  return 0;
+#endif
+}

@@ -1,0 +1,189 @@
+// Standalone driver for the fuzz targets: corpus replay and an in-tree
+// deterministic mutation fuzzer. This is what plain (non-libFuzzer) builds
+// get on every compiler; the clang EPIDEMIC_FUZZ build additionally
+// produces one coverage-guided libFuzzer binary per target.
+//
+// Usage:
+//   fuzz_replay --list
+//   fuzz_replay <target> [file|dir]...          replay inputs once each
+//   fuzz_replay <target> --seed-corpus          replay the generated seeds
+//   fuzz_replay <target> --fuzz [--runs N] [--seed S] [--max-len L] [dir]...
+//   fuzz_replay --all <corpus-root>             replay <root>/<target>/* +
+//                                               generated seeds, all targets
+//
+// Exit code: 0 on success; an oracle failure aborts (see harness.h).
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "fuzz/seed_corpus.h"
+
+namespace epidemic::fuzz {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// Collects regular files in `dir` (sorted for determinism).
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> files;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return files;
+  while (dirent* entry = readdir(d)) {
+    if (entry->d_name[0] == '.') continue;
+    files.push_back(dir + "/" + entry->d_name);
+  }
+  closedir(d);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+uint64_t ReplayPaths(const TargetInfo& target,
+                     const std::vector<std::string>& paths) {
+  uint64_t executed = 0;
+  for (const std::string& path : paths) {
+    if (IsDirectory(path)) {
+      executed += ReplayPaths(target, ListDir(path));
+      continue;
+    }
+    std::string bytes;
+    if (!ReadFile(path, &bytes)) {
+      std::fprintf(stderr, "warning: cannot read %s\n", path.c_str());
+      continue;
+    }
+    target.fn(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    ++executed;
+  }
+  return executed;
+}
+
+uint64_t ReplaySeedCorpus(const TargetInfo& target) {
+  uint64_t executed = 0;
+  for (const SeedInput& seed : BuildSeedCorpus(target.name)) {
+    target.fn(reinterpret_cast<const uint8_t*>(seed.bytes.data()),
+              seed.bytes.size());
+    ++executed;
+  }
+  return executed;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_replay --list\n"
+               "       fuzz_replay --all <corpus-root>\n"
+               "       fuzz_replay <target> [file|dir]... [--seed-corpus]\n"
+               "       fuzz_replay <target> --fuzz [--runs N] [--seed S]\n"
+               "                   [--max-len L] [dir]...\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+
+  if (std::strcmp(argv[1], "--list") == 0) {
+    for (const TargetInfo& t : AllTargets()) std::printf("%s\n", t.name);
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "--all") == 0) {
+    if (argc != 3) return Usage();
+    const std::string root = argv[2];
+    for (const TargetInfo& t : AllTargets()) {
+      uint64_t executed = ReplaySeedCorpus(t);
+      const std::string dir = root + "/" + t.name;
+      if (IsDirectory(dir)) executed += ReplayPaths(t, {dir});
+      std::printf("%-16s %llu inputs OK\n", t.name,
+                  static_cast<unsigned long long>(executed));
+    }
+    return 0;
+  }
+
+  const TargetInfo* target = FindTarget(argv[1]);
+  if (target == nullptr) {
+    std::fprintf(stderr, "unknown target '%s' (try --list)\n", argv[1]);
+    return 2;
+  }
+
+  bool fuzz = false, seed_corpus = false;
+  uint64_t runs = 10000, seed = 1;
+  size_t max_len = 4096;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_u64 = [&](uint64_t* out) {
+      if (i + 1 >= argc) std::exit(Usage());
+      *out = std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (arg == "--fuzz") {
+      fuzz = true;
+    } else if (arg == "--seed-corpus") {
+      seed_corpus = true;
+    } else if (arg == "--runs") {
+      next_u64(&runs);
+    } else if (arg == "--seed") {
+      next_u64(&seed);
+    } else if (arg == "--max-len") {
+      uint64_t v = 0;
+      next_u64(&v);
+      max_len = static_cast<size_t>(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore unknown dashed flags (libFuzzer-style invocations).
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+
+  if (fuzz) {
+    std::vector<std::string> seeds;
+    for (const SeedInput& s : BuildSeedCorpus(target->name)) {
+      seeds.push_back(s.bytes);
+    }
+    for (const std::string& path : paths) {
+      std::vector<std::string> files =
+          IsDirectory(path) ? ListDir(path) : std::vector<std::string>{path};
+      for (const std::string& f : files) {
+        std::string bytes;
+        if (ReadFile(f, &bytes)) seeds.push_back(std::move(bytes));
+      }
+    }
+    MiniFuzzResult result =
+        RunMiniFuzz(target->fn, std::move(seeds), runs, seed, max_len);
+    std::printf("%s: %llu mutated runs OK (%llu bytes)\n", target->name,
+                static_cast<unsigned long long>(result.runs),
+                static_cast<unsigned long long>(result.executed_bytes));
+    return 0;
+  }
+
+  uint64_t executed = ReplayPaths(*target, paths);
+  if (seed_corpus || paths.empty()) executed += ReplaySeedCorpus(*target);
+  std::printf("%s: %llu inputs OK\n", target->name,
+              static_cast<unsigned long long>(executed));
+  return 0;
+}
+
+}  // namespace
+}  // namespace epidemic::fuzz
+
+int main(int argc, char** argv) { return epidemic::fuzz::Main(argc, argv); }

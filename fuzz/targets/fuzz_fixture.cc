@@ -1,0 +1,24 @@
+#include <string_view>
+
+#include "fuzz/fixture_decoder.h"
+#include "fuzz/harness.h"
+
+namespace epidemic::fuzz {
+
+/// Self-test target over the fixture decoder (fixture_decoder.h). Not a
+/// production boundary: it exists to prove, in every build mode, that the
+/// smoke fuzz finds a real missing bounds check. The clean build must
+/// never trip the oracle; the EPIFUZZ_SEEDED_DEFECT build must trip it
+/// within the smoke budget.
+int Target_fixture(const uint8_t* data, size_t size) {
+  std::string_view frame(reinterpret_cast<const char*>(data), size);
+  FixtureDecodeResult result = DecodeFixtureFrame(frame);
+  if (result.bounds_violation) {
+    OracleFail("fixture", "decoder read past the end of its input");
+  }
+  return 0;
+}
+
+}  // namespace epidemic::fuzz
+
+EPIFUZZ_DEFINE_TARGET(fixture)

@@ -1,0 +1,42 @@
+#include <string_view>
+
+#include "common/logging.h"
+#include "fuzz/harness.h"
+#include "multidb/multi_db_server.h"
+#include "net/codec.h"
+#include "net/inproc_transport.h"
+
+namespace epidemic::fuzz {
+
+/// Boundary: MultiDbServer::HandleRequest — the multi-database envelope
+/// (routed frames and summary requests) plus the inner codec frame it
+/// unwraps and dispatches per database.
+///
+/// Oracle: every input produces a reply, and the reply is itself
+/// well-formed — a decodable codec frame for routed requests, a decodable
+/// summary for summary requests. A server that answers garbage with
+/// garbage just moves the parsing crash to the peer.
+int Target_multidb(const uint8_t* data, size_t size) {
+  std::string_view frame(reinterpret_cast<const char*>(data), size);
+
+  net::InProcHub hub(kFuzzNodes);
+  net::InProcTransport transport(&hub);
+  multidb::MultiDbServer server(0, kFuzzNodes, &transport);
+  EPI_CHECK(server.Update("db-a", "alpha", "a0").ok());
+  EPI_CHECK(server.Update("db-b", "beta", "b0").ok());
+
+  std::string reply = server.HandleRequest(frame);
+
+  if (!frame.empty() && frame[0] == 2 && frame.size() == 1) {
+    OracleExpectOk(multidb::DecodeSummary(reply).status(), "multidb",
+                   "summary reply decodes");
+  } else {
+    OracleExpectOk(net::Decode(reply).status(), "multidb",
+                   "routed reply is a well-formed codec frame");
+  }
+  return 0;
+}
+
+}  // namespace epidemic::fuzz
+
+EPIFUZZ_DEFINE_TARGET(multidb)

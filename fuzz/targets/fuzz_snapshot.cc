@@ -1,0 +1,38 @@
+#include <string_view>
+
+#include "core/snapshot.h"
+#include "fuzz/harness.h"
+
+namespace epidemic::fuzz {
+
+/// Boundary: snapshot load — DecodeSnapshot (EPISNAP1) and
+/// DecodeShardedSnapshot (EPISHRD1), the bytes a recovering node trusts
+/// most and validates hardest (magic, CRC-32C, then full §4.1 invariant
+/// re-check before the replica is handed out).
+///
+/// Oracle: an accepted snapshot yields a replica whose invariants hold and
+/// which re-encodes to a blob that decodes again.
+int Target_snapshot(const uint8_t* data, size_t size) {
+  std::string_view blob(reinterpret_cast<const char*>(data), size);
+
+  if (auto replica = DecodeSnapshot(blob); replica.ok()) {
+    OracleExpectOk((*replica)->CheckInvariants(), "snapshot",
+                   "invariants of a decoded snapshot");
+    auto again = DecodeSnapshot(EncodeSnapshot(**replica));
+    OracleExpectOk(again.status(), "snapshot",
+                   "re-decode of a re-encoded snapshot");
+  }
+
+  if (auto sharded = DecodeShardedSnapshot(blob); sharded.ok()) {
+    OracleExpectOk((*sharded)->CheckInvariants(), "snapshot",
+                   "invariants of a decoded sharded snapshot");
+    auto again = DecodeShardedSnapshot(EncodeShardedSnapshot(**sharded));
+    OracleExpectOk(again.status(), "snapshot",
+                   "re-decode of a re-encoded sharded snapshot");
+  }
+  return 0;
+}
+
+}  // namespace epidemic::fuzz
+
+EPIFUZZ_DEFINE_TARGET(snapshot)

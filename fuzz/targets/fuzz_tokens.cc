@@ -1,0 +1,30 @@
+#include <string_view>
+
+#include "common/logging.h"
+#include "fuzz/harness.h"
+#include "tokens/token_service.h"
+
+namespace epidemic::fuzz {
+
+/// Boundary: TokenServiceHandler::HandleRequest — self-tagged token
+/// request/release frames from arbitrary peers.
+///
+/// Oracle: every frame gets a decodable TokenReply. The home check lives
+/// in the handler — before it, a token request whose item hashed to a
+/// different home node EPI_CHECK-aborted the process, the first bug this
+/// harness's boundary audit surfaced.
+int Target_tokens(const uint8_t* data, size_t size) {
+  std::string_view frame(reinterpret_cast<const char*>(data), size);
+
+  tokens::TokenService service(0, kFuzzNodes);
+  tokens::TokenServiceHandler handler(&service);
+
+  std::string reply = handler.HandleRequest(frame);
+  OracleExpectOk(tokens::DecodeTokenReply(reply).status(), "tokens",
+                 "reply decodes as a TokenReply");
+  return 0;
+}
+
+}  // namespace epidemic::fuzz
+
+EPIFUZZ_DEFINE_TARGET(tokens)

@@ -1,0 +1,64 @@
+#include <string_view>
+
+#include "common/bytes.h"
+#include "fuzz/harness.h"
+#include "vv/vv_codec.h"
+
+namespace epidemic::fuzz {
+
+/// Boundary: the version-vector codecs — dense (DecodeVersionVector) and
+/// the wire-v3 sparse delta (DecodeVersionVectorDelta).
+///
+/// Input shape: byte 0 selects the delta base width (0-8); the rest is fed
+/// first to the delta decoder against a fixed base of that width, then to
+/// the dense decoder. Oracle: accepted vectors must re-encode/re-decode to
+/// the same vector (the delta encoder may pick a different mode than the
+/// input used, so equality is on the decoded value, not the bytes).
+int Target_vv_delta(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const size_t width = data[0] % 9;
+  std::string_view body(reinterpret_cast<const char*>(data + 1), size - 1);
+
+  VersionVector base(width);
+  for (size_t k = 0; k < width; ++k) {
+    base[k] = k * 7 + 1;  // any fixed, nonzero, distinct counts
+  }
+
+  {
+    ByteReader r(body);
+    Result<VersionVector> vv = DecodeVersionVectorDelta(&r, base);
+    if (vv.ok()) {
+      ByteWriter w;
+      EncodeVersionVectorDelta(&w, *vv, base);
+      if (w.size() != VersionVectorDeltaSize(*vv, base)) {
+        OracleFail("vv_delta", "VersionVectorDeltaSize disagrees with the "
+                               "encoder");
+      }
+      ByteReader r2(w.data());
+      Result<VersionVector> vv2 = DecodeVersionVectorDelta(&r2, base);
+      OracleExpectOk(vv2.status(), "vv_delta", "re-decode of re-encoded delta");
+      if (!(*vv2 == *vv)) {
+        OracleFail("vv_delta", "delta round trip changed the vector");
+      }
+    }
+  }
+  {
+    ByteReader r(body);
+    Result<VersionVector> vv = DecodeVersionVector(&r);
+    if (vv.ok()) {
+      ByteWriter w;
+      EncodeVersionVector(&w, *vv);
+      ByteReader r2(w.data());
+      Result<VersionVector> vv2 = DecodeVersionVector(&r2);
+      OracleExpectOk(vv2.status(), "vv_delta", "re-decode of dense vector");
+      if (!(*vv2 == *vv)) {
+        OracleFail("vv_delta", "dense round trip changed the vector");
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace epidemic::fuzz
+
+EPIFUZZ_DEFINE_TARGET(vv_delta)

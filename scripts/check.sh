@@ -10,6 +10,9 @@
 #                                # libclang is available; lexical rule always)
 #   scripts/check.sh --model  # build + exhaustive epicheck model runs
 #   scripts/check.sh --bench-smoke  # build + one fast benchmark pass (JSON)
+#   scripts/check.sh --fuzz-smoke   # short fuzz run of every decode target:
+#                                   # libFuzzer+ASan/UBSan under clang,
+#                                   # the deterministic mini fuzzer otherwise
 #
 # Extra arguments after the mode are passed to ctest (e.g. -R server);
 # after --model they are passed to every epicheck invocation, and after
@@ -94,9 +97,52 @@ case "$mode" in
     scripts/run_benchmarks.sh --json --smoke "$@"
     exit 0
     ;;
+  --fuzz-smoke)
+    shift
+    # Give each decode target a short budget and fail on the first finding
+    # (fuzz/ — DESIGN.md §13). With clang this is the real thing: one
+    # coverage-guided libFuzzer binary per target under ASan+UBSan, seeded
+    # from the checked-in corpora. Anywhere else (gcc-only containers) the
+    # same harnesses run under the in-tree deterministic mini fuzzer, so
+    # the mode never silently does nothing. Crashing inputs land in
+    # fuzz-artifacts/ — minimize and check them into tests/testdata/fuzz/.
+    seconds="${FUZZ_SMOKE_SECONDS:-60}"
+    if command -v clang++ > /dev/null 2>&1; then
+      build_dir=build-fuzz
+      cmake -B "$build_dir" -S . -DCMAKE_C_COMPILER=clang \
+          -DCMAKE_CXX_COMPILER=clang++ -DEPIDEMIC_FUZZ=ON \
+          -DEPIDEMIC_ASAN=ON > /dev/null
+      mkdir -p fuzz-artifacts
+      for target in codec wire_segment_v3 vv_delta snapshot journal \
+                    server_frame multidb tokens fixture; do
+        cmake --build "$build_dir" -j"$(nproc)" --target "fuzz_$target"
+        corpus="tests/testdata/fuzz/$target"
+        mkdir -p "$corpus"
+        "$build_dir/fuzz/fuzz_$target" -max_total_time="$seconds" \
+            -artifact_prefix=fuzz-artifacts/ "$corpus" "$@"
+      done
+      echo "fuzz-smoke: ${seconds}s per target, no findings (libFuzzer)"
+    else
+      build_dir=build
+      cmake -B "$build_dir" -S . > /dev/null
+      cmake --build "$build_dir" -j"$(nproc)" --target fuzz_replay
+      for target in codec wire_segment_v3 vv_delta snapshot journal \
+                    fixture; do
+        "$build_dir"/fuzz/fuzz_replay "$target" --fuzz --runs 5000 \
+            tests/testdata/fuzz/"$target" "$@"
+      done
+      for target in tokens multidb server_frame; do
+        "$build_dir"/fuzz/fuzz_replay "$target" --fuzz --runs 500 \
+            tests/testdata/fuzz/"$target" "$@"
+      done
+      echo "fuzz-smoke: no findings (deterministic mini fuzzer; install" \
+           "clang for coverage-guided runs)"
+    fi
+    exit 0
+    ;;
   --*)
     echo "error: unknown mode '$mode'" >&2
-    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy|--lint-ast|--model|--bench-smoke] [ctest args]" >&2
+    echo "usage: scripts/check.sh [--asan|--tsan|--ubsan|--tidy|--lint-ast|--model|--bench-smoke|--fuzz-smoke] [ctest args]" >&2
     exit 2
     ;;
   *)

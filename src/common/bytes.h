@@ -123,14 +123,53 @@ class ByteReader {
     return v;
   }
 
+  /// Canonical LEB128 decode: exactly one encoding per value. Rejects
+  /// overlong (>10-byte) runs, encodings whose final byte is a redundant
+  /// zero (non-minimal), and 10-byte encodings carrying bits beyond 2^64.
+  /// Adversarial peers otherwise get a free non-canonical alias for every
+  /// integer on the wire — a classic dedup/signature bypass. The padded
+  /// backpatch slots written by PutPaddedVarint are deliberately
+  /// non-minimal; the few fields defined as slots decode with
+  /// GetVarint64Padded instead.
   Result<uint64_t> GetVarint64() {
     uint64_t v = 0;
     int shift = 0;
     while (shift <= 63) {
       if (pos_ >= data_.size()) return Truncated("varint64");
       uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      if ((byte & 0x80) == 0) {
+        if (shift > 0 && byte == 0) {
+          return Status::Corruption("non-minimal varint64 encoding");
+        }
+        if (shift == 63 && byte > 1) {
+          return Status::Corruption("varint64 overflows 64 bits");
+        }
+        return v | static_cast<uint64_t>(byte) << shift;
+      }
       v |= static_cast<uint64_t>(byte & 0x7f) << shift;
-      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+    return Status::Corruption("varint64 too long");
+  }
+
+  /// Permissive LEB128 decode for fields defined as padded backpatch slots
+  /// (PutPaddedVarint): non-minimal encodings accepted, overlong (>10-byte)
+  /// and 2^64-overflowing ones still rejected. Use only where the wire
+  /// format reserves a fixed-width slot; everything else goes through the
+  /// canonical GetVarint64.
+  Result<uint64_t> GetVarint64Padded() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (shift <= 63) {
+      if (pos_ >= data_.size()) return Truncated("varint64");
+      uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      if ((byte & 0x80) == 0) {
+        if (shift == 63 && byte > 1) {
+          return Status::Corruption("varint64 overflows 64 bits");
+        }
+        return v | static_cast<uint64_t>(byte) << shift;
+      }
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
       shift += 7;
     }
     return Status::Corruption("varint64 too long");
@@ -138,6 +177,17 @@ class ByteReader {
 
   Result<std::string> GetString() {
     auto len = GetVarint64();
+    if (!len.ok()) return len.status();
+    if (pos_ + *len > data_.size()) return Truncated("string body");
+    std::string s(data_.substr(pos_, *len));
+    pos_ += *len;
+    return s;
+  }
+
+  /// GetString whose length prefix is a padded backpatch slot (the v3
+  /// direct-to-frame serve writes segment lengths that way).
+  Result<std::string> GetStringPadded() {
+    auto len = GetVarint64Padded();
     if (!len.ok()) return len.status();
     if (pos_ + *len > data_.size()) return Truncated("string body");
     std::string s(data_.substr(pos_, *len));
@@ -155,6 +205,29 @@ class ByteReader {
     if (pos_ + *len > data_.size()) return Truncated("string body");
     std::string_view s = data_.substr(pos_, *len);
     pos_ += *len;
+    return s;
+  }
+
+  /// GetStringView whose length prefix is a padded backpatch slot (see
+  /// GetStringPadded).
+  Result<std::string_view> GetStringViewPadded() {
+    auto len = GetVarint64Padded();
+    if (!len.ok()) return len.status();
+    if (pos_ + *len > data_.size()) return Truncated("string body");
+    std::string_view s = data_.substr(pos_, *len);
+    pos_ += *len;
+    return s;
+  }
+
+  /// Bounds-checked view of the next `n` raw bytes, advancing past them.
+  /// The view borrows the reader's backing buffer (same lifetime contract
+  /// as GetStringView). Decoders use this instead of touching data()+pos
+  /// themselves — raw pointer arithmetic in decode TUs is rejected by
+  /// tools/epilint_ast.py decode-bounds-discipline.
+  Result<std::string_view> GetBytesView(size_t n) {
+    if (pos_ + n > data_.size()) return Truncated("raw bytes");
+    std::string_view s = data_.substr(pos_, n);
+    pos_ += n;
     return s;
   }
 

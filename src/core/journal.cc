@@ -98,6 +98,31 @@ Status ReplayRecord(Replica& replica, std::string_view payload) {
 
 }  // namespace
 
+Result<uint64_t> ReplayJournalBytes(Replica& replica, std::string_view data) {
+  uint64_t replayed = 0;
+  ByteReader frames(data);
+  while (!frames.AtEnd()) {
+    auto len = frames.GetVarint64();
+    if (!len.ok() || frames.remaining() < *len + 4) break;  // torn tail
+    auto payload = frames.GetBytesView(static_cast<size_t>(*len));
+    if (!payload.ok()) break;  // unreachable given the remaining() check
+    auto stored_crc = frames.GetFixed32();
+    if (!stored_crc.ok() || Crc32c(*payload) != *stored_crc) {
+      // A failed checksum means the record (and anything after it) is
+      // not trustworthy: stop the replay at the last good prefix.
+      break;
+    }
+    Status s = ReplayRecord(replica, *payload);
+    if (!s.ok() && !s.IsConflict() && !s.IsNotFound()) {
+      // Conflict/NotFound are legitimate outcomes of replayed inputs;
+      // anything else means a corrupt journal.
+      return Status::Corruption("journal replay failed: " + s.ToString());
+    }
+    ++replayed;
+  }
+  return replayed;
+}
+
 JournaledReplica::JournaledReplica(std::string dir,
                                    std::unique_ptr<Replica> replica)
     : dir_(std::move(dir)), replica_(std::move(replica)) {}
@@ -143,27 +168,9 @@ Result<std::unique_ptr<JournaledReplica>> JournaledReplica::Open(
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
     std::fclose(f);
 
-    ByteReader frames(data);
-    while (!frames.AtEnd()) {
-      auto len = frames.GetVarint64();
-      if (!len.ok() || frames.remaining() < *len + 4) break;  // torn tail
-      std::string_view payload(data.data() + frames.position(),
-                               static_cast<size_t>(*len));
-      frames.Skip(static_cast<size_t>(*len));
-      auto stored_crc = frames.GetFixed32();
-      if (!stored_crc.ok() || Crc32c(payload) != *stored_crc) {
-        // A failed checksum means the record (and anything after it) is
-        // not trustworthy: stop the replay at the last good prefix.
-        break;
-      }
-      Status s = ReplayRecord(*replica, payload);
-      if (!s.ok() && !s.IsConflict() && !s.IsNotFound()) {
-        // Conflict/NotFound are legitimate outcomes of replayed inputs;
-        // anything else means a corrupt journal.
-        return Status::Corruption("journal replay failed: " + s.ToString());
-      }
-      ++replayed;
-    }
+    auto count = ReplayJournalBytes(*replica, data);
+    if (!count.ok()) return count.status();
+    replayed = *count;
   }
 
   auto jr = std::unique_ptr<JournaledReplica>(

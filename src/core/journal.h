@@ -31,6 +31,20 @@ namespace epidemic {
 /// Record framing: varint length + payload, where the payload is a one-byte
 /// record tag followed by the same binary encodings the wire codec uses.
 /// A torn final record (crash mid-append) is detected and ignored.
+/// Replays a raw journal byte stream (varint-length + payload + CRC-32C
+/// frames) into `replica` through the ordinary code paths. A torn or
+/// checksum-failing frame ends the replay at the last good prefix — that
+/// is the crash-recovery contract, not an error. Returns the number of
+/// records applied, or Corruption when a checksummed record fails to
+/// apply (a record that passed CRC must replay; anything else means the
+/// journal and the code disagree).
+///
+/// This is the exact loop JournaledReplica::Open runs over journal.log,
+/// exposed so recovery tests and the fuzz harness can drive the same
+/// decode-then-apply path on arbitrary bytes.
+Result<uint64_t> ReplayJournalBytes(Replica& replica, std::string_view data)
+    REQUIRES_SHARD_CONTEXT;
+
 class JournaledReplica {
  public:
   /// Recovers (or freshly creates) a journaled replica backed by the files

@@ -285,6 +285,29 @@ Status Replica::ValidatePropagationResponse(
                                        "' not shipped in S");
       }
     }
+    // The DBVV horizon above is necessary but not sufficient: DBVV[k] is a
+    // sum of item-IVV components, and after a conflict drops records it
+    // falls below the largest seq already in L[k]. A forged tail can then
+    // claim a seq L[k] already holds for a *different* item and, past the
+    // adoption filter, insert a duplicate that breaks origin order (found
+    // by fuzzing the v3 segment decoder). Each origin seq names exactly
+    // one update of one item, so an equal seq is legitimate only when it
+    // names the same item (a re-shipped record, replaced in place via
+    // P(x)). Merge-scan the sorted log against the sorted tail to reject
+    // the rest.
+    const LogRecord* existing = logs_.ForOrigin(k).head();
+    for (const WireLogRecordView& rec : resp.tails[k]) {
+      while (existing != nullptr && existing->seq < rec.seq) {
+        existing = existing->next;
+      }
+      if (existing != nullptr && existing->seq == rec.seq &&
+          store_.Get(existing->item).name != rec.item_name) {
+        return Status::InvalidArgument(
+            "tail record for origin " + std::to_string(k) + " reuses seq " +
+            std::to_string(rec.seq) + " held by item '" +
+            store_.Get(existing->item).name + "'");
+      }
+    }
   }
   return Status::OK();
 }

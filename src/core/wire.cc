@@ -163,7 +163,11 @@ Result<ShardedPropagationResponse> DecodeShardedPropagationResponseBody(
   if (!num_shards.ok()) return num_shards.status();
   if (*num_shards > (1u << 16)) return Status::Corruption("absurd shard count");
   m.num_shards = static_cast<uint32_t>(*num_shards);
-  auto count = r.GetVarint64();
+  // The segment count and each segment's length prefix are padded-varint
+  // backpatch slots in the direct-to-frame serve path
+  // (ServeShardedPropagationFrameV3), so these two fields — and only
+  // these — decode with the padded getters.
+  auto count = r.GetVarint64Padded();
   if (!count.ok()) return count.status();
   if (*count > *num_shards) {
     return Status::Corruption("more segments than shards");
@@ -182,7 +186,7 @@ Result<ShardedPropagationResponse> DecodeShardedPropagationResponseBody(
     }
     prev_shard = *shard;
     seg.shard = static_cast<uint32_t>(*shard);
-    auto body = r.GetString();
+    auto body = r.GetStringPadded();
     if (!body.ok()) return body.status();
     seg.body = std::move(*body);
     m.segments.push_back(std::move(seg));
@@ -289,7 +293,8 @@ Status DecodeShardedPropagationResponseEnvelopeV3(
   auto num_shards = r.GetVarint64();
   if (!num_shards.ok()) return num_shards.status();
   if (*num_shards > (1u << 16)) return Status::Corruption("absurd shard count");
-  auto count = r.GetVarint64();
+  // Padded backpatch slot (see DecodeShardedPropagationResponseBody).
+  auto count = r.GetVarint64Padded();
   if (!count.ok()) return count.status();
   if (*count > *num_shards) {
     return Status::Corruption("more segments than shards");
@@ -310,7 +315,7 @@ Status DecodeShardedPropagationResponseEnvelopeV3(
                                 "increasing within the shard count");
     }
     prev_shard = *shard;
-    auto body = r.GetStringView();
+    auto body = r.GetStringViewPadded();
     if (!body.ok()) return body.status();
     out->segments.push_back(
         ShardedSegmentView{static_cast<uint32_t>(*shard), *body});

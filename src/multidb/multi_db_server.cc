@@ -83,6 +83,12 @@ std::string MultiDbServer::HandleRequest(std::string_view request) {
   }
   const uint8_t kind = static_cast<uint8_t>(request[0]);
   if (kind == kKindSummary) {
+    if (request.size() != 1) {
+      // The summary request is exactly its kind byte; trailing bytes mean
+      // a corrupt or hostile frame, not a bigger request.
+      return EncodeErrorReply(
+          Status::Corruption("trailing bytes after summary request"));
+    }
     MutexLock lock(mu_);
     return EncodeSummary(node_.BuildSummary());
   }
@@ -102,6 +108,12 @@ std::string MultiDbServer::HandleRoutedLocked(std::string_view db,
   Replica& replica = node_.OpenDatabase(db);
 
   if (auto* prop = std::get_if<PropagationRequest>(&*decoded)) {
+    if (prop->dbvv.size() != replica.num_nodes()) {
+      // Boundary width check: a wrong-width DBVV from the network must
+      // not reach the width-EPI_CHECKed VersionVector comparison.
+      return EncodeErrorReply(
+          Status::InvalidArgument("request DBVV of wrong width"));
+    }
     return net::Encode(
         net::Message(replica.HandlePropagationRequest(*prop)));
   }
@@ -195,6 +207,11 @@ Result<size_t> MultiDbServer::PullAllFrom(NodeId peer) {
     MutexLock lock(mu_);
     for (const auto& entry : *summary) {
       const VersionVector& mine = node_.OpenDatabase(entry.db).dbvv();
+      if (entry.dbvv.size() != mine.size()) {
+        // A peer advertising a different cluster width is misconfigured
+        // or hostile; comparing would abort on the width EPI_CHECK.
+        return Status::InvalidArgument("peer summary DBVV of wrong width");
+      }
       if (!VersionVector::DominatesOrEqual(mine, entry.dbvv)) {
         lagging.push_back(entry.db);
       }

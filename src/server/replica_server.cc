@@ -233,7 +233,9 @@ std::string ReplicaServer::ServeShardedPropagationFrameV3(
   // The segment count precedes the segments but is only known after the
   // serve; reserve a padded-varint slot and patch it in at the end. Same
   // trick for each segment's length prefix (5 bytes covers the 1 GiB
-  // segment cap). GetVarint64 accepts the padded encodings verbatim.
+  // segment cap). The decoders read exactly these two fields with the
+  // padded getters (GetVarint64Padded/GetStringViewPadded) — every other
+  // wire varint is canonical-only.
   const size_t count_pos = w.size();
   w.PutPaddedVarint(0, 3);
   uint64_t count = 0;
@@ -346,6 +348,17 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
   Message& msg = *decoded;
 
   if (auto* sharded_req = std::get_if<ShardedPropagationRequest>(&msg)) {
+    // Boundary width check: shard DBVVs from the network must match this
+    // cluster's node count before they reach the width-EPI_CHECKed
+    // VersionVector comparisons. A wrong-width vector is a hostile or
+    // misconfigured peer, not a programming error — reply, don't abort.
+    // (Epoch probes carry zero shard DBVVs; the loop is vacuous.)
+    for (const VersionVector& vv : sharded_req->shard_dbvvs) {
+      if (vv.size() != sharded().num_nodes()) {
+        return EncodeStatusReply(
+            Status::InvalidArgument("shard DBVV of wrong width"));
+      }
+    }
     if (sharded_req->wire_version >= kWireV3 && !options_.enable_wire_v3) {
       // Emulate a pre-v3 node: its codec would have failed on tag 17 with
       // exactly this error reply — the requester's fallback signal.
@@ -373,6 +386,11 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
     return frame;
   }
   if (auto* prop_req = std::get_if<PropagationRequest>(&msg)) {
+    if (prop_req->dbvv.size() != sharded().num_nodes()) {
+      // Same boundary width check as the sharded handshake above.
+      return EncodeStatusReply(
+          Status::InvalidArgument("request DBVV of wrong width"));
+    }
     // Legacy whole-database handshake (wire v1): only meaningful against a
     // single-shard server, where shard 0 *is* the database.
     if (sharded().num_shards() != 1) {

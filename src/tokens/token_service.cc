@@ -216,16 +216,30 @@ Status TokenService::Release(net::Transport& transport,
 
 std::string TokenServiceHandler::HandleRequest(std::string_view request) {
   MutexLock lock(mu_);
-  // Token frames are self-tagged; try request, then release.
+  // Token frames are self-tagged; try request, then release. A mis-routed
+  // frame (this node is not the item's home) is denied here rather than
+  // passed into the service, whose HomeOf EPI_CHECKs would turn one
+  // hostile frame from any peer into a process abort.
   if (auto req = DecodeTokenRequest(request); req.ok()) {
+    if (service_->HomeOf(req->item) != service_->id()) {
+      TokenReply reply;
+      reply.item = req->item;
+      reply.granted = false;
+      reply.holder = req->requester;
+      return EncodeTokenReply(reply);
+    }
     return EncodeTokenReply(service_->HandleRequest(*req));
   }
   if (auto rel = DecodeTokenRelease(request); rel.ok()) {
     TokenReply reply;
     reply.item = rel->item;
+    reply.holder = rel->holder;
+    if (service_->HomeOf(rel->item) != service_->id()) {
+      reply.granted = false;
+      return EncodeTokenReply(reply);
+    }
     Status s = service_->HandleRelease(*rel);
     reply.granted = s.ok();
-    reply.holder = rel->holder;
     return EncodeTokenReply(reply);
   }
   TokenReply reply;

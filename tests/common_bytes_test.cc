@@ -166,17 +166,113 @@ TEST(BytesTest, PutBytesRaw) {
   EXPECT_EQ(w.data()[1], 2);
 }
 
-TEST(BytesTest, PaddedVarintDecodesLikeCanonical) {
+TEST(BytesTest, PaddedVarintDecodesViaPaddedGetter) {
   for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
                      uint64_t{1} << 20, (uint64_t{1} << 35) - 1}) {
     ByteWriter w;
     w.PutPaddedVarint(v, 5);
     EXPECT_EQ(w.size(), 5u);
     ByteReader r(w.data());
-    auto got = r.GetVarint64();
+    auto got = r.GetVarint64Padded();
     ASSERT_TRUE(got.ok());
     EXPECT_EQ(*got, v);
     EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(BytesTest, CanonicalGetterRejectsPaddedEncoding) {
+  // A 5-byte padded slot holding a small value is a non-minimal encoding;
+  // the canonical getter must refuse it so adversarial peers can't alias
+  // wire integers. Only GetVarint64Padded (backpatch-slot fields) accepts.
+  ByteWriter w;
+  w.PutPaddedVarint(7, 5);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetVarint64().status().IsCorruption());
+}
+
+TEST(BytesTest, NonMinimalVarintRejected) {
+  // 0x80 0x00 encodes zero in two bytes; canonical form is one byte.
+  ByteReader r(std::string_view("\x80\x00", 2));
+  EXPECT_TRUE(r.GetVarint64().status().IsCorruption());
+  ByteReader rp(std::string_view("\x80\x00", 2));
+  auto padded = rp.GetVarint64Padded();
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(*padded, 0u);
+}
+
+TEST(BytesTest, TenByteVarintOverflowRejected) {
+  // Ten bytes whose final byte carries bits beyond 2^64-1.
+  std::string max(9, '\xff');
+  max.push_back('\x01');  // exactly UINT64_MAX: canonical, accepted
+  ByteReader r_ok(max);
+  auto got = r_ok.GetVarint64();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, ~uint64_t{0});
+
+  std::string over(9, '\xff');
+  over.push_back('\x02');  // bit 64 set: overflow
+  ByteReader r_bad(over);
+  EXPECT_TRUE(r_bad.GetVarint64().status().IsCorruption());
+  ByteReader r_bad_padded(over);
+  EXPECT_TRUE(r_bad_padded.GetVarint64Padded().status().IsCorruption());
+}
+
+TEST(BytesTest, OverlongVarintRejectedByBothGetters) {
+  // 11 continuation bytes: longer than any uint64 encoding.
+  std::string overlong(11, '\x80');
+  ByteReader r(overlong);
+  EXPECT_TRUE(r.GetVarint64().status().IsCorruption());
+  ByteReader rp(overlong);
+  EXPECT_TRUE(rp.GetVarint64Padded().status().IsCorruption());
+}
+
+TEST(BytesTest, CanonicalRoundTripAllWidths) {
+  for (int bits = 0; bits < 64; ++bits) {
+    uint64_t v = uint64_t{1} << bits;
+    ByteWriter w;
+    w.PutVarint64(v);
+    ByteReader r(w.data());
+    auto got = r.GetVarint64();
+    ASSERT_TRUE(got.ok()) << "bits=" << bits;
+    EXPECT_EQ(*got, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(BytesTest, GetBytesViewBoundsChecked) {
+  ByteReader r(std::string_view("abcdef", 6));
+  auto head = r.GetBytesView(4);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(*head, "abcd");
+  EXPECT_TRUE(r.GetBytesView(3).status().IsCorruption());
+  auto tail = r.GetBytesView(2);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, "ef");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, PaddedStringGetters) {
+  ByteWriter w;
+  const size_t slot = w.size();
+  w.PutPaddedVarint(0, 5);
+  w.PutBytes("hello", 5);
+  w.OverwritePaddedVarint(slot, 5, 5);
+  {
+    ByteReader r(w.data());
+    auto s = r.GetStringPadded();
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, "hello");
+  }
+  {
+    ByteReader r(w.data());
+    auto s = r.GetStringViewPadded();
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, "hello");
+  }
+  {
+    // Canonical GetString must refuse the padded length prefix.
+    ByteReader r(w.data());
+    EXPECT_TRUE(r.GetString().status().IsCorruption());
   }
 }
 
@@ -191,7 +287,7 @@ TEST(BytesTest, OverwritePaddedVarintBackpatches) {
   w.OverwritePaddedVarint(slot, (uint64_t{1} << 34) + 3, 5);
   ByteReader r(w.data());
   ASSERT_TRUE(r.GetU8().ok());
-  auto got = r.GetVarint64();
+  auto got = r.GetVarint64Padded();
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(*got, (uint64_t{1} << 34) + 3);
   auto s = r.GetString();

@@ -61,11 +61,17 @@ class EpilintTest : public ::testing::Test {
 };
 
 // The probe must answer one of its two documented codes — 0 (usable) or
-// 3 (unavailable) — never a crash or a violation-style exit.
+// 3 (unavailable) — never a crash or a violation-style exit. When usable
+// it names the resolved libclang version so CI logs pin what enforced
+// the AST rules.
 TEST_F(EpilintTest, ProbeAnswersCleanly) {
   const RunResult result = RunEpilint("--probe");
   EXPECT_TRUE(result.exit_code == 0 || result.exit_code == 3)
       << result.output;
+  if (result.exit_code == 0) {
+    EXPECT_NE(result.output.find("libclang available ("), std::string::npos)
+        << result.output;
+  }
 }
 
 // The checked-in tree must be clean: every memory_order_relaxed carries a
@@ -148,6 +154,37 @@ TEST_F(EpilintTest, SeqlockReadFixturesAreReported) {
 
   const RunResult good = RunEpilint(Fixture("good_seqlock_read.cc"));
   EXPECT_EQ(good.exit_code, 0) << good.output;
+}
+
+// A hand-rolled decoder doing its own offset math trips the decode-bounds
+// rule three times (pointer arithmetic, raw-pointer subscript, unchecked
+// memcpy); the cursor-routed twin — including its waived memcpy out of an
+// already-checked view — is clean.
+TEST_F(EpilintTest, DecodeBoundsFixturesAreReported) {
+  if (!HaveLibclang()) GTEST_SKIP() << "libclang unavailable on this host";
+  const RunResult bad = RunEpilint(Fixture("bad_decode_bounds.cc"));
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(bad.output.find("decode-bounds-discipline"), std::string::npos)
+      << bad.output;
+  EXPECT_NE(bad.output.find("3 violation(s)"), std::string::npos)
+      << bad.output;
+
+  const RunResult good = RunEpilint(Fixture("good_decode_bounds.cc"));
+  EXPECT_EQ(good.exit_code, 0) << good.output;
+}
+
+// The decode TUs themselves must hold the discipline: the whole point of
+// funneling every untrusted read through ByteReader is that the fuzz
+// harnesses then only have one bounds implementation to break.
+TEST_F(EpilintTest, DecodeTusAreClean) {
+  if (!HaveLibclang()) GTEST_SKIP() << "libclang unavailable on this host";
+  const RunResult result = RunEpilint(
+      std::string(EPI_SOURCE_DIR) + "/src/core/wire.cc " +
+      std::string(EPI_SOURCE_DIR) + "/src/net/codec.cc " +
+      std::string(EPI_SOURCE_DIR) + "/src/vv/vv_codec.cc " +
+      std::string(EPI_SOURCE_DIR) + "/src/core/snapshot.cc " +
+      std::string(EPI_SOURCE_DIR) + "/src/core/journal.cc");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
 }
 
 // Pointing the lint at a nonexistent file is a usage error (exit 2),

@@ -401,6 +401,52 @@ TEST(RobustnessTest, TailRecordBelowHorizonRejected) {
   EXPECT_TRUE(a.CheckInvariants().ok());
 }
 
+// Found by fuzzing the v3 segment decoder: DBVV[k] is a sum of item-IVV
+// components, so after a conflict drops records it falls below the largest
+// seq already in L[k]. The per-origin horizon check alone then lets a
+// forged tail claim a seq the log already holds for a different item,
+// inserting a duplicate that breaks the origin-order invariant.
+TEST(RobustnessTest, TailSeqReuseForDifferentItemRejected) {
+  Replica a(0, 3), b(1, 3);
+  ASSERT_TRUE(a.Update("alpha", "a0").ok());
+  ASSERT_TRUE(a.Update("beta", "b0").ok());
+  ASSERT_TRUE(b.Update("beta", "b1").ok());   // will conflict at a
+  ASSERT_TRUE(b.Update("gamma", "g1").ok());  // origin seq 2
+  auto copied = PropagateOnce(b, a);
+  ASSERT_TRUE(copied.ok() || copied.status().IsConflict());
+  // The dropped beta record leaves a's horizon below gamma's seq.
+  ASSERT_EQ(a.dbvv()[1], 1u);
+
+  PropagationResponse forged;
+  forged.tails.resize(3);
+  forged.tails[1].push_back(WireLogRecord{"evil", 2});  // L[1] holds 2: gamma
+  WireItem item;
+  item.name = "evil";
+  item.value = "v";
+  item.ivv = VersionVector(3);
+  item.ivv[1] = 1;  // dominates the fresh local copy → survives the filter
+  forged.items.push_back(item);
+  EXPECT_TRUE(a.AcceptPropagation(forged).IsInvalidArgument());
+  EXPECT_TRUE(a.CheckInvariants().ok());
+
+  // Re-shipping the same seq for the *same* item is legitimate (a relayed
+  // dominating copy replaces the record in place via P(x)).
+  PropagationResponse reship;
+  reship.tails.resize(3);
+  reship.tails[1].push_back(WireLogRecord{"gamma", 2});
+  reship.tails[2].push_back(WireLogRecord{"gamma", 1});
+  WireItem gamma;
+  gamma.name = "gamma";
+  gamma.value = "g2";
+  gamma.ivv = VersionVector(3);
+  gamma.ivv[1] = 1;
+  gamma.ivv[2] = 1;  // node 2 updated gamma on top of b's write
+  reship.items.push_back(gamma);
+  ASSERT_TRUE(a.AcceptPropagation(reship).ok());
+  EXPECT_EQ(*a.Read("gamma"), "g2");
+  EXPECT_TRUE(a.CheckInvariants().ok());
+}
+
 TEST(RobustnessTest, RecordForUnshippedItemRejected) {
   Replica a(0, 2);
   PropagationResponse resp = OneItemResponse(2, "x", 1, 1);

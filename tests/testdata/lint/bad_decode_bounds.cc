@@ -1,0 +1,24 @@
+// Lint fixture: decode-bounds-discipline violations. The file name
+// contains "decode_bounds", so epilint_ast.py treats it as a decode TU.
+// Expected: 3 findings — pointer arithmetic, raw-pointer subscript,
+// memcpy with an unchecked length.
+
+#include <cstddef>
+#include <cstring>
+
+// A hand-rolled frame decoder that trusts its own offset math: every read
+// below is one forged length away from walking off the end of `data`.
+unsigned BadDecode(const unsigned char* data, std::size_t size) {
+  if (size < 2) return 0;
+  std::size_t len = *data;
+  const unsigned char* body = data + 1;  // pointer arithmetic
+
+  unsigned sum = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    sum += body[i];  // subscript on a raw pointer, len unchecked
+  }
+
+  unsigned char scratch[16];
+  std::memcpy(scratch, body, len);  // unchecked length
+  return sum + scratch[0];
+}

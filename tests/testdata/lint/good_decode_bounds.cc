@@ -1,0 +1,54 @@
+// Lint fixture: decode-bounds-discipline compliant decoding — must
+// report nothing. Self-contained (no repo includes), parsed with
+// -std=c++17. The file name contains "decode_bounds", so the rule runs;
+// everything below either routes reads through a bounds-checked cursor
+// (the real code uses common/bytes.h's ByteReader) or carries a waiver.
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+// Stand-in for ByteReader: every read checks remaining() first and
+// advances by construction, so no caller ever does offset math.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool GetU8(unsigned char* out) {
+    if (data_.size() < pos_ + 1) return false;
+    *out = static_cast<unsigned char>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+
+  bool GetBytes(std::size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+unsigned GoodDecode(std::string_view frame) {
+  Cursor cur(frame);
+  unsigned char len = 0;
+  if (!cur.GetU8(&len)) return 0;
+  std::string_view body;
+  if (!cur.GetBytes(len, &body)) return 0;
+
+  unsigned sum = 0;
+  for (char c : body) sum += static_cast<unsigned char>(c);
+
+  // Copying out of an already-bounds-checked view is safe, and the waiver
+  // records why the raw call is acceptable here.
+  char scratch[256];
+  // NOLINT-PROTOCOL(decode-bounds-discipline): body.size() <= 255 was
+  // established by GetBytes's bounds check against the frame.
+  std::memcpy(scratch, body.data(), body.size());
+  return sum + static_cast<unsigned char>(scratch[0]);
+}

@@ -31,8 +31,18 @@ they run on the clang AST via the `clang` python bindings (libclang).
                             behind a shard gate, so re-entry self-deadlocks
                             or violates the drain-then-release invariant
                             (runtime/scheduler.h's reentry contract).
+  decode-bounds-discipline  inside the decode TUs (the files that parse
+                            untrusted network / disk bytes — DECODE_TUS
+                            below), every read must flow through the
+                            bounds-checked ByteReader / view API
+                            (common/bytes.h). Raw pointer arithmetic,
+                            subscripts on raw pointers, and memcpy/memmove
+                            calls are rejected: each one is a place where a
+                            forged length can walk past the end of the
+                            input, which is exactly the bug class the fuzz
+                            harnesses (fuzz/) exist to catch at run time.
 
-relaxed-atomic-rationale is purely lexical and ALWAYS runs. The other three
+relaxed-atomic-rationale is purely lexical and ALWAYS runs. The others
 need libclang; when the bindings are unavailable the tool prints a skip
 diagnostic and exits 0, so gcc-only checkouts stay usable while the CI
 lint-ast job (pinned libclang) enforces the full set.
@@ -74,6 +84,33 @@ SCHEDULER_METHODS = {
 }
 READ_SAMPLE_METHODS = {"ReadBegin", "ReadVersion"}
 READ_VALIDATE_METHODS = {"Validate", "ValidateVersion"}
+
+# The TUs that decode untrusted bytes (network frames, snapshots, journal
+# replay): decode-bounds-discipline applies only here. common/bytes.h is
+# the blessed cursor implementation and is deliberately NOT listed — it is
+# the one place allowed to do arithmetic, and its own correctness is pinned
+# by common_bytes_test and the fuzz corpora.
+DECODE_TUS = {
+    "src/core/wire.h", "src/core/wire.cc",
+    "src/core/snapshot.h", "src/core/snapshot.cc",
+    "src/core/journal.h", "src/core/journal.cc",
+    "src/net/codec.h", "src/net/codec.cc",
+    "src/vv/vv_codec.h", "src/vv/vv_codec.cc",
+    "src/tokens/token_service.cc",
+    "src/multidb/multi_db_server.cc",
+}
+RAW_COPY_FNS = {"memcpy", "memmove", "__builtin_memcpy", "__builtin_memmove"}
+
+
+def is_decode_tu(path: Path, root: Path) -> bool:
+    """True when `path` is one of the decode TUs (or a decode_bounds
+    fixture, so the rule is testable standalone)."""
+    if "decode_bounds" in path.name:
+        return True
+    try:
+        return str(path.resolve().relative_to(root)) in DECODE_TUS
+    except ValueError:
+        return False
 
 
 class Findings:
@@ -157,6 +194,20 @@ def load_libclang():
         return None
 
 
+def libclang_version(cindex) -> str:
+    """Resolved libclang version string for --probe, e.g. 'clang version
+    14.0.6'. Defensive: the CXString plumbing differs across binding
+    versions, so any failure degrades to 'version unknown'."""
+    try:
+        from clang.cindex import _CXString  # type: ignore
+        fn = cindex.conf.lib.clang_getClangVersion
+        fn.restype = _CXString
+        fn.errcheck = _CXString.from_result
+        return str(fn())
+    except Exception:
+        return "version unknown"
+
+
 def compile_args_for(path: Path, build_dir: Path, root: Path) -> list[str]:
     """Arguments for parsing `path`: from compile_commands.json when the
     build exported one, else a standalone C++17 parse against src/."""
@@ -233,9 +284,51 @@ def binop_opcode(cursor) -> str:
     return ""
 
 
+def pointer_operand(cindex, cursor) -> bool:
+    """True when any direct operand of `cursor` has pointer type."""
+    TK = cindex.TypeKind
+    for child in cursor.get_children():
+        if child.type.kind == TK.POINTER:
+            return True
+    return False
+
+
+def check_decode_bounds(cindex, findings: Findings, path: Path, lines,
+                        cursors) -> None:
+    """decode-bounds-discipline: no raw pointer reads in decode TUs."""
+    CK = cindex.CursorKind
+    TK = cindex.TypeKind
+    rule = "decode-bounds-discipline"
+    for c in cursors:
+        hit = None
+        if c.kind in (CK.BINARY_OPERATOR, CK.COMPOUND_ASSIGNMENT_OPERATOR):
+            op = binop_opcode(c)
+            if op in ("+", "-", "+=", "-=") and pointer_operand(cindex, c):
+                hit = ("raw pointer arithmetic in a decode TU — route the "
+                       "read through ByteReader (GetBytesView/GetStringView "
+                       "advance the cursor with bounds checks); a forged "
+                       "length here walks past the end of the input")
+        elif c.kind == CK.ARRAY_SUBSCRIPT_EXPR:
+            base = next(iter(c.get_children()), None)
+            if base is not None and base.type.kind == TK.POINTER:
+                hit = ("subscript on a raw pointer in a decode TU — index "
+                       "math on attacker-supplied offsets must go through "
+                       "the bounds-checked cursor/view API (common/bytes.h)")
+        elif c.kind == CK.CALL_EXPR and c.spelling in RAW_COPY_FNS:
+            hit = (f"{c.spelling} in a decode TU — the length operand is "
+                   "unchecked against the source; use ByteReader::GetBytes/"
+                   "GetBytesView or PutBytes, which carry the bounds check")
+        if hit is None:
+            continue
+        line = c.location.line
+        if waived(lines, line - 1, rule):
+            continue
+        findings.report(path, line, rule, hit)
+
+
 def check_ast_rules(cindex, findings: Findings, path: Path,
-                    args: list[str]) -> bool:
-    """Runs the three AST rules on one TU. Returns False when the parse was
+                    args: list[str], decode_tu: bool = False) -> bool:
+    """Runs the AST rules on one TU. Returns False when the parse was
     too broken to trust (caller reports the diagnostic)."""
     index = cindex.Index.create()
     try:
@@ -255,6 +348,10 @@ def check_ast_rules(cindex, findings: Findings, path: Path,
 
     CK = cindex.CursorKind
     cursors = [c for c in walk(tu.cursor) if in_file(c, rpath)]
+
+    if decode_tu:
+        check_decode_bounds(cindex, findings, path, lines, cursors)
+
     lambdas = [c for c in cursors if c.kind == CK.LAMBDA_EXPR]
     sched_calls = [c for c in cursors
                    if c.kind == CK.CALL_EXPR
@@ -407,7 +504,7 @@ def main() -> int:
             print("epilint: libclang unavailable (need the python `clang` "
                   "bindings plus a loadable libclang.so)")
             return 3
-        print("epilint: libclang available")
+        print(f"epilint: libclang available ({libclang_version(cindex)})")
         return 0
 
     if args.files:
@@ -427,15 +524,17 @@ def main() -> int:
     if cindex is None:
         print("epilint: libclang unavailable — AST rules "
               "(task-capture-lifetime, seqlock-read-discipline, "
-              "scheduler-reentry) SKIPPED; only relaxed-atomic-rationale "
-              "ran. The CI lint-ast job enforces the full set.",
+              "scheduler-reentry, decode-bounds-discipline) SKIPPED; only "
+              "relaxed-atomic-rationale ran. The CI lint-ast job enforces "
+              "the full set.",
               file=sys.stderr)
     else:
         for f in files:
             if f.suffix not in (".h", ".cc", ".cpp"):
                 continue
             check_ast_rules(cindex, findings, f,
-                            compile_args_for(f, build_dir, root))
+                            compile_args_for(f, build_dir, root),
+                            decode_tu=is_decode_tu(f, root))
 
     for item in findings.items:
         print(item)
