@@ -21,6 +21,10 @@
 #include "core/sharded_replica.h"
 #include "net/codec.h"
 
+#ifndef EPI_BUILD_TYPE
+#define EPI_BUILD_TYPE "unknown"
+#endif
+
 namespace {
 
 using epidemic::BufferPool;
@@ -84,6 +88,22 @@ void MeasureExchange(benchmark::State& state, int64_t n, int64_t m,
   state.counters["accept_allocs"] = benchmark::Counter(
       static_cast<double>(dst.stats().accept_staging_allocs),
       benchmark::Counter::kAvgIterations);
+
+  // Untimed: the wire frame one such exchange would produce, so these rows
+  // report frame_bytes like the sharded-wire rows do (the JSON artifact
+  // used to carry null here). Dirty the same m items again — the replicas
+  // are converged after the loop, so a fresh burst reproduces the shape.
+  {
+    const std::string value(kValueLen, 'z');
+    for (int64_t i = 0; i < m; ++i) {
+      (void)src.Update("k" + std::to_string(i), value);
+    }
+    const epidemic::PropagationResponse resp =
+        src.HandlePropagationRequest(dst.BuildPropagationRequest());
+    const std::string frame =
+        epidemic::net::Encode(epidemic::net::Message(resp));
+    state.counters["frame_bytes"] = static_cast<double>(frame.size());
+  }
 }
 
 void BM_SweepDirtyItems(benchmark::State& state) {
@@ -182,4 +202,15 @@ BENCHMARK(BM_SweepDatabaseSize)
 BENCHMARK(BM_ShardedWireExchangeV2)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ShardedWireExchangeV3)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Custom main so the JSON context says what build produced OUR code. The
+// google-benchmark *library* build type is reported separately by the
+// library itself (library_build_type) — see the note in
+// scripts/run_benchmarks.sh about the distro-prebuilt library.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("epi_build_type", EPI_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,24 +1,37 @@
 #!/usr/bin/env bash
-# Wire-path benchmarks (DESIGN.md §10 / EXPERIMENTS.md W1).
+# Wire-path benchmarks (DESIGN.md §10, §14 / EXPERIMENTS.md W1, N1).
 #
-# Runs the three benchmarks that back the wire-v3 performance claims and,
-# with --json, merges their machine-readable outputs into one artifact:
+# Runs the benchmarks that back the wire-v3 and network-pipeline
+# performance claims and, with --json, merges their machine-readable
+# outputs into one artifact:
 #   - bench_propagation      µs/item and allocs/exchange, owned vs view path,
 #                            plus the sharded v2-vs-v3 wire exchange
 #   - bench_message_size     bytes/exchange and control bytes, v2 vs v3 (W1)
 #   - bench_sharded_parallel pull rounds/sec under write load
+#   - bench_tcp_cluster      multi-process loopback cluster, pooled vs
+#                            connect-per-call transport (N1)
 #
 # Usage: scripts/run_benchmarks.sh [--json] [--smoke] [output.json]
-#   --json   write the merged JSON artifact (default name BENCH_PR6.json)
+#   --json   write the merged JSON artifact (default name BENCH_PR10.json)
 #   --smoke  cut measurement time (CI shape check, not a measurement)
 #
-# Binaries are expected under $BUILD_DIR/bench (default: build/bench);
+# Binaries are expected under $BUILD_DIR/bench (default: build/bench),
+# plus $BUILD_DIR/tools/epidemicd for the cluster leg;
 # scripts/check.sh --bench-smoke builds them and calls this with
 # --json --smoke. Reportable numbers come from the Release preset:
 #   cmake --preset bench-release && cmake --build --preset bench-release \
 #     && BUILD_DIR=build-release scripts/run_benchmarks.sh --json
 # The artifact records build_type and hardware_concurrency so a
 # non-Release or single-core run is visible in the JSON itself.
+#
+# Build-type honesty: `build_type` (and the `epi_build_type` context key
+# in google-benchmark rows) is OUR code's CMAKE_BUILD_TYPE. The
+# `library_build_type` google-benchmark reports is the *library's* own
+# build, and the distro-prebuilt libbenchmark is a debug build — we do
+# not control it and cannot rebuild it here (no package installs). The
+# library only hosts the timing loop; all measured code is ours. To pin
+# both, configure with -DEPI_BENCHMARK_SOURCE_DIR=<google/benchmark
+# checkout> and the tree builds the library from source in Release.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,7 +40,7 @@ BENCH_DIR="$BUILD_DIR/bench"
 
 json=0
 smoke=0
-out="BENCH_PR6.json"
+out="BENCH_PR10.json"
 for arg in "$@"; do
   case "$arg" in
     --json) json=1 ;;
@@ -36,13 +49,20 @@ for arg in "$@"; do
   esac
 done
 
-for b in bench_propagation bench_message_size bench_sharded_parallel; do
+for b in bench_propagation bench_message_size bench_sharded_parallel \
+         bench_tcp_cluster; do
   if [ ! -x "$BENCH_DIR/$b" ]; then
     echo "missing $BENCH_DIR/$b — build it first:" >&2
     echo "  cmake --build $BUILD_DIR --target $b" >&2
     exit 1
   fi
 done
+EPIDEMICD="$BUILD_DIR/tools/epidemicd"
+if [ ! -x "$EPIDEMICD" ]; then
+  echo "missing $EPIDEMICD — build it first:" >&2
+  echo "  cmake --build $BUILD_DIR --target epidemicd" >&2
+  exit 1
+fi
 
 # Restrict bench_propagation to the headline cases: the m=4096 sweep points
 # (owned vs fast) and the sharded wire exchange pair.
@@ -51,10 +71,16 @@ gb_args=("--benchmark_filter=${filter}")
 # 4s rows: on a contended 1-core host, 1s rows swing ±50% (a handful of
 # multi-ms CFS deschedules dominate); 4s rows are stable to a few percent.
 par_seconds=4.0
+# 200 measured rounds/leg keeps the unpooled leg's ephemeral-port churn
+# well under the loopback TIME_WAIT budget while the percentiles are
+# already stable; smoke just checks the harness shape.
+cluster_rounds=200
 if [ "$smoke" -eq 1 ]; then
   gb_args+=("--benchmark_min_time=0.02")
   par_seconds=0.2
+  cluster_rounds=25
 fi
+cluster_args=("--epidemicd=$EPIDEMICD" "--rounds=$cluster_rounds")
 
 if [ "$json" -eq 0 ]; then
   "$BENCH_DIR/bench_propagation" "${gb_args[@]}"
@@ -62,6 +88,8 @@ if [ "$json" -eq 0 ]; then
   "$BENCH_DIR/bench_message_size"
   echo
   "$BENCH_DIR/bench_sharded_parallel" "$par_seconds"
+  echo
+  "$BENCH_DIR/bench_tcp_cluster" "${cluster_args[@]}"
   exit 0
 fi
 
@@ -72,6 +100,8 @@ trap 'rm -rf "$tmpdir"' EXIT
     --benchmark_format=json > "$tmpdir/prop.json"
 "$BENCH_DIR/bench_message_size" --json > "$tmpdir/msg.json"
 "$BENCH_DIR/bench_sharded_parallel" --json "$par_seconds" > "$tmpdir/par.json"
+"$BENCH_DIR/bench_tcp_cluster" "${cluster_args[@]}" --json \
+    > "$tmpdir/cluster.json"
 
 SMOKE="$smoke" OUT="$out" TMPDIR_BENCH="$tmpdir" python3 - <<'PY'
 import json, os
@@ -80,6 +110,7 @@ tmp = os.environ["TMPDIR_BENCH"]
 prop = json.load(open(os.path.join(tmp, "prop.json")))
 msg = json.load(open(os.path.join(tmp, "msg.json")))
 par = json.load(open(os.path.join(tmp, "par.json")))
+cluster = json.load(open(os.path.join(tmp, "cluster.json")))
 
 rows = {b["name"]: b for b in prop["benchmarks"]}
 
@@ -110,7 +141,7 @@ def ratio(a, b):
     return round(a / b, 2) if b else None  # None: divisor is exactly 0
 
 result = {
-    "artifact": "BENCH_PR6",
+    "artifact": "BENCH_PR10",
     "smoke": os.environ["SMOKE"] == "1",
     "build_type": par.get("build_type", "unknown"),
     "hardware_concurrency": par.get("hardware_concurrency"),
@@ -137,6 +168,7 @@ result = {
     },
     "message_size_w1": msg["w1_rows"],
     "sharded_parallel": par,
+    "tcp_cluster": cluster,
 }
 
 out = os.environ["OUT"]
@@ -170,4 +202,13 @@ if base and owned:
           f"(loaded_speedup {par['loaded_speedup']:.3f}); "
           f"update p99 {base['update_p99_us']:.0f} -> "
           f"{owned['update_p99_us']:.0f} us")
+cp = cluster["pooled"]
+cu = cluster["unpooled"]
+print(f"  tcp-cluster ({cluster['nodes']} nodes, {cluster['rounds']} "
+      f"rounds): pooled {cp['rounds_per_sec']:.0f} rounds/s "
+      f"(opened={cp['net_connections_opened']}, "
+      f"reused={cp['net_connections_reused']}), unpooled "
+      f"{cu['rounds_per_sec']:.0f} rounds/s "
+      f"(speedup {cluster['pooled_speedup']:.2f}x); "
+      f"serve cache hit rate {cluster['serve_cache_hit_rate']:.3f}")
 PY

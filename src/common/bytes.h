@@ -33,15 +33,23 @@ class ByteWriter {
 
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
 
+  // Fixed-width integers are encoded byte-by-byte so the wire bytes are
+  // little-endian on every host, not just the ones where memcpy happens to
+  // produce that order (the frames cross machines, the host ABI must not
+  // leak into them).
   void PutFixed32(uint32_t v) {
     char tmp[4];
-    std::memcpy(tmp, &v, 4);
+    for (size_t i = 0; i < 4; ++i) {
+      tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
     buf_.append(tmp, 4);
   }
 
   void PutFixed64(uint64_t v) {
     char tmp[8];
-    std::memcpy(tmp, &v, 8);
+    for (size_t i = 0; i < 8; ++i) {
+      tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
     buf_.append(tmp, 8);
   }
 
@@ -107,18 +115,25 @@ class ByteReader {
     return static_cast<uint8_t>(data_[pos_++]);
   }
 
+  // Little-endian on the wire regardless of host order (see PutFixed32).
   Result<uint32_t> GetFixed32() {
     if (pos_ + 4 > data_.size()) return Truncated("fixed32");
-    uint32_t v;
-    std::memcpy(&v, data_.data() + pos_, 4);
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
     pos_ += 4;
     return v;
   }
 
   Result<uint64_t> GetFixed64() {
     if (pos_ + 8 > data_.size()) return Truncated("fixed64");
-    uint64_t v;
-    std::memcpy(&v, data_.data() + pos_, 8);
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
     pos_ += 8;
     return v;
   }

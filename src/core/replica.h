@@ -68,6 +68,22 @@ struct ReplicaStats {
   uint64_t sched_tasks_executed = 0;
   uint64_t sched_queue_depth_peak = 0;
 
+  // Network pipeline (server layer; a bare Replica has no transport).
+  // The net_* fields mirror net::TransportStats for this node's client
+  // side — persistent-connection accounting (opened vs reused is the
+  // connection-churn signal). The serve_cache_* pair counts the fan-out
+  // serve cache: a hit replayed an already-encoded propagation frame to
+  // another peer asking for the same tail at the same mutation epoch.
+  uint64_t net_calls = 0;
+  uint64_t net_connections_opened = 0;
+  uint64_t net_connections_reused = 0;
+  uint64_t net_reconnects = 0;
+  uint64_t net_backoff_skips = 0;
+  uint64_t net_bytes_sent = 0;
+  uint64_t net_bytes_received = 0;
+  uint64_t serve_cache_hits = 0;
+  uint64_t serve_cache_misses = 0;
+
   /// Component-wise sum, used to aggregate counters across shards.
   void Accumulate(const ReplicaStats& o) {
     propagation_requests_served += o.propagation_requests_served;
@@ -97,6 +113,15 @@ struct ReplicaStats {
         sched_queue_depth_peak > o.sched_queue_depth_peak
             ? sched_queue_depth_peak
             : o.sched_queue_depth_peak;
+    net_calls += o.net_calls;
+    net_connections_opened += o.net_connections_opened;
+    net_connections_reused += o.net_connections_reused;
+    net_reconnects += o.net_reconnects;
+    net_backoff_skips += o.net_backoff_skips;
+    net_bytes_sent += o.net_bytes_sent;
+    net_bytes_received += o.net_bytes_received;
+    serve_cache_hits += o.serve_cache_hits;
+    serve_cache_misses += o.serve_cache_misses;
   }
 };
 

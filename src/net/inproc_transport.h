@@ -1,6 +1,7 @@
 #ifndef EPIDEMIC_NET_INPROC_TRANSPORT_H_
 #define EPIDEMIC_NET_INPROC_TRANSPORT_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -38,17 +39,49 @@ class InProcHub {
   std::vector<std::unique_ptr<Slot>> slots_;
 };
 
-/// Transport facade over a shared hub.
+/// Transport facade over a shared hub. Tracks the same counter surface as
+/// TcpTransport (calls + frame bytes; there is nothing to pool in-process,
+/// so the connection counters stay zero) so server-level stats report the
+/// transport layer identically under both deployments.
 class InProcTransport : public Transport {
  public:
   explicit InProcTransport(InProcHub* hub) : hub_(hub) {}
 
   Result<std::string> Call(NodeId dest, std::string_view request) override {
-    return hub_->Call(dest, request);
+    // relaxed: monotonic stats counters, read only for reporting.
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(request.size(), std::memory_order_relaxed);
+    Result<std::string> r = hub_->Call(dest, request);
+    if (r.ok()) {
+      // relaxed: monotonic stats counter (see above).
+      bytes_received_.fetch_add(r->size(), std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+  TransportStats Stats(bool reset) override {
+    TransportStats s;
+    // relaxed: counters are independent monotonic totals; a call racing the
+    // read lands in this report or the next, both acceptable.
+    if (reset) {
+      // relaxed: monotonic stats counters drained into a report.
+      s.calls = calls_.exchange(0, std::memory_order_relaxed);
+      s.bytes_sent = bytes_sent_.exchange(0, std::memory_order_relaxed);
+      s.bytes_received = bytes_received_.exchange(0, std::memory_order_relaxed);
+    } else {
+      // relaxed: monotonic stats counters read for a report.
+      s.calls = calls_.load(std::memory_order_relaxed);
+      s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+      s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    }
+    return s;
   }
 
  private:
   InProcHub* hub_;
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
 };
 
 }  // namespace epidemic::net

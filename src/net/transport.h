@@ -1,14 +1,73 @@
 #ifndef EPIDEMIC_NET_TRANSPORT_H_
 #define EPIDEMIC_NET_TRANSPORT_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "vv/version_vector.h"
 
 namespace epidemic::net {
+
+/// A response assembled as a sequence of byte pieces, so vectored
+/// transports (TcpServer's writev path) can send it without first gluing
+/// the pieces into one contiguous string.
+///
+/// Exactly one of two backings is active:
+///   - `owned`: the handler produced the pieces for this reply only. If
+///     `recycle_pool` is set the transport returns their capacity there
+///     after the send (they came from a BufferPool).
+///   - `shared`: the pieces are an immutable cached frame replayed to many
+///     peers concurrently (the server's fan-out serve cache); the reply
+///     holds a reference, the transport must not mutate them.
+struct VectoredReply {
+  std::vector<std::string> owned;
+  std::shared_ptr<const std::vector<std::string>> shared;
+  BufferPool* recycle_pool = nullptr;
+
+  /// The pieces to send, in order.
+  const std::vector<std::string>& parts() const {
+    return shared != nullptr ? *shared : owned;
+  }
+
+  size_t TotalBytes() const {
+    size_t n = 0;
+    for (const std::string& p : parts()) n += p.size();
+    return n;
+  }
+
+  /// Resets to empty, recycling owned pieces into `recycle_pool` if set
+  /// (shared pieces just drop their reference).
+  void Recycle() {
+    if (recycle_pool != nullptr) {
+      for (std::string& p : owned) recycle_pool->Put(std::move(p));
+    }
+    owned.clear();
+    shared.reset();
+    recycle_pool = nullptr;
+  }
+
+  /// Glues the pieces into one contiguous frame (the non-vectored
+  /// transports' shape). Single owned piece moves instead of copying.
+  std::string Flatten() {
+    if (shared == nullptr && owned.size() == 1 && recycle_pool == nullptr) {
+      std::string out = std::move(owned[0]);
+      owned.clear();
+      return out;
+    }
+    std::string out;
+    out.reserve(TotalBytes());
+    for (const std::string& p : parts()) out.append(p);
+    Recycle();
+    return out;
+  }
+};
 
 /// Server side of an RPC endpoint: consumes one encoded request message and
 /// produces one encoded response message (both codec frames, no length
@@ -17,6 +76,27 @@ class RequestHandler {
  public:
   virtual ~RequestHandler() = default;
   virtual std::string HandleRequest(std::string_view request) = 0;
+
+  /// Vectored variant: handlers that can produce the reply as pieces
+  /// (header + pooled segment buffers) override this so a vectored
+  /// transport never assembles a contiguous response. The default wraps
+  /// HandleRequest in a single piece.
+  virtual void HandleRequestV(std::string_view request, VectoredReply* reply) {
+    reply->Recycle();
+    reply->owned.push_back(HandleRequest(request));
+  }
+};
+
+/// Client-side transport counters (persistent-connection accounting).
+/// All zeros for transports that do not track them.
+struct TransportStats {
+  uint64_t calls = 0;               // Call/CallInto attempts
+  uint64_t connections_opened = 0;  // fresh TCP connects that succeeded
+  uint64_t connections_reused = 0;  // calls completed over a pooled fd
+  uint64_t reconnects = 0;          // pooled fd died mid-call, reconnected
+  uint64_t backoff_skips = 0;       // calls rejected inside a backoff window
+  uint64_t bytes_sent = 0;          // wire bytes out (headers included)
+  uint64_t bytes_received = 0;      // wire bytes in (headers included)
 };
 
 /// Client side: blocking request/response to a peer addressed by NodeId.
@@ -26,6 +106,24 @@ class Transport {
  public:
   virtual ~Transport() = default;
   virtual Result<std::string> Call(NodeId dest, std::string_view request) = 0;
+
+  /// Like Call but decodes into a caller-provided buffer whose capacity is
+  /// reused across calls (pair with a pooled buffer to keep the steady
+  /// state allocation-free). Default shims through Call.
+  virtual Status CallInto(NodeId dest, std::string_view request,
+                          std::string* response) {
+    Result<std::string> r = Call(dest, request);
+    if (!r.ok()) return r.status();
+    *response = std::move(*r);
+    return Status::OK();
+  }
+
+  /// Reads (and with `reset` zeroes) the transport counters. Transports
+  /// that do not track them return zeros.
+  virtual TransportStats Stats(bool reset) {
+    (void)reset;
+    return TransportStats{};
+  }
 };
 
 }  // namespace epidemic::net

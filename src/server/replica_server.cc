@@ -217,34 +217,37 @@ ShardedPropagationResponse ReplicaServer::ServeShardedPropagation(
   return resp;
 }
 
-std::string ReplicaServer::ServeShardedPropagationFrameV3(
-    const ShardedPropagationRequest& req) {
+void ReplicaServer::ServeShardedPropagationPartsV3(
+    const ShardedPropagationRequest& req, std::vector<std::string>* parts) {
   ShardedReplica& rep = sharded();
   const size_t num_shards = rep.num_shards();
-  ByteWriter w;
-  // relaxed: advisory sizing hint; a stale value only mis-sizes the reserve.
-  const size_t hint = serve_frame_bytes_hint_.load(std::memory_order_relaxed);
-  w.Reserve(std::max<size_t>(hint + hint / 8, 256));
-  w.PutU8(
+  parts->clear();
+  parts->reserve(1 + num_shards);
+  // parts[0]: the envelope. The segment count precedes the segments but is
+  // only known after the serve; reserve a padded-varint slot and patch it
+  // in at the end. Same trick for each segment's length prefix (5 bytes
+  // covers the 1 GiB segment cap). The decoders read exactly these two
+  // fields with the padded getters (GetVarint64Padded/GetStringViewPadded)
+  // — every other wire varint is canonical-only.
+  ByteWriter env(buffer_pool_.Get());
+  env.PutU8(
       static_cast<uint8_t>(net::MessageType::kShardedPropagationResponseV3));
-  w.PutU8(0);                              // resp_flags: plain full reply
-  w.PutVarint64(sched_->MutationEpoch());  // sampled before any shard serves
-  w.PutVarint64(num_shards);
-  // The segment count precedes the segments but is only known after the
-  // serve; reserve a padded-varint slot and patch it in at the end. Same
-  // trick for each segment's length prefix (5 bytes covers the 1 GiB
-  // segment cap). The decoders read exactly these two fields with the
-  // padded getters (GetVarint64Padded/GetStringViewPadded) — every other
-  // wire varint is canonical-only.
-  const size_t count_pos = w.size();
-  w.PutPaddedVarint(0, 3);
+  env.PutU8(0);                              // resp_flags: plain full reply
+  env.PutVarint64(sched_->MutationEpoch());  // sampled before any shard serves
+  env.PutVarint64(num_shards);
+  const size_t count_pos = env.size();
+  env.PutPaddedVarint(0, 3);
   uint64_t count = 0;
   size_t k = 0;
-  // The shard tasks share `w`, which is only sound because Execute runs
-  // them one at a time: inline behind the gate, or joined with acquire
-  // semantics before the loop advances. One std::function is reused for
+  // Each stale shard's piece is self-contained — [shard varint][padded
+  // length][body] — built in a pooled buffer inside that shard's
+  // single-writer section, so a vectored transport sends the pieces with
+  // no stitch copy and Flatten() reproduces the contiguous frame bytes.
+  // Execute runs the tasks one at a time (serial scheduler: inline behind
+  // the gate, or joined before the loop advances), so sharing `parts`,
+  // `count` and `k` across them is sound. One std::function is reused for
   // every shard (it reads `k` through the reference capture), so the loop
-  // allocates nothing.
+  // allocates nothing beyond the pooled chunk buffers.
   const std::function<void(const ShardToken&)> serve_one =
       [&](const ShardToken& token) {
         AssertShardContext(token);
@@ -252,21 +255,70 @@ std::string ReplicaServer::ServeShardedPropagationFrameV3(
             k, PropagationRequest{req.requester, req.shard_dbvvs[k]});
         if (view.you_are_current) return;
         ++count;
-        w.PutVarint64(k);
-        const size_t len_pos = w.size();
-        w.PutPaddedVarint(0, 5);
-        const size_t body_start = w.size();
-        wire::EncodeShardSegmentBodyV3Into(w, view, rep.shard(k).dbvv());
-        w.OverwritePaddedVarint(len_pos, w.size() - body_start, 5);
+        ByteWriter cw(buffer_pool_.Get());
+        cw.PutVarint64(k);
+        const size_t len_pos = cw.size();
+        cw.PutPaddedVarint(0, 5);
+        const size_t body_start = cw.size();
+        wire::EncodeShardSegmentBodyV3Into(cw, view, rep.shard(k).dbvv());
+        cw.OverwritePaddedVarint(len_pos, cw.size() - body_start, 5);
+        parts->push_back(cw.Release());
       };
   for (k = 0; k < num_shards; ++k) {
     sched_->Execute(k, TaskKind::kServe, /*mutates=*/false, serve_one);
   }
-  w.OverwritePaddedVarint(count_pos, count, 3);
-  std::string frame = w.Release();
-  // relaxed: advisory sizing hint (see the load above); no ordering needed.
-  serve_frame_bytes_hint_.store(frame.size(), std::memory_order_relaxed);
-  return frame;
+  env.OverwritePaddedVarint(count_pos, count, 3);
+  parts->insert(parts->begin(), env.Release());
+}
+
+uint64_t ReplicaServer::ServeDigest(const ShardedPropagationRequest& req) {
+  // FNV-1a, mixed 64 bits at a time. Collisions only cost correctness of
+  // the *hit rate*, never of the data: a colliding digest still has to
+  // match the current mutation epoch, and the worst case is replaying a
+  // reply built for a different request DBVV — which the accept side
+  // treats as ordinary duplicate shipping (idempotent). To keep even that
+  // cosmetic risk negligible the full entry stores the digest of record
+  // and the slot index is taken from it, so two requests disagree only on
+  // a full 64-bit collision.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(req.flags);
+  mix(req.shard_dbvvs.size());
+  for (const VersionVector& vv : req.shard_dbvvs) {
+    mix(vv.size());
+    for (NodeId j = 0; j < vv.size(); ++j) mix(vv[j]);
+  }
+  return h;
+}
+
+bool ReplicaServer::LookupServeCache(uint64_t digest, uint64_t epoch,
+                                     net::VectoredReply* reply) {
+  std::shared_ptr<const CachedServeFrame> entry;
+  {
+    MutexLock lock(serve_cache_mu_);
+    entry = serve_cache_[digest % kServeCacheSlots];
+  }
+  if (entry == nullptr || entry->digest != digest || entry->epoch != epoch) {
+    return false;
+  }
+  // Aliasing shared_ptr: the reply keeps the whole entry alive but the
+  // transport only sees the immutable pieces.
+  const std::vector<std::string>* parts = &entry->parts;
+  reply->shared =
+      std::shared_ptr<const std::vector<std::string>>(std::move(entry), parts);
+  return true;
+}
+
+void ReplicaServer::InsertServeCache(
+    std::shared_ptr<const CachedServeFrame> entry) {
+  const size_t slot = entry->digest % kServeCacheSlots;
+  MutexLock lock(serve_cache_mu_);
+  serve_cache_[slot] = std::move(entry);
 }
 
 Status ReplicaServer::AcceptShardedPropagation(
@@ -343,8 +395,23 @@ Status ReplicaServer::AcceptShardedSegments(
 }
 
 std::string ReplicaServer::HandleRequest(std::string_view request) {
+  net::VectoredReply reply;
+  HandleRequestV(request, &reply);
+  // Flatten reproduces the exact frame bytes a contiguous encoder would
+  // have produced, so non-vectored transports (InProc, the simulator) see
+  // no difference — and still exercise the serve cache.
+  return reply.Flatten();
+}
+
+void ReplicaServer::HandleRequestV(std::string_view request,
+                                   net::VectoredReply* reply) {
+  reply->Recycle();
+  // Every non-vectored branch replies as one owned piece.
+  const auto respond = [reply](std::string frame) {
+    reply->owned.push_back(std::move(frame));
+  };
   Result<Message> decoded = net::Decode(request);
-  if (!decoded.ok()) return EncodeStatusReply(decoded.status());
+  if (!decoded.ok()) return respond(EncodeStatusReply(decoded.status()));
   Message& msg = *decoded;
 
   if (auto* sharded_req = std::get_if<ShardedPropagationRequest>(&msg)) {
@@ -355,47 +422,87 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
     // (Epoch probes carry zero shard DBVVs; the loop is vacuous.)
     for (const VersionVector& vv : sharded_req->shard_dbvvs) {
       if (vv.size() != sharded().num_nodes()) {
-        return EncodeStatusReply(
-            Status::InvalidArgument("shard DBVV of wrong width"));
+        return respond(EncodeStatusReply(
+            Status::InvalidArgument("shard DBVV of wrong width")));
       }
     }
     if (sharded_req->wire_version >= kWireV3 && !options_.enable_wire_v3) {
       // Emulate a pre-v3 node: its codec would have failed on tag 17 with
       // exactly this error reply — the requester's fallback signal.
-      return EncodeStatusReply(Status::Corruption("unknown message tag 17"));
+      return respond(
+          EncodeStatusReply(Status::Corruption("unknown message tag 17")));
     }
     if (sharded_req->wire_version >= kWireV3 && !sched_->Parallel() &&
         (sharded_req->flags &
          (kPropFlagEpochProbe | kPropFlagAcceptCompressed)) == 0 &&
         sharded_req->shard_dbvvs.size() == sharded().num_shards()) {
-      // Serial scheduler, plain uncompressed full serve: encode straight
-      // into the frame. Probes, topology mismatches and compressed serves
-      // keep the generic owned-response path below.
-      return ServeShardedPropagationFrameV3(*sharded_req);
+      // Serial scheduler, plain uncompressed full serve: encode as reply
+      // pieces. Probes, topology mismatches and compressed serves keep
+      // the generic owned-response path below.
+      //
+      // Fan-out serve cache: the reply is a pure function of (request
+      // flags + shard DBVVs, mutation epoch) — serves are read-only
+      // tasks, so they never bump the epoch, and every mutation does.
+      // Sample the epoch FIRST: a mutation racing with the lookup can
+      // only make the epochs mismatch (miss), never produce a stale hit.
+      // A hit skips the serve entirely, which also skips the §4.1
+      // requester-frontier recording the serve would have done — that
+      // only *lags* the peer-DBVV frontier (stability detection,
+      // Theorem 5), it never affects what is shipped, so it is
+      // conservative, and the next miss from that peer catches it up.
+      const uint64_t epoch0 = sched_->MutationEpoch();
+      const uint64_t digest = ServeDigest(*sharded_req);
+      if (LookupServeCache(digest, epoch0, reply)) {
+        // relaxed: monotonic stats counter, read only for reporting.
+        serve_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // relaxed: monotonic stats counter (see above).
+      serve_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      auto entry = std::make_shared<CachedServeFrame>();
+      entry->digest = digest;
+      entry->epoch = epoch0;
+      ServeShardedPropagationPartsV3(*sharded_req, &entry->parts);
+      if (sched_->MutationEpoch() == epoch0) {
+        // No mutating task completed across the serve: the pieces are the
+        // epoch0 reply, byte for byte (the epoch is monotonic, so equal
+        // endpoints pin every sample in between). Publish for replay.
+        const std::vector<std::string>* parts = &entry->parts;
+        reply->shared = std::shared_ptr<const std::vector<std::string>>(
+            entry, parts);
+        InsertServeCache(std::move(entry));
+      } else {
+        // A mutation raced the serve; the reply is still a correct
+        // snapshot to send once, but caching it under epoch0 would be
+        // wrong and under the new epoch unverifiable. Send and recycle.
+        reply->owned = std::move(entry->parts);
+        reply->recycle_pool = &buffer_pool_;
+      }
+      return;
     }
-    Message reply(ServeShardedPropagation(*sharded_req));
-    std::string frame = net::Encode(reply);
+    Message served_msg(ServeShardedPropagation(*sharded_req));
+    std::string frame = net::Encode(served_msg);
     // v3 segment bodies came from the buffer pool; recycle their capacity
     // now that the frame owns a copy.
-    auto& served = std::get<ShardedPropagationResponse>(reply);
+    auto& served = std::get<ShardedPropagationResponse>(served_msg);
     if (served.wire_version >= kWireV3) {
       for (ShardedPropagationSegment& seg : served.segments) {
         buffer_pool_.Put(std::move(seg.body));
       }
     }
-    return frame;
+    return respond(std::move(frame));
   }
   if (auto* prop_req = std::get_if<PropagationRequest>(&msg)) {
     if (prop_req->dbvv.size() != sharded().num_nodes()) {
       // Same boundary width check as the sharded handshake above.
-      return EncodeStatusReply(
-          Status::InvalidArgument("request DBVV of wrong width"));
+      return respond(EncodeStatusReply(
+          Status::InvalidArgument("request DBVV of wrong width")));
     }
     // Legacy whole-database handshake (wire v1): only meaningful against a
     // single-shard server, where shard 0 *is* the database.
     if (sharded().num_shards() != 1) {
-      return EncodeStatusReply(Status::InvalidArgument(
-          "server is sharded; use the sharded propagation handshake"));
+      return respond(EncodeStatusReply(Status::InvalidArgument(
+          "server is sharded; use the sharded propagation handshake")));
     }
     std::string frame;
     sched_->Execute(0, TaskKind::kServe, /*mutates=*/false,
@@ -404,7 +511,7 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
                       frame = net::Encode(Message(
                           sharded().HandleShardPropagation(0, *prop_req)));
                     });
-    return frame;
+    return respond(std::move(frame));
   }
   if (auto* oob_req = std::get_if<OobRequest>(&msg)) {
     const size_t k = sharded().ShardOf(oob_req->item_name);
@@ -415,21 +522,21 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
                       frame = net::Encode(
                           Message(sharded().HandleOobRequest(*oob_req)));
                     });
-    return frame;
+    return respond(std::move(frame));
   }
   if (auto* update = std::get_if<ClientUpdateRequest>(&msg)) {
-    return EncodeStatusReply(Update(update->item_name, update->value));
+    return respond(EncodeStatusReply(Update(update->item_name, update->value)));
   }
   if (auto* del = std::get_if<net::ClientDeleteRequest>(&msg)) {
-    return EncodeStatusReply(Delete(del->item_name));
+    return respond(EncodeStatusReply(Delete(del->item_name)));
   }
   if (auto* read = std::get_if<ClientReadRequest>(&msg)) {
     Result<std::string> value = Read(read->item_name);
-    if (!value.ok()) return EncodeStatusReply(value.status());
-    return EncodeStatusReply(Status::OK(), std::move(*value));
+    if (!value.ok()) return respond(EncodeStatusReply(value.status()));
+    return respond(EncodeStatusReply(Status::OK(), std::move(*value)));
   }
   if (std::get_if<net::ClientStatsRequest>(&msg) != nullptr) {
-    return EncodeStatusReply(Status::OK(), Stats());
+    return respond(EncodeStatusReply(Status::OK(), Stats()));
   }
   if (std::get_if<net::ClientResetStatsRequest>(&msg) != nullptr) {
     // Snapshot the summary and zero the counters inside one cross-shard
@@ -442,34 +549,37 @@ std::string ReplicaServer::HandleRequest(std::string_view request) {
           sharded().ResetStats();
         });
     AppendSchedulerSummary(&summary);
+    AppendNetSummary(&summary, /*reset=*/true);
     sched_->Stats(/*reset=*/true);
     // relaxed: stats counter reset; an optimistic hit racing the reset lands
     // on one side or the other, both acceptable for reporting.
     optimistic_read_hits_.store(0, std::memory_order_relaxed);
-    return EncodeStatusReply(Status::OK(), std::move(summary));
+    return respond(EncodeStatusReply(Status::OK(), std::move(summary)));
   }
   if (auto* scan = std::get_if<net::ClientScanRequest>(&msg)) {
     auto items = Scan(scan->prefix, static_cast<size_t>(scan->limit));
-    return EncodeStatusReply(Status::OK(), net::EncodeScanListing(items));
+    return respond(
+        EncodeStatusReply(Status::OK(), net::EncodeScanListing(items)));
   }
   if (auto* sync = std::get_if<net::ClientSyncRequest>(&msg)) {
     if (sync->peer == id_) {
-      return EncodeStatusReply(Status::InvalidArgument("cannot self-sync"));
+      return respond(
+          EncodeStatusReply(Status::InvalidArgument("cannot self-sync")));
     }
-    return EncodeStatusReply(PullFrom(sync->peer));
+    return respond(EncodeStatusReply(PullFrom(sync->peer)));
   }
   if (std::get_if<net::ClientCheckpointRequest>(&msg) != nullptr) {
-    return EncodeStatusReply(Checkpoint());
+    return respond(EncodeStatusReply(Checkpoint()));
   }
   if (auto* fetch = std::get_if<ClientOobFetchRequest>(&msg)) {
     Status s = OobFetch(fetch->from_peer, fetch->item_name);
-    if (!s.ok()) return EncodeStatusReply(s);
+    if (!s.ok()) return respond(EncodeStatusReply(s));
     Result<std::string> value = Read(fetch->item_name);
-    if (!value.ok()) return EncodeStatusReply(value.status());
-    return EncodeStatusReply(Status::OK(), std::move(*value));
+    if (!value.ok()) return respond(EncodeStatusReply(value.status()));
+    return respond(EncodeStatusReply(Status::OK(), std::move(*value)));
   }
-  return EncodeStatusReply(
-      Status::InvalidArgument("message type not servable"));
+  respond(EncodeStatusReply(
+      Status::InvalidArgument("message type not servable")));
 }
 
 Status ReplicaServer::Update(std::string_view item, std::string_view value) {
@@ -588,6 +698,25 @@ void ReplicaServer::AppendSchedulerSummary(std::string* out) const {
   }
 }
 
+void ReplicaServer::AppendNetSummary(std::string* out, bool reset) const {
+  const net::TransportStats t = transport_->Stats(reset);
+  out->append("\nnet: calls=" + std::to_string(t.calls) +
+              " opened=" + std::to_string(t.connections_opened) +
+              " reused=" + std::to_string(t.connections_reused) +
+              " reconnects=" + std::to_string(t.reconnects) +
+              " backoff_skips=" + std::to_string(t.backoff_skips) +
+              " bytes_sent=" + std::to_string(t.bytes_sent) +
+              " bytes_received=" + std::to_string(t.bytes_received));
+  // relaxed: monotonic stats counters folded into a report; an event racing
+  // the read lands in this report or the next, both acceptable.
+  const auto take = [reset](std::atomic<uint64_t>& c) {
+    return reset ? c.exchange(0, std::memory_order_relaxed)
+                 : c.load(std::memory_order_relaxed);
+  };
+  out->append("\nserve_cache: hits=" + std::to_string(take(serve_cache_hits_)) +
+              " misses=" + std::to_string(take(serve_cache_misses_)));
+}
+
 std::string ReplicaServer::Stats() const {
   const ShardedReplica& rep = sharded();
   std::string summary;
@@ -596,6 +725,7 @@ std::string ReplicaServer::Stats() const {
                              summary = rep.DebugString();
                            });
   AppendSchedulerSummary(&summary);
+  AppendNetSummary(&summary, /*reset=*/false);
   return summary;
 }
 
@@ -619,6 +749,24 @@ ReplicaStats ReplicaServer::TotalStats(bool reset) {
   total.reads += reset ? optimistic_read_hits_.exchange(
                              0, std::memory_order_relaxed)
                        : optimistic_read_hits_.load(std::memory_order_relaxed);
+  // Transport and serve-cache counters ride along the same way — they
+  // live outside the shards, so the per-shard fold cannot have seen them.
+  const net::TransportStats t = transport_->Stats(reset);
+  total.net_calls = t.calls;
+  total.net_connections_opened = t.connections_opened;
+  total.net_connections_reused = t.connections_reused;
+  total.net_reconnects = t.reconnects;
+  total.net_backoff_skips = t.backoff_skips;
+  total.net_bytes_sent = t.bytes_sent;
+  total.net_bytes_received = t.bytes_received;
+  // relaxed: monotonic stats counters folded into a report (see above).
+  total.serve_cache_hits =
+      reset ? serve_cache_hits_.exchange(0, std::memory_order_relaxed)
+            : serve_cache_hits_.load(std::memory_order_relaxed);
+  // relaxed: monotonic stats counter folded into a report (see above).
+  total.serve_cache_misses =
+      reset ? serve_cache_misses_.exchange(0, std::memory_order_relaxed)
+            : serve_cache_misses_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -673,9 +821,17 @@ Status ReplicaServer::PullFrom(NodeId peer) {
     }
   }
   if (!probing) snapshot_dbvvs();
+  // Response frames land in a pooled buffer reused across pulls (and
+  // across the probe→resend / v3→v2 retries inside this call) through
+  // CallInto, so the steady-state round no longer allocates a fresh
+  // frame-sized string per round trip. The zero-copy accept below borrows
+  // views into it; the buffer outlives them (returned to the pool only at
+  // scope exit).
+  PooledBuffer wire(&buffer_pool_);
   for (;;) {
-    Result<std::string> wire = transport_->Call(peer, net::Encode(Message(req)));
-    if (!wire.ok()) return wire.status();
+    Status call_status =
+        transport_->CallInto(peer, net::Encode(Message(req)), &*wire);
+    if (!call_status.ok()) return call_status;
     // v3 reply fast path: decode the envelope as views into the received
     // frame (`*wire` outlives the accept below), so the segment bodies —
     // the bulk of the frame — are never copied out of it.

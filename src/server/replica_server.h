@@ -142,8 +142,16 @@ class ReplicaServer : public net::RequestHandler {
 
   /// Decodes one request frame, dispatches it to the replica, and returns
   /// the encoded reply. Unknown/undecodable input yields an encoded
-  /// error ClientReply.
+  /// error ClientReply. (Wraps HandleRequestV — the vectored form is the
+  /// real dispatcher, so every transport exercises the same paths.)
   std::string HandleRequest(std::string_view request) override;
+
+  /// Vectored dispatch: v3 propagation serves produce the reply as pieces
+  /// (envelope + pooled per-shard chunks, or a replayed cached frame) that
+  /// a vectored transport writes without assembling a contiguous string;
+  /// every other message type replies as one owned piece.
+  void HandleRequestV(std::string_view request,
+                      net::VectoredReply* reply) override;
 
   // -------------------------------------------------------------------
   // Local (thread-safe) API.
@@ -214,15 +222,42 @@ class ReplicaServer : public net::RequestHandler {
       const ShardedPropagationRequest& req);
 
   /// Serial-scheduler fast path of the serve: encodes every stale shard's
-  /// v3 segment *directly into the tagged response frame* (backpatched
-  /// padded-varint length slots), eliminating both the per-segment staging
-  /// buffers and the segment→frame stitch copy of the generic path. Only
+  /// v3 segment as one self-contained piece ([shard varint][padded length
+  /// slot][body]) in a pooled buffer inside that shard's single-writer
+  /// section, plus a backpatched envelope piece in front — no per-segment
+  /// staging buffers and no segment→frame stitch copy (a vectored
+  /// transport sends the pieces as-is; Flatten() reproduces the exact
+  /// frame bytes of the contiguous encoder for everything else). Only
   /// valid when the scheduler is not parallel — the shard-at-a-time
-  /// Execute loop serializes the tasks, so they may share the frame
-  /// writer — and only for uncompressed v3 replies. Returns the complete
-  /// wire frame (tag byte included).
-  std::string ServeShardedPropagationFrameV3(
-      const ShardedPropagationRequest& req);
+  /// Execute loop serializes the tasks — and only for uncompressed v3
+  /// replies. Fills `parts`; parts[0] is the envelope (tag byte included).
+  void ServeShardedPropagationPartsV3(const ShardedPropagationRequest& req,
+                                      std::vector<std::string>* parts);
+
+  /// Fan-out serve cache. A full v3 serve's reply is a pure function of
+  /// (request flags + shard DBVVs, scheduler mutation epoch): the epoch is
+  /// bumped by every mutating task, so equal epochs mean bytewise-equal
+  /// replies. When N peers pull the same tail from a quiescent node, the
+  /// first request encodes it and the other N-1 replay the cached pieces.
+  /// Entries are immutable once published (shared_ptr<const>); the cache
+  /// is direct-mapped by digest and invalidated by epoch mismatch.
+  struct CachedServeFrame {
+    uint64_t digest = 0;
+    uint64_t epoch = 0;
+    std::vector<std::string> parts;
+  };
+
+  /// FNV-1a over the serve-relevant request fields: flags, shard count,
+  /// every shard DBVV entry. The requester id is deliberately excluded —
+  /// the reply bytes do not depend on it (see the §4.1 frontier note at
+  /// the lookup site).
+  static uint64_t ServeDigest(const ShardedPropagationRequest& req);
+
+  /// On hit, points `reply` at the cached pieces and returns true.
+  bool LookupServeCache(uint64_t digest, uint64_t epoch,
+                        net::VectoredReply* reply) EXCLUDES(serve_cache_mu_);
+  void InsertServeCache(std::shared_ptr<const CachedServeFrame> entry)
+      EXCLUDES(serve_cache_mu_);
 
   /// Applies a sharded response: every segment decoded and accepted as a
   /// task on its shard (journaled when durable), fanned out as one batch.
@@ -237,6 +272,11 @@ class ReplicaServer : public net::RequestHandler {
 
   /// Appends the scheduler/optimistic-read health line to a stats summary.
   void AppendSchedulerSummary(std::string* out) const;
+
+  /// Appends the transport + serve-cache lines ("net: ...",
+  /// "serve_cache: ...") to a stats summary, optionally resetting the
+  /// underlying counters in the same pass.
+  void AppendNetSummary(std::string* out, bool reset) const;
 
   /// The cached [0, S) index list the all-shard batches fan out over;
   /// built once so the anti-entropy hot loop never re-materializes it.
@@ -278,11 +318,16 @@ class ReplicaServer : public net::RequestHandler {
   /// DBVV handshake; a stale value only costs one resend round trip.
   std::unique_ptr<std::atomic<uint64_t>[]> peer_epoch_;
 
-  /// Size of the last frame built by ServeShardedPropagationFrameV3, used
-  /// as the reserve hint for the next one (steady-state rounds serve
-  /// similar payloads, so one up-front reservation replaces a doubling
-  /// series). Relaxed — a stale hint only costs extra growth copies.
-  std::atomic<size_t> serve_frame_bytes_hint_{0};
+  /// Fan-out serve cache slots (direct-mapped by digest). Entries are
+  /// immutable; the mutex only guards the slot pointers, never the bytes,
+  /// so a hit costs one lock/shared_ptr copy and replays concurrently
+  /// with other senders.
+  static constexpr size_t kServeCacheSlots = 8;
+  mutable Mutex serve_cache_mu_;
+  std::shared_ptr<const CachedServeFrame> serve_cache_[kServeCacheSlots]
+      GUARDED_BY(serve_cache_mu_);
+  mutable std::atomic<uint64_t> serve_cache_hits_{0};
+  mutable std::atomic<uint64_t> serve_cache_misses_{0};
 
   Mutex thread_mu_;
   std::condition_variable_any cv_;

@@ -14,8 +14,12 @@ std::string Workload::ItemName(uint64_t idx) {
 uint64_t Workload::SampleItem() { return zipf_.Sample(rng_); }
 
 Workload::Op Workload::NextUpdate(size_t num_nodes) {
+  return NextUpdateAt(static_cast<NodeId>(rng_.Uniform(num_nodes)));
+}
+
+Workload::Op Workload::NextUpdateAt(NodeId node) {
   Op op;
-  op.node = static_cast<NodeId>(rng_.Uniform(num_nodes));
+  op.node = node;
   op.item = ItemName(SampleItem());
   op.value = "u" + std::to_string(++counter_) + "@n" +
              std::to_string(op.node);

@@ -38,6 +38,12 @@ class Workload {
   /// globally unique value "u<counter>@n<node>" padded to value_len.
   Op NextUpdate(size_t num_nodes);
 
+  /// Next update targeted at a specific node (same Zipf item stream and
+  /// unique-value scheme). Drivers that own the placement policy — the
+  /// multi-process cluster bench writes to the round's source replica —
+  /// use this instead of NextUpdate's uniform placement.
+  Op NextUpdateAt(NodeId node);
+
   /// Stable item name for index `idx`.
   static std::string ItemName(uint64_t idx);
 

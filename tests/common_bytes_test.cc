@@ -34,6 +34,27 @@ TEST(BytesTest, FixedWidthRoundTrip) {
   EXPECT_TRUE(r.AtEnd());
 }
 
+// The fixed-width encodings are a wire format, not an ABI: the bytes must
+// be little-endian on every host, so a big-endian peer interoperates.
+TEST(BytesTest, FixedWidthBytesAreLittleEndian) {
+  ByteWriter w;
+  w.PutFixed32(0x04030201u);
+  w.PutFixed64(0x0807060504030201ull);
+  const std::string& b = w.data();
+  ASSERT_EQ(b.size(), 12u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(b[i]), i + 1) << "fixed32 byte " << i;
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(b[4 + i]), i + 1) << "fixed64 byte " << i;
+  }
+  // And the reader reassembles from those exact bytes.
+  ByteReader r(std::string_view("\x01\x02\x03\x04", 4));
+  auto v = r.GetFixed32();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0x04030201u);
+}
+
 class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(VarintRoundTrip, EncodesAndDecodes) {

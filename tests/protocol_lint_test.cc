@@ -135,6 +135,24 @@ TEST_F(ProtocolLintTest, ShardLockFixtureIsReported) {
       << result.output;
 }
 
+// The serve-cache fixture: a mutable cached-frame shared_ptr (twice: the
+// insert parameter and the slot itself) and an InsertServeCache call with
+// no MutationEpoch() re-check are each reported.
+TEST_F(ProtocolLintTest, ServeCacheFixtureIsReported) {
+  const RunResult result = RunLint(
+      std::string(EPI_SOURCE_DIR) + "/tests/testdata/lint/bad_serve_cache.h");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("serve-cache-discipline"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("non-const shared_ptr"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("no MutationEpoch() equality re-check"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("3 violation(s)"), std::string::npos)
+      << result.output;
+}
+
 // A waiver that suppresses nothing is itself a finding.
 TEST_F(ProtocolLintTest, StaleWaiverIsReported) {
   const RunResult result = RunLint(

@@ -1,0 +1,43 @@
+// Lint fixture (never compiled): both ways the fan-out serve cache's
+// discipline can rot (DESIGN.md §14). The slot holds its frame through a
+// MUTABLE shared_ptr — anyone holding the pointer can scribble on a frame
+// concurrent serves are reading — and the insert happens with no
+// MutationEpoch() re-check, so a frame built while a write landed (mixing
+// shard states from two epochs) would be published as if it were a
+// consistent snapshot. Each hazard sits on its own line so the
+// serve-cache-discipline reports can be asserted precisely.
+#ifndef TESTS_TESTDATA_LINT_BAD_SERVE_CACHE_H_
+#define TESTS_TESTDATA_LINT_BAD_SERVE_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace epidemic {
+
+struct CachedServeFrame {
+  uint64_t digest = 0;
+  uint64_t epoch = 0;
+  std::vector<std::string> parts;
+};
+
+class SloppyServeCache {
+ public:
+  void ServeMiss(uint64_t digest) {
+    auto entry = std::make_shared<CachedServeFrame>();
+    entry->digest = digest;
+    // No epoch sample before the build, no equality re-check here:
+    InsertServeCache(entry);
+  }
+
+ private:
+  void InsertServeCache(std::shared_ptr<CachedServeFrame> entry) {
+    slot_ = entry;
+  }
+
+  std::shared_ptr<CachedServeFrame> slot_;
+};
+
+}  // namespace epidemic
+
+#endif  // TESTS_TESTDATA_LINT_BAD_SERVE_CACHE_H_

@@ -29,6 +29,14 @@ Catches hazards the compiler (even with -Wthread-safety) cannot see:
                         state, std <random> engines, or iterates/hashes by
                         pointer address — any of which would make epicheck's
                         state exploration and trace replay unsound
+  serve-cache-discipline
+                        the fan-out serve cache (DESIGN.md §14) publishes
+                        frames to concurrent serves through shared_ptr: a
+                        cached-frame slot or entry typed as a non-const
+                        shared_ptr (mutable after publication), or an
+                        InsertServeCache call with no MutationEpoch()
+                        re-check nearby (a frame built across a mutation
+                        could mix shard states from two epochs)
   stale-waiver          a NOLINT-PROTOCOL comment (or one of the rules it
                         names) that no longer suppresses any finding; stale
                         waivers must be deleted or narrowed, not waived
@@ -139,6 +147,26 @@ SHARD_LOCK_PATTERNS: list[tuple[re.Pattern[str], str]] = [
     (re.compile(r"\bMutexLock\s+\w+\s*\(\s*[^)]*[Ss]hard[^)]*\["),
      "indexed acquisition of a per-shard mutex (striped-lock relapse)"),
 ]
+
+
+# Serve-cache discipline (DESIGN.md §14). Cached reply frames are handed
+# to concurrent serve paths by aliasing shared_ptr, so they must be
+# immutable the moment they are published: any cached-frame slot or entry
+# declared as shared_ptr<T> with a mutable T is a data race waiting for
+# the first post-publication touch. And a frame is only sound to cache if
+# the scheduler's mutation epoch provably did not advance while it was
+# being built — epoch keying pins every in-between sample to one state.
+SERVE_CACHE_MUTABLE_RE = re.compile(
+    r"std::shared_ptr<\s*(?!const\b)[^<>]*Cached\w*Frame"
+)
+SERVE_CACHE_INSERT_RE = re.compile(r"\bInsertServeCache\s*\(")
+# Definition/declaration lines ("void [Class::]InsertServeCache(...)")
+# are not call sites.
+SERVE_CACHE_DEF_RE = re.compile(r"\bvoid\b[^;{=]*\bInsertServeCache\s*\(")
+SERVE_CACHE_EPOCH_RE = re.compile(
+    r"MutationEpoch\s*\(\s*\)\s*==|==\s*[\w.>-]*\s*MutationEpoch\s*\(\s*\)"
+)
+SERVE_CACHE_EPOCH_WINDOW = 12
 
 
 class Linter:
@@ -380,6 +408,42 @@ class Linter:
                     )
                 break  # one finding per line
 
+    # -- rule: serve-cache-discipline ------------------------------------
+
+    def check_serve_cache(self, path: Path) -> None:
+        if not path.exists():
+            return
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            if SERVE_CACHE_MUTABLE_RE.search(code):
+                if not self.waived(path, lines, i, "serve-cache-discipline"):
+                    self.report(
+                        path, i + 1, "serve-cache-discipline",
+                        "cached serve frame held through a non-const "
+                        "shared_ptr — a published frame is read by "
+                        "concurrent serves and must be immutable: type the "
+                        "slot/entry std::shared_ptr<const ...> and finish "
+                        "building before publishing (DESIGN.md §14)",
+                    )
+                continue
+            if (SERVE_CACHE_INSERT_RE.search(code)
+                    and not SERVE_CACHE_DEF_RE.search(code)):
+                lo = max(0, i - SERVE_CACHE_EPOCH_WINDOW)
+                window = [ln.split("//", 1)[0] for ln in lines[lo:i + 1]]
+                if any(SERVE_CACHE_EPOCH_RE.search(w) for w in window):
+                    continue
+                if not self.waived(path, lines, i, "serve-cache-discipline"):
+                    self.report(
+                        path, i + 1, "serve-cache-discipline",
+                        "InsertServeCache call with no MutationEpoch() "
+                        "equality re-check in the preceding "
+                        f"{SERVE_CACHE_EPOCH_WINDOW} lines — a frame built "
+                        "while a mutation landed can mix shard states from "
+                        "two epochs; sample the epoch before building and "
+                        "insert only if it is unchanged (DESIGN.md §14)",
+                    )
+
     # -- rule: nondeterminism --------------------------------------------
 
     def check_nondeterminism(self, path: Path) -> None:
@@ -461,6 +525,7 @@ class Linter:
             if path == skip:
                 continue
             self.check_mutexes(path)
+            self.check_serve_cache(path)
             if runtime_dir not in path.parents:
                 self.check_shard_locks(path)
         for sub in NONDET_DIRS:
@@ -478,6 +543,7 @@ class Linter:
             self.check_wire_tags(path)
             if path.suffix in (".h", ".cc"):
                 self.check_mutexes(path)
+                self.check_serve_cache(path)
                 self.check_shard_locks(path)
                 self.check_nondeterminism(path)
             if path.name == "replica.cc":
